@@ -1,0 +1,20 @@
+"""Ablation — inflationary vs reserved vs dominant composition functions."""
+
+from __future__ import annotations
+
+from repro.experiments import figures, reporting
+
+from bench_utils import run_once
+
+
+def test_ablation_combination_functions(benchmark, ctx, focus_uid):
+    result = run_once(benchmark, figures.ablation_combination_functions,
+                      ctx, focus_uid, 25)
+    reporting.print_report(
+        f"Composition-function ablation (uid={focus_uid}, Top-25)",
+        reporting.format_mapping(result))
+    # The dominant (max) ranking is usually closer to the inflationary one
+    # than the reserved (average) ranking, because both reward matching the
+    # single strongest preference.
+    assert 0.0 <= result["reserved_similarity"] <= 1.0
+    assert 0.0 <= result["dominant_similarity"] <= 1.0

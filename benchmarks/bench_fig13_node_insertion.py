@@ -1,0 +1,21 @@
+"""Figure 13 — node insertion time per batch (scaled down from 7B nodes)."""
+
+from __future__ import annotations
+
+from repro.experiments import figures, reporting
+
+from bench_utils import run_once
+
+
+def test_fig13_batched_node_insertion(benchmark):
+    series = run_once(benchmark, figures.fig13_node_insertion,
+                      total_nodes=100_000, batch_size=10_000)
+    rows = [{"nodes_inserted": total, "batch_seconds": elapsed}
+            for total, elapsed in series]
+    reporting.print_report("Figure 13 — node insertion time per batch",
+                           reporting.format_table(rows))
+    assert rows[-1]["nodes_inserted"] == 100_000
+    # Expected shape: per-batch time stays within a small factor of the first
+    # batch (near-constant insertion cost), mirroring the paper's flat curve.
+    first = max(rows[0]["batch_seconds"], 1e-6)
+    assert max(row["batch_seconds"] for row in rows) < first * 25

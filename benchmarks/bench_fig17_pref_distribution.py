@@ -1,0 +1,21 @@
+"""Figure 17 — distribution of the number of preferences per user."""
+
+from __future__ import annotations
+
+from repro.experiments import figures, reporting
+
+from bench_utils import run_once
+
+
+def test_fig17_preference_distribution(benchmark, ctx):
+    histogram = run_once(benchmark, figures.fig17_preference_distribution, ctx)
+    rows = [{"preferences": count, "users": users}
+            for count, users in sorted(histogram.items())]
+    reporting.print_report("Figure 17 — preference-count distribution",
+                           reporting.format_table(rows))
+    # Expected shape: a long tail — few users hold very many preferences,
+    # most users hold only a handful.
+    small_profile_users = sum(users for count, users in histogram.items() if count <= 10)
+    large_profile_users = sum(users for count, users in histogram.items()
+                              if count >= max(histogram) * 0.5)
+    assert small_profile_users >= large_profile_users

@@ -1,0 +1,47 @@
+"""Figures 18–25 — utility, tuple counts and intensity per combination size."""
+
+from __future__ import annotations
+
+from repro.experiments import figures, reporting
+
+from bench_utils import run_once
+
+
+def _report(output, uid, metric):
+    for size, rows in output.items():
+        values = [row[metric] for row in rows]
+        print(reporting.format_series(
+            values, name=f"uid={uid} size={size} {metric}"))
+
+
+def test_fig18_19_utility(benchmark, ctx, focus_uid, second_uid):
+    """Figures 18/19 — utility value per combination order for both users."""
+    output_first = run_once(benchmark, figures.fig18_25_utility_and_tuples, ctx, focus_uid)
+    output_second = figures.fig18_25_utility_and_tuples(ctx, second_uid)
+    print()
+    _report(output_first, focus_uid, "utility")
+    _report(output_second, second_uid, "utility")
+    # Expected shape: a generally decreasing utility trend with combination
+    # order for the 2-preference series (the first combinations pair up the
+    # strongest preferences).
+    two_pref = output_first[2]
+    assert two_pref, "the focus user must produce 2-preference combinations"
+    assert two_pref[0]["utility"] >= two_pref[-1]["utility"] * 0.5
+
+
+def test_fig20_25_tuples_and_intensity(benchmark, ctx, focus_uid):
+    """Figures 20–25 — tuple counts and intensity for 2/5/10-pref combinations."""
+    output = run_once(benchmark, figures.fig18_25_utility_and_tuples,
+                      ctx, focus_uid, (2, 5, 10))
+    print()
+    _report(output, focus_uid, "tuples")
+    _report(output, focus_uid, "intensity")
+    sizes_with_rows = [size for size, rows in output.items() if rows]
+    assert 2 in sizes_with_rows
+    # Intensities are well-formed and the tuple counts are non-negative; the
+    # interplay between the two (intensity is NOT correlated with tuple count)
+    # is exactly the paper's motivation for the Utility metric.
+    for rows in output.values():
+        for row in rows:
+            assert 0.0 <= row["intensity"] <= 1.0
+            assert row["tuples"] >= 0

@@ -1,0 +1,45 @@
+"""Figures 26–28 — preference growth and dataset coverage of the HYPRE graph."""
+
+from __future__ import annotations
+
+from repro.experiments import figures, reporting
+
+from bench_utils import run_once
+
+
+def test_fig26_27_preference_growth(benchmark, ctx, focus_uid, second_uid):
+    """Figures 26/27 — quantitative preferences before vs after the graph."""
+    first = run_once(benchmark, figures.fig26_27_preference_growth, ctx, focus_uid)
+    second = figures.fig26_27_preference_growth(ctx, second_uid)
+    rows = [
+        {"uid": report["uid"], "original": report["original_count"],
+         "from_graph": report["graph_count"], "growth": report["growth_factor"]}
+        for report in (first, second)
+    ]
+    reporting.print_report("Figures 26/27 — quantitative preference growth",
+                           reporting.format_table(rows))
+    # Expected shape: the HYPRE graph holds several times more quantitative
+    # preferences than the user originally provided (paper: 36 -> 172).
+    assert first["graph_count"] > first["original_count"]
+    assert second["graph_count"] > second["original_count"]
+
+
+def test_fig28_coverage(benchmark, ctx, focus_uid, second_uid):
+    """Figure 28 — coverage by QT, QL, QT+QL and the HYPRE graph."""
+    first = run_once(benchmark, figures.fig28_coverage, ctx, focus_uid)
+    second = figures.fig28_coverage(ctx, second_uid)
+    rows = []
+    for uid, reports in ((focus_uid, first), (second_uid, second)):
+        for report in reports:
+            rows.append({"uid": uid, "source": report.label,
+                         "covered": report.covered_tuples,
+                         "fraction": report.fraction})
+    reporting.print_report("Figure 28 — coverage over the dataset",
+                           reporting.format_table(rows))
+    # Expected shape: HYPRE >= QT+QL >= QT (the unified model never loses
+    # coverage and typically gains a lot).
+    for reports in (first, second):
+        by_label = {report.label: report.covered_tuples for report in reports}
+        assert by_label["HYPRE_Graph"] >= by_label["QT"]
+        assert by_label["QT+QL"] >= by_label["QT"]
+        assert by_label["HYPRE_Graph"] >= by_label["QT+QL"] * 0.99

@@ -1,0 +1,33 @@
+"""Figures 29–31 — Combine-Two intensity variation (AND vs AND_OR semantics)."""
+
+from __future__ import annotations
+
+from repro.experiments import figures, reporting
+
+from bench_utils import run_once
+
+
+def test_fig29_31_combine_two(benchmark, ctx, focus_uid, second_uid):
+    first = run_once(benchmark, figures.fig29_31_combine_two, ctx, focus_uid, 3)
+    second = figures.fig29_31_combine_two(ctx, second_uid, 2)
+    print()
+    for uid, series in ((focus_uid, first), (second_uid, second)):
+        for name, rows in series.items():
+            applicable = [row["intensity"] for row in rows if row["applicable"]]
+            print(reporting.format_series(
+                applicable, name=f"uid={uid} {name} (applicable only)"))
+
+    # Expected shapes (Section 7.3):
+    # 1. AND pairs reach higher combined intensities than AND_OR pairs.
+    and_values = [row["intensity"] for name, rows in first.items()
+                  if name.endswith("_AND") for row in rows if row["applicable"]]
+    and_or_values = [row["intensity"] for name, rows in first.items()
+                     if name.endswith("_AND_OR") for row in rows if row["applicable"]]
+    assert and_values and and_or_values
+    assert max(and_values) >= max(and_or_values)
+
+    # 2. Some AND pairs are inapplicable (two venues cannot hold together),
+    #    which is why intensity order alone cannot drive combination order.
+    inapplicable = [row for name, rows in first.items()
+                    if name.endswith("_AND") for row in rows if not row["applicable"]]
+    assert inapplicable

@@ -1,0 +1,28 @@
+"""Figures 32–34 — Partially-Combine-All intensity variation."""
+
+from __future__ import annotations
+
+from repro.experiments import figures, reporting
+
+from bench_utils import run_once
+
+
+def test_fig32_34_partially_combine_all(benchmark, ctx, focus_uid, second_uid):
+    first = run_once(benchmark, figures.fig32_34_partially_combine_all, ctx, focus_uid)
+    second = figures.fig32_34_partially_combine_all(ctx, second_uid)
+    print()
+    for result in (first, second):
+        for size, values in result["by_size"].items():
+            print(reporting.format_series(
+                values, name=f"uid={result['uid']} combos of {size} intensity"))
+        print(reporting.format_series(
+            result["at_least_largest"],
+            name=f"uid={result['uid']} combos of 10+ intensity"))
+
+    assert first["total_combinations"] > 0
+    # Expected shape (Section 7.4): combining the two highest-intensity
+    # preferences is NOT guaranteed to give the highest combined intensity —
+    # later 2-preference combinations can beat the first one.
+    two_pref = first["by_size"].get(2, [])
+    if len(two_pref) > 1:
+        assert max(two_pref) >= two_pref[0]

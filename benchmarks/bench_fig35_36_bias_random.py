@@ -1,0 +1,24 @@
+"""Figures 35/36 — Bias-Random-Selection: valid vs invalid combinations."""
+
+from __future__ import annotations
+
+from repro.experiments import figures, reporting
+
+from bench_utils import run_once
+
+
+def test_fig35_36_bias_random(benchmark, ctx, focus_uid, second_uid):
+    first = run_once(benchmark, figures.fig35_36_bias_random,
+                     ctx, focus_uid, 10, 1234)
+    second = figures.fig35_36_bias_random(ctx, second_uid, repetitions=10, seed=1234)
+    print()
+    reporting.print_report(
+        f"Figure 35 — uid={focus_uid} (rows ordered by #valid)",
+        reporting.format_table(first))
+    reporting.print_report(
+        f"Figure 36 — uid={second_uid} (rows ordered by #valid)",
+        reporting.format_table(second))
+    # Expected shape (Section 7.5): random selection wastes most applicability
+    # checks — invalid combinations dominate valid ones in every run.
+    for rows in (first, second):
+        assert all(row["invalid"] >= row["valid"] for row in rows)

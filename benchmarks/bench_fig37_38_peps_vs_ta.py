@@ -1,0 +1,43 @@
+"""Figures 37/38 — PEPS against Fagin's TA algorithm."""
+
+from __future__ import annotations
+
+from repro.experiments import figures, reporting
+
+from bench_utils import run_once
+
+
+def _summarise(result):
+    return {
+        "uid": result["uid"],
+        "quant_similarity": result["quantitative_similarity"],
+        "quant_overlap": result["quantitative_overlap"],
+        "peps_tuples": result["peps_tuples_above_threshold"],
+        "ta_tuples": result["ta_tuples_above_threshold"],
+        "full_similarity": result["full_similarity"],
+        "full_overlap": result["full_overlap"],
+    }
+
+
+def test_fig37_38_peps_vs_ta(benchmark, ctx, focus_uid, second_uid):
+    first = run_once(benchmark, figures.fig37_38_peps_vs_ta, ctx, focus_uid)
+    second = figures.fig37_38_peps_vs_ta(ctx, second_uid)
+    print()
+    reporting.print_report(
+        "Figures 37/38 — PEPS vs TA summary",
+        reporting.format_table([_summarise(first), _summarise(second)]))
+    print(reporting.format_series(first["peps_intensity_series"],
+                                  name=f"uid={focus_uid} PEPS intensity series"))
+    print(reporting.format_series(first["ta_intensity_series"],
+                                  name=f"uid={focus_uid} TA intensity series"))
+
+    for result in (first, second):
+        # Quantitative-only: identical rankings (Section 7.6.3, first claim).
+        assert result["quantitative_similarity"] == 1.0
+        assert result["quantitative_overlap"] == 1.0
+        # Full graph: PEPS covers at least as many tuples above the intensity
+        # threshold, thanks to the converted qualitative preferences.
+        assert (result["peps_tuples_above_threshold"]
+                >= result["ta_tuples_above_threshold"])
+        # Every tuple TA finds is also found by PEPS.
+        assert result["full_similarity"] == 1.0

@@ -1,0 +1,20 @@
+"""Propositions 3/4 — exponential growth of the combination space."""
+
+from __future__ import annotations
+
+from repro.experiments import figures, reporting
+
+from bench_utils import run_once
+
+
+def test_prop3_4_combination_growth(benchmark):
+    result = run_once(benchmark, figures.prop3_4_counting, 14, 8)
+    rows = [{"N": n, "AND-only (2^N - 1)": and_only, "AND/OR ((3^N - 1)/2)": and_or}
+            for n, and_only, and_or in result["growth"]]
+    reporting.print_report("Propositions 3/4 — combination-count upper bounds",
+                           reporting.format_table(rows))
+    for row in result["verification"]:
+        assert row["and_only_formula"] == row["and_only_enumerated"]
+        assert row["and_or_formula"] == row["and_or_enumerated"]
+    # The growth is exponential — the motivation for PEPS-style pruning.
+    assert rows[-1]["AND/OR ((3^N - 1)/2)"] > 1_000_000

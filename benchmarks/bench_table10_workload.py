@@ -1,0 +1,17 @@
+"""Table 10 — statistics of the (synthetic) DBLP workload database."""
+
+from __future__ import annotations
+
+from repro.experiments import figures, reporting
+
+from bench_utils import run_once
+
+
+def test_table10_workload_statistics(benchmark, ctx):
+    stats = run_once(benchmark, figures.table10_statistics, ctx)
+    reporting.print_report(
+        "Table 10 — workload statistics (synthetic DBLP)",
+        reporting.format_mapping(stats))
+    assert stats["papers"] > 0
+    assert stats["quantitative_pref_rows"] > 0
+    assert stats["qualitative_pref_rows"] > 0

@@ -1,0 +1,37 @@
+"""Table 11 — time to insert quantitative vs qualitative preferences."""
+
+from __future__ import annotations
+
+from repro.core.hypre import HypreGraphBuilder
+from repro.experiments import figures, reporting
+
+from bench_utils import run_once
+
+
+def test_table11_reported_insertion_time(benchmark, ctx):
+    """Report the insertion times recorded while the shared graph was built."""
+    timings = run_once(benchmark, figures.table11_insertion_time, ctx)
+    reporting.print_report(
+        "Table 11 — preference insertion time",
+        reporting.format_mapping(timings))
+    # Both insertion phases completed and were timed.  (At the paper's scale
+    # the qualitative phase is an order of magnitude slower per preference
+    # because of the per-edge conflict checks; at this benchmark scale the two
+    # rates are of the same order, so only the existence of the timings is
+    # asserted here — the printed table carries the measured values.)
+    assert timings["quantitative_preferences"] > 0
+    assert timings["qualitative_preferences"] > 0
+    assert timings["quantitative_seconds"] > 0.0
+    assert timings["qualitative_seconds"] > 0.0
+
+
+def test_table11_rebuild_single_profile(benchmark, ctx, focus_uid):
+    """Time a from-scratch rebuild of the focus user's profile."""
+    profile = ctx.profile(focus_uid)
+
+    def rebuild():
+        builder = HypreGraphBuilder()
+        return builder.build_profile(profile)
+
+    report = benchmark(rebuild)
+    assert report.quantitative_nodes > 0

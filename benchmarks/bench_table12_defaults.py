@@ -1,0 +1,26 @@
+"""Table 12 — DEFAULT_VALUE strategies, plus their coverage ablation."""
+
+from __future__ import annotations
+
+from repro.experiments import figures, reporting
+
+from bench_utils import run_once
+
+
+def test_table12_default_value_strategies(benchmark, ctx, focus_uid):
+    table = run_once(benchmark, figures.table12_default_values, ctx, focus_uid)
+    reporting.print_report(
+        f"Table 12 — DEFAULT_VALUE strategies (uid={focus_uid})",
+        reporting.format_mapping(table))
+    assert table["default"] == 0.5
+    assert all(-1.0 <= value <= 1.0 for value in table.values())
+
+
+def test_table12_strategy_ablation(benchmark, ctx, focus_uid):
+    """How the seed strategy changes graph size and coverage (ablation)."""
+    results = run_once(benchmark, figures.ablation_default_strategies, ctx, focus_uid)
+    rows = [{"strategy": name, **values} for name, values in results.items()]
+    reporting.print_report(
+        f"DEFAULT_VALUE ablation (uid={focus_uid})",
+        reporting.format_table(rows))
+    assert all(row["preferences"] > 0 for row in rows)

@@ -1,0 +1,14 @@
+"""Helpers shared by the benchmark modules."""
+
+from __future__ import annotations
+
+
+def run_once(benchmark, func, *args, **kwargs):
+    """Run ``func`` exactly once under pytest-benchmark timing.
+
+    The figure reproductions are deterministic end-to-end experiments, so a
+    single timed round is both sufficient and what keeps the whole harness
+    fast; pytest-benchmark still records the timing alongside the printed
+    rows.
+    """
+    return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1)

@@ -1,0 +1,67 @@
+"""Attribute-based preferences and skyline queries (paper Sections 1.4 / 3.2.2).
+
+"I want the cheapest hotel that is close to the beach" is the paper's
+motivating attribute-based preference.  The script shows the three ways the
+extension answers it:
+
+* the **skyline** (Pareto-optimal hotels — no hotel is cheaper *and* closer),
+* the **prioritized** composition (price strictly more important than
+  distance),
+* the **weighted score** ranking, which lives in the same ``[0, 1]``
+  intensity domain as predicate-based preferences.
+
+Run with::
+
+    python examples/skyline_hotels.py
+"""
+
+from __future__ import annotations
+
+from repro.extensions import (
+    MAX,
+    MIN,
+    AttributePreference,
+    order_by_clause,
+    prioritized_skyline,
+    rank_by_weighted_score,
+    skyline,
+)
+
+HOTELS = [
+    {"name": "Budget Inn", "price": 60, "distance": 2000, "rating": 3.1},
+    {"name": "Beach Hut", "price": 120, "distance": 100, "rating": 4.0},
+    {"name": "Fair Deal", "price": 80, "distance": 800, "rating": 3.6},
+    {"name": "Grand Palace", "price": 200, "distance": 150, "rating": 4.8},
+    {"name": "Harbour View", "price": 95, "distance": 400, "rating": 4.2},
+    {"name": "Roadside Motel", "price": 55, "distance": 3500, "rating": 2.5},
+]
+
+PRICE = AttributePreference("price", MIN, weight=1.0, priority=0)
+DISTANCE = AttributePreference("distance", MIN, weight=0.8, priority=1)
+RATING = AttributePreference("rating", MAX, weight=0.5, priority=2)
+
+
+def main() -> None:
+    print("Hotels:")
+    for hotel in HOTELS:
+        print(f"  {hotel['name']:<15} ${hotel['price']:>3}  "
+              f"{hotel['distance']:>4} m from the beach  rating {hotel['rating']}")
+
+    print("\nSkyline on (price MIN, distance MIN) — the incomparable best choices:")
+    for hotel in skyline(HOTELS, [PRICE, DISTANCE]):
+        print(f"  {hotel['name']}")
+
+    print("\nPrioritized order (price more important than distance):")
+    for hotel in prioritized_skyline(HOTELS, [PRICE, DISTANCE]):
+        print(f"  {hotel['name']}")
+
+    print("\nWeighted-score ranking (price, distance, rating):")
+    for hotel, score in rank_by_weighted_score(HOTELS, [PRICE, DISTANCE, RATING]):
+        print(f"  {score:.3f}  {hotel['name']}")
+
+    print("\nEquivalent SQL ordering for the relational substrate:")
+    print(f"  SELECT * FROM hotels ORDER BY {order_by_clause([PRICE, DISTANCE, RATING])}")
+
+
+if __name__ == "__main__":
+    main()

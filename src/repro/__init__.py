@@ -1,0 +1,113 @@
+"""HYPRE — unifying qualitative and quantitative database preferences.
+
+A reproduction of Gheorghiu's hybrid preference model: a preference graph
+that stores both preference types with their *intensity*, converts
+qualitative preferences into quantitative ones without losing information,
+and a family of combination algorithms (Combine-Two, Partially-Combine-All,
+Bias-Random-Selection, PEPS) plus Fagin's TA baseline for Top-K retrieval.
+
+Typical usage::
+
+    from repro import (UserProfile, build_hypre_graph, Database,
+                       preferences_from_graph, PreferenceQueryRunner,
+                       PEPSAlgorithm)
+
+    profile = UserProfile(uid=1)
+    profile.add_quantitative("dblp.venue = 'VLDB'", 0.8)
+    profile.add_qualitative("dblp.venue = 'VLDB'", "dblp.venue = 'SIGMOD'", 0.3)
+    graph, report = build_hypre_graph(profile)
+
+See ``examples/quickstart.py`` for an end-to-end walk-through.
+"""
+
+from .core import (
+    BuildReport,
+    DefaultValueStrategy,
+    HypreGraph,
+    HypreGraphBuilder,
+    ProfileRegistry,
+    QualitativePreference,
+    QuantitativePreference,
+    UserProfile,
+    build_hypre_graph,
+    combine_and,
+    combine_or,
+    coverage,
+    equals,
+    f_and,
+    f_or,
+    in_set,
+    intensity_left,
+    intensity_right,
+    overlap,
+    parse_predicate,
+    similarity,
+    utility,
+)
+from .algorithms import (
+    BiasRandomSelectionAlgorithm,
+    CombineTwoAlgorithm,
+    NaiveTopK,
+    PEPSAlgorithm,
+    PartiallyCombineAllAlgorithm,
+    PreferenceQueryRunner,
+    ScoredPreference,
+    ThresholdAlgorithm,
+    make_preferences,
+    preferences_from_graph,
+    ta_top_k,
+)
+from .graphstore import PropertyGraph
+from .sqldb import Database, enhance_query, rank_tuples
+from .workload import (
+    DblpConfig,
+    PreferenceExtractor,
+    build_workload_database,
+    generate_dblp,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BiasRandomSelectionAlgorithm",
+    "BuildReport",
+    "CombineTwoAlgorithm",
+    "Database",
+    "DblpConfig",
+    "DefaultValueStrategy",
+    "HypreGraph",
+    "HypreGraphBuilder",
+    "NaiveTopK",
+    "PEPSAlgorithm",
+    "PartiallyCombineAllAlgorithm",
+    "PreferenceExtractor",
+    "PreferenceQueryRunner",
+    "ProfileRegistry",
+    "PropertyGraph",
+    "QualitativePreference",
+    "QuantitativePreference",
+    "ScoredPreference",
+    "ThresholdAlgorithm",
+    "UserProfile",
+    "build_hypre_graph",
+    "build_workload_database",
+    "combine_and",
+    "combine_or",
+    "coverage",
+    "enhance_query",
+    "equals",
+    "f_and",
+    "f_or",
+    "generate_dblp",
+    "in_set",
+    "intensity_left",
+    "intensity_right",
+    "make_preferences",
+    "overlap",
+    "parse_predicate",
+    "preferences_from_graph",
+    "rank_tuples",
+    "similarity",
+    "ta_top_k",
+    "utility",
+]

@@ -1,0 +1,79 @@
+"""Preference-combination algorithms and Top-K baselines (paper Chapter 5)."""
+
+from .base import (
+    CombinationRecord,
+    PreferenceQueryRunner,
+    ScoredPreference,
+    and_combine,
+    make_preferences,
+    mixed_combine,
+    or_combine,
+    ordered_by_intensity,
+    pairwise_compatible,
+    preferences_from_graph,
+)
+from .bias_random import BiasRandomRun, BiasRandomSelectionAlgorithm, bias_random_selection
+from .combine_two import (
+    AND_OR_SEMANTICS,
+    AND_SEMANTICS,
+    CombineTwoAlgorithm,
+    combine_two,
+)
+from .counting import (
+    and_only_upper_bound,
+    and_or_upper_bound,
+    count_and_combinations,
+    count_and_or_combinations,
+    enumerate_and_combinations,
+    enumerate_and_or_combinations,
+    growth_table,
+)
+from .fagin import (
+    GradeList,
+    NaiveTopK,
+    ThresholdAlgorithm,
+    TopKResult,
+    build_grade_lists,
+    ta_top_k,
+)
+from .partial import PartiallyCombineAllAlgorithm, partially_combine_all
+from .peps import PairCombination, PairwiseCombinationIndex, PEPSAlgorithm, peps_top_k
+
+__all__ = [
+    "AND_OR_SEMANTICS",
+    "AND_SEMANTICS",
+    "BiasRandomRun",
+    "BiasRandomSelectionAlgorithm",
+    "CombinationRecord",
+    "CombineTwoAlgorithm",
+    "GradeList",
+    "NaiveTopK",
+    "PEPSAlgorithm",
+    "PairCombination",
+    "PairwiseCombinationIndex",
+    "PartiallyCombineAllAlgorithm",
+    "PreferenceQueryRunner",
+    "ScoredPreference",
+    "ThresholdAlgorithm",
+    "TopKResult",
+    "and_combine",
+    "and_only_upper_bound",
+    "and_or_upper_bound",
+    "bias_random_selection",
+    "build_grade_lists",
+    "combine_two",
+    "count_and_combinations",
+    "count_and_or_combinations",
+    "enumerate_and_combinations",
+    "enumerate_and_or_combinations",
+    "growth_table",
+    "make_preferences",
+    "mixed_combine",
+    "or_combine",
+    "ordered_by_intensity",
+    "pairwise_compatible",
+    "partially_combine_all",
+    "peps_top_k",
+    "preferences_from_graph",
+    "ta_top_k",
+]

@@ -1,0 +1,205 @@
+"""Shared building blocks for the preference-combination algorithms.
+
+All algorithms in Chapter 5 consume the same input — a list of preferences for
+one user, ordered descending by intensity — and produce records of the form
+``<number of predicates, number of tuples returned, combined intensity>``.
+This module defines those records (:class:`ScoredPreference`,
+:class:`CombinationRecord`), the memoising query runner that executes
+preference-enhanced queries against the relational substrate, and the glue
+that extracts an algorithm-ready preference list from a HYPRE graph.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple, Union
+
+from ..core.hypre import HypreGraph
+from ..core.intensity import combine_and, combine_or
+from ..core.metrics import utility as utility_metric
+from ..core.predicate import (
+    PredicateExpr,
+    are_and_compatible,
+    conjunction,
+    disjunction,
+    ensure_predicate,
+)
+from ..exceptions import EmptyPreferenceListError
+from ..sqldb.database import Database
+from ..sqldb.query_builder import count_matching_papers, matching_paper_ids
+
+
+@dataclass(frozen=True)
+class ScoredPreference:
+    """One preference as consumed by the combination algorithms."""
+
+    predicate: PredicateExpr
+    intensity: float
+
+    @property
+    def attributes(self) -> FrozenSet[str]:
+        """Attributes referenced by the predicate."""
+        return self.predicate.attributes()
+
+    @property
+    def sql(self) -> str:
+        """SQL rendering of the predicate."""
+        return self.predicate.to_sql()
+
+    def __repr__(self) -> str:
+        return f"ScoredPreference({self.sql!r}, {self.intensity:.4f})"
+
+
+@dataclass(frozen=True)
+class CombinationRecord:
+    """One row of the output list ``L`` produced by every algorithm.
+
+    ``size`` is the number of predicates combined, ``tuple_count`` the number
+    of distinct tuples the enhanced query returned and ``intensity`` the
+    combined intensity value.  ``predicate`` keeps the actual combination so
+    callers can re-run or inspect it.
+    """
+
+    size: int
+    tuple_count: int
+    intensity: float
+    predicate: PredicateExpr
+    label: str = ""
+
+    @property
+    def is_applicable(self) -> bool:
+        """Definition 15 — the combination returns at least one tuple."""
+        return self.tuple_count > 0
+
+    def utility(self, tuple_cap: Optional[int] = 25) -> float:
+        """Utility metric (Eq. 5.2) of this combination."""
+        return utility_metric(self.tuple_count, self.size, self.intensity, tuple_cap)
+
+    def as_tuple(self) -> Tuple[int, int, float]:
+        """The paper's ``<#predicates, #tuples, combined intensity>`` triple."""
+        return (self.size, self.tuple_count, self.intensity)
+
+
+def make_preferences(pairs: Iterable[Tuple[Union[str, PredicateExpr], float]],
+                     positive_only: bool = True,
+                     ordered: bool = True) -> List[ScoredPreference]:
+    """Build a :class:`ScoredPreference` list from ``(predicate, intensity)`` pairs.
+
+    Negative and zero-intensity preferences are dropped by default because the
+    algorithms only ever add positive preferences as soft constraints; the
+    list is returned ordered descending by intensity.
+    """
+    preferences = [ScoredPreference(ensure_predicate(pred), float(intensity))
+                   for pred, intensity in pairs]
+    if positive_only:
+        preferences = [pref for pref in preferences if pref.intensity > 0.0]
+    if ordered:
+        preferences.sort(key=lambda pref: (-pref.intensity, pref.sql))
+    return preferences
+
+
+def preferences_from_graph(hypre: HypreGraph, uid: int,
+                           positive_only: bool = True) -> List[ScoredPreference]:
+    """Extract the ordered preference list for ``uid`` from a HYPRE graph.
+
+    Every node with an intensity (user provided, computed or defaulted) is a
+    quantitative preference the algorithms can use — this is exactly the
+    coverage increase the unified model provides.
+    """
+    pairs = hypre.quantitative_preferences(uid, include_negative=not positive_only)
+    return make_preferences(pairs, positive_only=positive_only)
+
+
+class PreferenceQueryRunner:
+    """Executes preference-enhanced count/id queries with memoisation.
+
+    The combination algorithms issue the same sub-combination queries over and
+    over (every applicability check is a count query); caching by predicate
+    SQL keeps the experiments tractable without changing any result.
+    """
+
+    def __init__(self, db: Database) -> None:
+        self.db = db
+        self._count_cache: Dict[str, int] = {}
+        self._ids_cache: Dict[str, Tuple[int, ...]] = {}
+        self.queries_executed = 0
+
+    def count(self, predicate: PredicateExpr) -> int:
+        """Number of distinct papers matching ``predicate`` (cached)."""
+        key = predicate.to_sql()
+        if key not in self._count_cache:
+            self._count_cache[key] = count_matching_papers(self.db, predicate)
+            self.queries_executed += 1
+        return self._count_cache[key]
+
+    def ids(self, predicate: PredicateExpr) -> Tuple[int, ...]:
+        """Distinct paper ids matching ``predicate`` (cached)."""
+        key = predicate.to_sql()
+        if key not in self._ids_cache:
+            self._ids_cache[key] = tuple(matching_paper_ids(self.db, predicate))
+            self.queries_executed += 1
+        return self._ids_cache[key]
+
+    def is_applicable(self, predicate: PredicateExpr) -> bool:
+        """Definition 15 — the enhanced query returns at least one tuple."""
+        return self.count(predicate) > 0
+
+    def clear(self) -> None:
+        """Drop all cached results (used between benchmark repetitions)."""
+        self._count_cache.clear()
+        self._ids_cache.clear()
+        self.queries_executed = 0
+
+
+# ---------------------------------------------------------------------------
+# Combination helpers shared by the algorithms
+# ---------------------------------------------------------------------------
+
+
+def and_combine(preferences: Sequence[ScoredPreference]) -> Tuple[PredicateExpr, float]:
+    """AND-combine preferences; intensity via the inflationary fold (Eq. 4.3)."""
+    if not preferences:
+        raise EmptyPreferenceListError("cannot combine an empty preference list")
+    predicate = conjunction([pref.predicate for pref in preferences])
+    intensity = combine_and([pref.intensity for pref in preferences])
+    return predicate, intensity
+
+
+def or_combine(preferences: Sequence[ScoredPreference]) -> Tuple[PredicateExpr, float]:
+    """OR-combine preferences; intensity via the reserved fold (Eq. 4.4)."""
+    if not preferences:
+        raise EmptyPreferenceListError("cannot combine an empty preference list")
+    ordered = sorted(preferences, key=lambda pref: -pref.intensity)
+    predicate = disjunction([pref.predicate for pref in ordered])
+    intensity = combine_or([pref.intensity for pref in ordered])
+    return predicate, intensity
+
+
+def mixed_combine(preferences: Sequence[ScoredPreference]) -> Tuple[PredicateExpr, float]:
+    """AND_OR (mixed-clause) combination: OR inside an attribute, AND across.
+
+    This mirrors :func:`repro.sqldb.enhancer.mixed_clause` but operates on
+    :class:`ScoredPreference` groups, which is what the algorithms track.
+    """
+    if not preferences:
+        raise EmptyPreferenceListError("cannot combine an empty preference list")
+    groups: Dict[FrozenSet[str], List[ScoredPreference]] = {}
+    for pref in preferences:
+        groups.setdefault(pref.attributes, []).append(pref)
+    group_predicates: List[PredicateExpr] = []
+    group_intensities: List[float] = []
+    for _, members in sorted(groups.items(), key=lambda item: sorted(item[0])):
+        predicate, intensity = or_combine(members)
+        group_predicates.append(predicate)
+        group_intensities.append(intensity)
+    return conjunction(group_predicates), combine_and(group_intensities)
+
+
+def pairwise_compatible(first: ScoredPreference, second: ScoredPreference) -> bool:
+    """Syntactic AND-compatibility of two preferences (paper's venue example)."""
+    return are_and_compatible(first.predicate, second.predicate)
+
+
+def ordered_by_intensity(preferences: Iterable[ScoredPreference]) -> List[ScoredPreference]:
+    """Return preferences sorted descending by intensity (stable on SQL text)."""
+    return sorted(preferences, key=lambda pref: (-pref.intensity, pref.sql))

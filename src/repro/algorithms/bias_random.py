@@ -1,0 +1,143 @@
+"""Bias-Random-Selection algorithm (paper Section 5.4, Algorithm 5).
+
+The algorithm explores AND combinations by repeatedly flipping a coin biased
+towards high-intensity preferences: starting from each preference in turn it
+keeps appending randomly selected preferences while the growing conjunction
+stays *applicable* (returns tuples); as soon as an extension fails, the last
+applicable combination is recorded and the exploration restarts.
+
+The interesting output for Figures 35/36 is not the combinations themselves
+but the ratio of *valid* (applicable) to *invalid* combinations the random
+exploration had to try — evidence that blind selection wastes most of its
+queries.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from ..exceptions import EmptyPreferenceListError
+from .base import (
+    CombinationRecord,
+    PreferenceQueryRunner,
+    ScoredPreference,
+    and_combine,
+    ordered_by_intensity,
+)
+
+
+@dataclass
+class BiasRandomRun:
+    """Outcome of one full run of the Bias-Random-Selection algorithm."""
+
+    records: List[CombinationRecord]
+    valid_combinations: int
+    invalid_combinations: int
+
+    @property
+    def total_checked(self) -> int:
+        """Total number of candidate combinations whose applicability was checked."""
+        return self.valid_combinations + self.invalid_combinations
+
+
+class BiasRandomSelectionAlgorithm:
+    """Randomised AND-combination exploration biased by intensity."""
+
+    def __init__(self, runner: PreferenceQueryRunner,
+                 rng: Optional[random.Random] = None) -> None:
+        self.runner = runner
+        self.rng = rng if rng is not None else random.Random()
+
+    # -- coin flip -----------------------------------------------------------
+
+    def flip_coin(self, candidates: Sequence[ScoredPreference]) -> Optional[ScoredPreference]:
+        """Pick one candidate with probability proportional to its intensity.
+
+        Returns ``None`` when no candidates remain.  Non-positive intensities
+        get a tiny weight so they can still (rarely) be selected, mirroring the
+        paper's bias towards — but not exclusivity of — strong preferences.
+        """
+        if not candidates:
+            return None
+        weights = [max(pref.intensity, 1e-6) for pref in candidates]
+        return self.rng.choices(list(candidates), weights=weights, k=1)[0]
+
+    # -- main loop -----------------------------------------------------------
+
+    def run(self, preferences: Sequence[ScoredPreference],
+            max_extensions: Optional[int] = None) -> BiasRandomRun:
+        """Run the algorithm once over the ordered preference list.
+
+        ``max_extensions`` bounds how many random picks each starting
+        preference may consume (a safety valve for very large profiles; the
+        paper's behaviour corresponds to no limit).
+        """
+        preferences = ordered_by_intensity(preferences)
+        if not preferences:
+            raise EmptyPreferenceListError(
+                "Bias-Random-Selection requires at least one preference")
+
+        records: List[CombinationRecord] = []
+        valid = 0
+        invalid = 0
+
+        for start_index, first in enumerate(preferences):
+            remaining = [pref for index, pref in enumerate(preferences)
+                         if index != start_index]
+            current: List[ScoredPreference] = [first]
+            extensions = 0
+            while remaining:
+                if max_extensions is not None and extensions >= max_extensions:
+                    break
+                extensions += 1
+                candidate = self.flip_coin(remaining)
+                if candidate is None:
+                    break
+                remaining.remove(candidate)
+                predicate, _ = and_combine(current + [candidate])
+                if self.runner.is_applicable(predicate):
+                    valid += 1
+                    current.append(candidate)
+                else:
+                    invalid += 1
+                    if len(current) > 1:
+                        # The previous combination was applicable: record it
+                        # and restart from the next starting preference.
+                        break
+                    # A pair starting from ``first`` failed; try another second.
+                    continue
+            if len(current) > 1:
+                predicate, intensity = and_combine(current)
+                records.append(CombinationRecord(
+                    size=len(current),
+                    tuple_count=self.runner.count(predicate),
+                    intensity=intensity,
+                    predicate=predicate,
+                    label=predicate.to_sql(),
+                ))
+
+        return BiasRandomRun(records=records,
+                             valid_combinations=valid,
+                             invalid_combinations=invalid)
+
+    def run_many(self, preferences: Sequence[ScoredPreference],
+                 repetitions: int,
+                 max_extensions: Optional[int] = None) -> List[BiasRandomRun]:
+        """Repeat the randomised run ``repetitions`` times (Figure 35/36 input)."""
+        if repetitions < 1:
+            raise ValueError("repetitions must be at least 1")
+        return [self.run(preferences, max_extensions=max_extensions)
+                for _ in range(repetitions)]
+
+
+def bias_random_selection(runner: PreferenceQueryRunner,
+                          preferences: Sequence[ScoredPreference],
+                          seed: Optional[int] = None,
+                          repetitions: int = 1,
+                          max_extensions: Optional[int] = None) -> List[BiasRandomRun]:
+    """Functional wrapper around :class:`BiasRandomSelectionAlgorithm`."""
+    rng = random.Random(seed)
+    algorithm = BiasRandomSelectionAlgorithm(runner, rng=rng)
+    return algorithm.run_many(preferences, repetitions, max_extensions=max_extensions)

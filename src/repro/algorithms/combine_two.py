@@ -1,0 +1,113 @@
+"""Combine-Two algorithm (paper Section 5.3.1, Algorithms 2 and 3).
+
+The algorithm exhaustively combines *pairs* of preferences: the current
+preference is combined with every preference that follows it in the
+intensity-ordered list.  Two semantics exist:
+
+* **AND** — every pair is conjoined (Algorithm 3); some pairs are
+  inapplicable (e.g. two different venues) and return zero tuples.
+* **AND_OR** — pairs on the same attribute are OR-combined, pairs on
+  different attributes are AND-combined (Algorithm 2); this avoids the empty
+  results at the price of lower combined intensities.
+
+The output is the list ``L`` of ``<2, #tuples, combined intensity>`` records
+used by Figures 29–31.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from ..exceptions import EmptyPreferenceListError
+from .base import (
+    CombinationRecord,
+    PreferenceQueryRunner,
+    ScoredPreference,
+    and_combine,
+    or_combine,
+    ordered_by_intensity,
+)
+
+#: Supported combination semantics.
+AND_SEMANTICS = "AND"
+AND_OR_SEMANTICS = "AND_OR"
+
+
+class CombineTwoAlgorithm:
+    """Exhaustive pairwise preference combination."""
+
+    def __init__(self, runner: PreferenceQueryRunner,
+                 semantics: str = AND_OR_SEMANTICS) -> None:
+        if semantics not in (AND_SEMANTICS, AND_OR_SEMANTICS):
+            raise ValueError(
+                f"semantics must be {AND_SEMANTICS!r} or {AND_OR_SEMANTICS!r}")
+        self.runner = runner
+        self.semantics = semantics
+
+    def _combine_pair(self, first: ScoredPreference,
+                      second: ScoredPreference) -> CombinationRecord:
+        """Combine one pair according to the configured semantics and run it."""
+        same_attribute = first.attributes == second.attributes
+        if self.semantics == AND_OR_SEMANTICS and same_attribute:
+            predicate, intensity = or_combine([first, second])
+            operator = "OR"
+        else:
+            predicate, intensity = and_combine([first, second])
+            operator = "AND"
+        tuple_count = self.runner.count(predicate)
+        return CombinationRecord(
+            size=2,
+            tuple_count=tuple_count,
+            intensity=intensity,
+            predicate=predicate,
+            label=f"{first.sql} {operator} {second.sql}",
+        )
+
+    def run(self, preferences: Sequence[ScoredPreference],
+            first_limit: Optional[int] = None,
+            skip_empty: bool = False) -> List[CombinationRecord]:
+        """Run the algorithm over an intensity-ordered preference list.
+
+        ``first_limit`` restricts how many leading preferences play the role
+        of the *first* element of a pair (the figures only plot the first
+        three); ``skip_empty`` drops inapplicable combinations from the
+        returned list (they are still executed and counted).
+        """
+        preferences = ordered_by_intensity(preferences)
+        if not preferences:
+            raise EmptyPreferenceListError("Combine-Two requires at least one preference")
+        records: List[CombinationRecord] = []
+        outer_range = len(preferences) if first_limit is None else min(
+            first_limit, len(preferences))
+        for i in range(outer_range):
+            for j in range(i + 1, len(preferences)):
+                record = self._combine_pair(preferences[i], preferences[j])
+                if skip_empty and not record.is_applicable:
+                    continue
+                records.append(record)
+        return records
+
+    def run_for_first(self, preferences: Sequence[ScoredPreference],
+                      first_index: int) -> List[CombinationRecord]:
+        """Combinations of the ``first_index``-th preference with all later ones.
+
+        This matches the per-series view of Figures 29–31 (*first preference
+        AND*, *second preference AND*, ...).
+        """
+        preferences = ordered_by_intensity(preferences)
+        if not 0 <= first_index < len(preferences):
+            raise EmptyPreferenceListError(
+                f"first_index {first_index} out of range for {len(preferences)} preferences")
+        first = preferences[first_index]
+        return [self._combine_pair(first, other)
+                for other in preferences[first_index + 1:]]
+
+
+def combine_two(runner: PreferenceQueryRunner,
+                preferences: Sequence[ScoredPreference],
+                semantics: str = AND_OR_SEMANTICS,
+                first_limit: Optional[int] = None,
+                skip_empty: bool = False) -> List[CombinationRecord]:
+    """Functional wrapper around :class:`CombineTwoAlgorithm`."""
+    algorithm = CombineTwoAlgorithm(runner, semantics=semantics)
+    return algorithm.run(preferences, first_limit=first_limit, skip_empty=skip_empty)

@@ -1,0 +1,79 @@
+"""Combination-count bounds (paper Section 5.2, Propositions 3 and 4).
+
+The number of predicate combinations a system could have to evaluate grows
+exponentially in the number of preferences: ``2^N - 1`` with AND-only
+semantics and ``(3^N - 1) / 2`` when every junction can independently be AND
+or OR.  These closed forms motivate the pruning algorithms of Chapter 5; the
+exhaustive enumerators below are used by tests and the Prop. 3/4 benchmark to
+verify the formulas by construction.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations, product
+from typing import Iterable, Iterator, List, Sequence, Tuple, TypeVar
+
+Item = TypeVar("Item")
+
+
+def and_only_upper_bound(n: int) -> int:
+    """Proposition 3 — number of AND-only combinations of ``n`` preferences."""
+    if n < 0:
+        raise ValueError("n must be non-negative")
+    return 2 ** n - 1
+
+
+def and_or_upper_bound(n: int) -> int:
+    """Proposition 4 — number of AND/OR combinations of ``n`` preferences."""
+    if n < 0:
+        raise ValueError("n must be non-negative")
+    return (3 ** n - 1) // 2
+
+
+def enumerate_and_combinations(items: Sequence[Item]) -> Iterator[Tuple[Item, ...]]:
+    """Yield every non-empty subset of ``items`` (each is one AND combination).
+
+    The subsets are produced in increasing size, preserving input order inside
+    each subset; the total count equals :func:`and_only_upper_bound`.
+    """
+    for size in range(1, len(items) + 1):
+        yield from combinations(items, size)
+
+
+def enumerate_and_or_combinations(
+        items: Sequence[Item]) -> Iterator[Tuple[Tuple[Item, ...], Tuple[str, ...]]]:
+    """Yield every ``(subset, operators)`` pair counted by Proposition 4.
+
+    A combination of ``k`` preferences has ``k - 1`` junctions, each of which
+    can be AND or OR; single preferences have no junction.  The total count
+    equals :func:`and_or_upper_bound`.
+    """
+    for size in range(1, len(items) + 1):
+        for subset in combinations(items, size):
+            if size == 1:
+                yield subset, ()
+                continue
+            for operators in product(("AND", "OR"), repeat=size - 1):
+                yield subset, operators
+
+
+def count_and_combinations(items: Sequence[Item]) -> int:
+    """Count AND-only combinations by exhaustive enumeration."""
+    return sum(1 for _ in enumerate_and_combinations(items))
+
+
+def count_and_or_combinations(items: Sequence[Item]) -> int:
+    """Count AND/OR combinations by exhaustive enumeration."""
+    return sum(1 for _ in enumerate_and_or_combinations(items))
+
+
+def growth_table(max_n: int) -> List[Tuple[int, int, int]]:
+    """Rows ``(n, 2^n - 1, (3^n - 1)/2)`` for ``n`` in ``1..max_n``.
+
+    Used by the Prop. 3/4 benchmark to print the exponential growth that rules
+    out exhaustive pre-computation of all combinations.
+    """
+    if max_n < 1:
+        raise ValueError("max_n must be at least 1")
+    return [(n, and_only_upper_bound(n), and_or_upper_bound(n))
+            for n in range(1, max_n + 1)]

@@ -1,0 +1,180 @@
+"""Fagin's Threshold Algorithm (TA) — the Top-K baseline (paper Section 7.6.1).
+
+The paper compares PEPS against the classic TA algorithm.  TA assumes one
+sorted *grade list* per attribute: every object (paper) has a grade in
+``[0, 1]`` per list, lists are sorted descending, and the overall grade is a
+monotone aggregation ``t`` of the per-list grades — here the inflationary
+combination :func:`~repro.core.intensity.f_and`, exactly how the paper builds
+its ``intensity_author`` / ``intensity_venue`` tables.
+
+The module provides:
+
+* :class:`GradeList` / :func:`build_grade_lists` — materialise the per-
+  attribute grades from a set of quantitative preferences and the workload
+  database (papers absent from a list implicitly have grade 0);
+* :class:`ThresholdAlgorithm` — TA with sorted/random access counters;
+* :class:`NaiveTopK` — the brute-force reference ranking used by tests.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from ..core.intensity import combine_and, f_and
+from ..exceptions import TopKError
+from .base import PreferenceQueryRunner, ScoredPreference
+
+
+@dataclass
+class GradeList:
+    """One attribute's grade list: ``pid -> grade`` plus the sorted view."""
+
+    name: str
+    grades: Dict[int, float] = field(default_factory=dict)
+
+    def add(self, pid: int, intensity: float) -> None:
+        """Fold ``intensity`` into the paper's grade (inflationary combination)."""
+        if pid in self.grades:
+            self.grades[pid] = f_and(self.grades[pid], intensity)
+        else:
+            self.grades[pid] = intensity
+
+    def sorted_entries(self) -> List[Tuple[int, float]]:
+        """``(pid, grade)`` pairs sorted by descending grade (ties by pid)."""
+        return sorted(self.grades.items(), key=lambda item: (-item[1], item[0]))
+
+    def grade(self, pid: int) -> float:
+        """Random access: the paper's grade in this list (0 when absent)."""
+        return self.grades.get(pid, 0.0)
+
+    def __len__(self) -> int:
+        return len(self.grades)
+
+
+def build_grade_lists(runner: PreferenceQueryRunner,
+                      preferences: Sequence[ScoredPreference]) -> List[GradeList]:
+    """Build one grade list per attribute family from quantitative preferences.
+
+    Preferences are grouped by the attributes they reference (venue
+    preferences feed the venue list, author preferences the author list);
+    within a family a paper matching several preferences receives their
+    inflationary combination, reproducing the paper's aggregate author grade.
+    Non-positive preferences are ignored — TA grades live in ``[0, 1]``.
+    """
+    families: Dict[Tuple[str, ...], GradeList] = {}
+    for preference in preferences:
+        if preference.intensity <= 0.0:
+            continue
+        key = tuple(sorted(preference.attributes))
+        if key not in families:
+            families[key] = GradeList(name="+".join(key))
+        grade_list = families[key]
+        for pid in runner.ids(preference.predicate):
+            grade_list.add(pid, preference.intensity)
+    return [families[key] for key in sorted(families)]
+
+
+@dataclass
+class TopKResult:
+    """Outcome of a Top-K run: the ranking plus access statistics."""
+
+    ranking: List[Tuple[int, float]]
+    sorted_accesses: int = 0
+    random_accesses: int = 0
+
+    def ids(self) -> List[int]:
+        """The ranked paper ids."""
+        return [pid for pid, _ in self.ranking]
+
+
+class ThresholdAlgorithm:
+    """Fagin's TA over a set of grade lists with ``f_and`` aggregation."""
+
+    def __init__(self, grade_lists: Sequence[GradeList]) -> None:
+        if not grade_lists:
+            raise TopKError("TA requires at least one grade list")
+        self.grade_lists = list(grade_lists)
+        self._sorted_views = [grade_list.sorted_entries() for grade_list in self.grade_lists]
+
+    def _aggregate(self, pid: int) -> Tuple[float, int]:
+        """Overall grade of ``pid`` plus the number of random accesses used."""
+        grades = []
+        accesses = 0
+        for grade_list in self.grade_lists:
+            accesses += 1
+            grades.append(grade_list.grade(pid))
+        return combine_and(grades), accesses
+
+    def top_k(self, k: int) -> TopKResult:
+        """Definition 20 — run TA and return the ``k`` best objects."""
+        if k <= 0:
+            raise TopKError("k must be positive")
+        seen: Dict[int, float] = {}
+        sorted_accesses = 0
+        random_accesses = 0
+        depth = 0
+        max_depth = max((len(view) for view in self._sorted_views), default=0)
+
+        while depth < max_depth:
+            threshold_grades: List[float] = []
+            for view in self._sorted_views:
+                if depth < len(view):
+                    pid, grade = view[depth]
+                    sorted_accesses += 1
+                    threshold_grades.append(grade)
+                    if pid not in seen:
+                        overall, accesses = self._aggregate(pid)
+                        random_accesses += accesses
+                        seen[pid] = overall
+                else:
+                    threshold_grades.append(0.0)
+            depth += 1
+            threshold = combine_and(threshold_grades)
+            best = sorted(seen.values(), reverse=True)[:k]
+            if len(best) >= k and best[-1] >= threshold:
+                break
+
+        ranking = sorted(seen.items(), key=lambda item: (-item[1], item[0]))[:k]
+        return TopKResult(ranking=ranking,
+                          sorted_accesses=sorted_accesses,
+                          random_accesses=random_accesses)
+
+    def all_scores(self) -> Dict[int, float]:
+        """Overall grade of every object appearing in any list (for coverage)."""
+        pids = set()
+        for grade_list in self.grade_lists:
+            pids.update(grade_list.grades)
+        return {pid: self._aggregate(pid)[0] for pid in pids}
+
+
+class NaiveTopK:
+    """Brute-force reference ranking: score every object, sort, cut at K."""
+
+    def __init__(self, grade_lists: Sequence[GradeList]) -> None:
+        if not grade_lists:
+            raise TopKError("NaiveTopK requires at least one grade list")
+        self.grade_lists = list(grade_lists)
+
+    def top_k(self, k: int) -> TopKResult:
+        """Return the ``k`` best objects by exhaustive scoring."""
+        if k <= 0:
+            raise TopKError("k must be positive")
+        pids = set()
+        for grade_list in self.grade_lists:
+            pids.update(grade_list.grades)
+        scores = {pid: combine_and([grade_list.grade(pid) for grade_list in self.grade_lists])
+                  for pid in pids}
+        ranking = sorted(scores.items(), key=lambda item: (-item[1], item[0]))[:k]
+        return TopKResult(ranking=ranking)
+
+
+def ta_top_k(runner: PreferenceQueryRunner,
+             preferences: Sequence[ScoredPreference],
+             k: int) -> TopKResult:
+    """Convenience wrapper: build grade lists from ``preferences`` and run TA."""
+    grade_lists = build_grade_lists(runner, preferences)
+    if not grade_lists:
+        raise TopKError("no positive preferences to build grade lists from")
+    return ThresholdAlgorithm(grade_lists).top_k(k)

@@ -1,0 +1,166 @@
+"""Partially-Combine-All algorithm (paper Section 5.3.2, Algorithm 4).
+
+The algorithm walks the intensity-ordered preference list once and maintains
+*mixed-clause* combinations: predicates on the same attribute are OR-grouped,
+predicates on different attributes extend existing combinations with AND.
+Concretely, for each new preference ``p``:
+
+* first preference ever seen → start the first combination with just ``p``;
+* ``p`` introduces a new attribute → every previously created combination is
+  re-run with ``AND p`` appended (AND combinations are inflationary, so they
+  are always worth trying);
+* ``p``'s attribute was seen before and the last combination has a single
+  attribute group → ``p`` is OR-appended to that group;
+* ``p``'s attribute was seen before and the last combination spans several
+  attributes → every earlier combination *without* that attribute is re-run
+  with ``AND p``, and ``p`` is OR-folded into the matching group of the last
+  combination.
+
+The output records ``<#predicates, #tuples, combined intensity>`` feed
+Figures 18–25 and 32–34.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from ..core.intensity import combine_and, combine_or
+from ..core.predicate import PredicateExpr, conjunction, disjunction
+from ..exceptions import EmptyPreferenceListError
+from .base import CombinationRecord, PreferenceQueryRunner, ScoredPreference, ordered_by_intensity
+
+
+@dataclass
+class _MixedCombination:
+    """A mixed-clause combination: attribute group -> OR-ed preferences."""
+
+    groups: Dict[FrozenSet[str], List[ScoredPreference]] = field(default_factory=dict)
+
+    def copy(self) -> "_MixedCombination":
+        return _MixedCombination({key: list(value) for key, value in self.groups.items()})
+
+    def add(self, preference: ScoredPreference) -> None:
+        """Add ``preference`` to its attribute group (creating it if needed)."""
+        self.groups.setdefault(preference.attributes, []).append(preference)
+
+    def has_attribute(self, attributes: FrozenSet[str]) -> bool:
+        return attributes in self.groups
+
+    def attribute_count(self) -> int:
+        return len(self.groups)
+
+    def size(self) -> int:
+        """Number of individual predicates in the combination."""
+        return sum(len(members) for members in self.groups.values())
+
+    def predicate(self) -> PredicateExpr:
+        parts: List[PredicateExpr] = []
+        for _, members in sorted(self.groups.items(), key=lambda item: sorted(item[0])):
+            ordered = sorted(members, key=lambda pref: -pref.intensity)
+            parts.append(disjunction([pref.predicate for pref in ordered]))
+        return conjunction(parts)
+
+    def intensity(self) -> float:
+        group_values: List[float] = []
+        for _, members in sorted(self.groups.items(), key=lambda item: sorted(item[0])):
+            ordered = sorted(members, key=lambda pref: -pref.intensity)
+            group_values.append(combine_or([pref.intensity for pref in ordered]))
+        return combine_and(group_values)
+
+    def label(self) -> str:
+        return self.predicate().to_sql()
+
+
+class PartiallyCombineAllAlgorithm:
+    """Single-pass mixed-clause combination of a whole preference list."""
+
+    def __init__(self, runner: PreferenceQueryRunner) -> None:
+        self.runner = runner
+
+    def run(self, preferences: Sequence[ScoredPreference],
+            max_preferences: Optional[int] = None) -> List[CombinationRecord]:
+        """Run the algorithm and return every executed combination, in order."""
+        preferences = ordered_by_intensity(preferences)
+        if max_preferences is not None:
+            preferences = preferences[:max_preferences]
+        if not preferences:
+            raise EmptyPreferenceListError(
+                "Partially-Combine-All requires at least one preference")
+
+        records: List[CombinationRecord] = []
+        combinations_ran: List[_MixedCombination] = []
+        attributes_used: set[FrozenSet[str]] = set()
+
+        def execute(combination: _MixedCombination) -> None:
+            predicate = combination.predicate()
+            record = CombinationRecord(
+                size=combination.size(),
+                tuple_count=self.runner.count(predicate),
+                intensity=combination.intensity(),
+                predicate=predicate,
+                label=combination.label(),
+            )
+            records.append(record)
+            combinations_ran.append(combination)
+
+        for preference in preferences:
+            attrs = preference.attributes
+            if not combinations_ran:
+                first = _MixedCombination()
+                first.add(preference)
+                attributes_used.add(attrs)
+                execute(first)
+                continue
+
+            if attrs not in attributes_used:
+                # New attribute: AND-extend every combination created so far.
+                attributes_used.add(attrs)
+                for previous in list(combinations_ran):
+                    extended = previous.copy()
+                    extended.add(preference)
+                    execute(extended)
+                continue
+
+            last = combinations_ran[-1]
+            if last.attribute_count() <= 1:
+                # Same attribute as the (single-attribute) last combination:
+                # widen that OR group.
+                widened = last.copy()
+                widened.add(preference)
+                execute(widened)
+                continue
+
+            # Same attribute, but the last combination already spans multiple
+            # attributes: AND-extend earlier combinations without the
+            # attribute, then OR-fold into the last combination's group.
+            to_run: List[_MixedCombination] = []
+            for previous in list(combinations_ran):
+                if not previous.has_attribute(attrs):
+                    extended = previous.copy()
+                    extended.add(preference)
+                    to_run.append(extended)
+            widened = last.copy()
+            widened.add(preference)
+            to_run.append(widened)
+            for combination in to_run:
+                execute(combination)
+
+        return records
+
+    def records_of_size(self, records: Sequence[CombinationRecord],
+                        size: int) -> List[CombinationRecord]:
+        """Filter the output to combinations of exactly ``size`` predicates."""
+        return [record for record in records if record.size == size]
+
+    def records_of_size_at_least(self, records: Sequence[CombinationRecord],
+                                 size: int) -> List[CombinationRecord]:
+        """Filter the output to combinations with at least ``size`` predicates."""
+        return [record for record in records if record.size >= size]
+
+
+def partially_combine_all(runner: PreferenceQueryRunner,
+                          preferences: Sequence[ScoredPreference],
+                          max_preferences: Optional[int] = None) -> List[CombinationRecord]:
+    """Functional wrapper around :class:`PartiallyCombineAllAlgorithm`."""
+    return PartiallyCombineAllAlgorithm(runner).run(preferences, max_preferences)

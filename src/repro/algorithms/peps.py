@@ -1,0 +1,292 @@
+"""PEPS — Practical and Efficient Preference Selection (paper Section 5.5).
+
+PEPS is the dissertation's Top-K algorithm.  It relies on a *pre-computed
+pairwise combination index*: for every AND-compatible pair of preferences the
+combined intensity and the number of returned tuples are stored whenever the
+pair is applicable.  Starting from the highest-intensity preference, PEPS
+expands those pairs into multi-predicate AND combinations (a stack-based
+exploration), pruning extensions whose pairwise sub-combinations are known to
+be empty, and emits combinations ordered by combined intensity.  Tuples are
+then retrieved combination-by-combination until ``k`` are collected.
+
+Two variants exist (Sections 5.5.1 / 5.5.2):
+
+* **Complete PEPS** keeps every pair that could still beat the current best
+  intensity given enough additional predicates (Proposition 6).
+* **Approximate PEPS** keeps only pairs that already beat the top
+  preference's intensity, trading a little completeness for speed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from ..core.intensity import combine_and, min_preferences_to_beat
+from ..core.predicate import conjunction
+from ..exceptions import EmptyPreferenceListError, TopKError
+from .base import (
+    CombinationRecord,
+    PreferenceQueryRunner,
+    ScoredPreference,
+    and_combine,
+    ordered_by_intensity,
+    pairwise_compatible,
+)
+
+
+@dataclass(frozen=True)
+class PairCombination:
+    """One entry of the pre-computed list of combinations of two predicates."""
+
+    first: int
+    second: int
+    intensity: float
+    tuple_count: int
+
+    @property
+    def is_applicable(self) -> bool:
+        return self.tuple_count > 0
+
+
+class PairwiseCombinationIndex:
+    """Pre-computed applicable combinations of two predicates.
+
+    The index is refreshed whenever the preference graph changes (the paper
+    updates it alongside the HYPRE graph); every algorithm run then answers
+    "is ``{i, j}`` applicable?" without touching the database.
+    """
+
+    def __init__(self, runner: PreferenceQueryRunner,
+                 preferences: Sequence[ScoredPreference]) -> None:
+        self.preferences = list(preferences)
+        self.runner = runner
+        self._pairs: Dict[Tuple[int, int], PairCombination] = {}
+        self._build()
+
+    def _build(self) -> None:
+        for i in range(len(self.preferences)):
+            for j in range(i + 1, len(self.preferences)):
+                first, second = self.preferences[i], self.preferences[j]
+                if not pairwise_compatible(first, second):
+                    self._pairs[(i, j)] = PairCombination(i, j, 0.0, 0)
+                    continue
+                predicate, intensity = and_combine([first, second])
+                count = self.runner.count(predicate)
+                self._pairs[(i, j)] = PairCombination(i, j, intensity, count)
+
+    def pair(self, i: int, j: int) -> PairCombination:
+        """Return the stored pair record for indexes ``i`` and ``j``."""
+        key = (i, j) if i < j else (j, i)
+        return self._pairs[key]
+
+    def is_applicable(self, i: int, j: int) -> bool:
+        """``True`` when the AND of preferences ``i`` and ``j`` returns tuples."""
+        if i == j:
+            return True
+        return self.pair(i, j).is_applicable
+
+    def applicable_pairs_from(self, i: int) -> List[PairCombination]:
+        """All applicable pairs whose lower index is ``i``, best intensity first."""
+        pairs = [pair for (a, _), pair in self._pairs.items()
+                 if a == i and pair.is_applicable]
+        return sorted(pairs, key=lambda pair: -pair.intensity)
+
+    def all_applicable(self) -> List[PairCombination]:
+        """Every applicable pair, best intensity first."""
+        pairs = [pair for pair in self._pairs.values() if pair.is_applicable]
+        return sorted(pairs, key=lambda pair: -pair.intensity)
+
+    def __len__(self) -> int:
+        return len(self._pairs)
+
+
+class PEPSAlgorithm:
+    """Practical and Efficient Preference Selection (complete or approximate)."""
+
+    def __init__(self, runner: PreferenceQueryRunner,
+                 preferences: Sequence[ScoredPreference],
+                 approximate: bool = False,
+                 max_combination_size: int = 6,
+                 max_combinations: int = 2000,
+                 pair_index: Optional[PairwiseCombinationIndex] = None) -> None:
+        self.runner = runner
+        self.preferences = ordered_by_intensity(preferences)
+        if not self.preferences:
+            raise EmptyPreferenceListError("PEPS requires at least one preference")
+        self.approximate = approximate
+        self.max_combination_size = max(2, max_combination_size)
+        self.max_combinations = max(1, max_combinations)
+        self.pair_index = (pair_index if pair_index is not None
+                           else PairwiseCombinationIndex(runner, self.preferences))
+
+    # ------------------------------------------------------------------
+    # Combination ordering
+    # ------------------------------------------------------------------
+
+    def _candidate_pairs(self, start: int) -> List[PairCombination]:
+        """Pairs used to seed the expansion from preference ``start``.
+
+        Both variants keep every pair whose combined intensity already exceeds
+        the top preference's intensity.  The complete variant additionally
+        keeps pairs that Proposition 6 says could still beat it with the
+        preferences that remain, so no useful combination is ever lost; the
+        approximate variant drops them for speed (Section 5.5.2).
+        """
+        pairs = self.pair_index.applicable_pairs_from(start)
+        if start == 0:
+            return pairs
+        top_intensity = self.preferences[0].intensity
+        remaining = len(self.preferences) - 1
+        selected: List[PairCombination] = []
+        for pair in pairs:
+            if pair.intensity > top_intensity:
+                selected.append(pair)
+                continue
+            if self.approximate:
+                continue
+            base = self.preferences[pair.second].intensity
+            needed = min_preferences_to_beat(top_intensity, base)
+            if needed <= remaining:
+                selected.append(pair)
+        return selected
+
+    def _expand(self, seed: FrozenSet[int],
+                emitted: Set[FrozenSet[int]],
+                combos: List[FrozenSet[int]]) -> None:
+        """Stack-based expansion of one seed pair into larger AND combinations."""
+        stack: List[FrozenSet[int]] = [seed]
+        while stack and len(combos) < self.max_combinations:
+            current = stack.pop()
+            if current in emitted:
+                continue
+            emitted.add(current)
+            combos.append(current)
+            if len(current) >= self.max_combination_size:
+                continue
+            highest = max(current)
+            for nxt in range(highest + 1, len(self.preferences)):
+                if all(self.pair_index.is_applicable(member, nxt) for member in current):
+                    extended = current | {nxt}
+                    if extended not in emitted:
+                        stack.append(extended)
+
+    def order_combinations(self, include_singletons: bool = True) -> List[CombinationRecord]:
+        """Return AND combinations ordered by descending combined intensity.
+
+        This is the ``ORDER`` list of Algorithm 6; every record carries the
+        pre-computed combined intensity (tuple counts are filled lazily with
+        the cached pairwise counts where available, otherwise -1 meaning
+        "not yet executed").
+        """
+        emitted: Set[FrozenSet[int]] = set()
+        combos: List[FrozenSet[int]] = []
+        for start in range(len(self.preferences)):
+            if len(combos) >= self.max_combinations:
+                break
+            for pair in self._candidate_pairs(start):
+                self._expand(frozenset({pair.first, pair.second}), emitted, combos)
+
+        if include_singletons:
+            for index in range(len(self.preferences)):
+                single = frozenset({index})
+                if single not in emitted:
+                    emitted.add(single)
+                    combos.append(single)
+
+        records: List[CombinationRecord] = []
+        for combo in combos:
+            members = [self.preferences[index] for index in sorted(combo)]
+            predicate = conjunction([member.predicate for member in members])
+            intensity = combine_and([member.intensity for member in members])
+            if len(combo) == 2:
+                first, second = sorted(combo)
+                tuple_count = self.pair_index.pair(first, second).tuple_count
+            else:
+                tuple_count = -1
+            records.append(CombinationRecord(
+                size=len(combo),
+                tuple_count=tuple_count,
+                intensity=intensity,
+                predicate=predicate,
+                label=predicate.to_sql(),
+            ))
+        records.sort(key=lambda record: (-record.intensity, record.size, record.label))
+        return records
+
+    # ------------------------------------------------------------------
+    # Top-K retrieval
+    # ------------------------------------------------------------------
+
+    def _exact_score(self, pid: int,
+                     membership: Dict[int, Tuple[int, ...]]) -> float:
+        """Combined intensity of every preference the tuple actually matches."""
+        matched = [self.preferences[index].intensity
+                   for index, pids in membership.items() if pid in pids]
+        if not matched:
+            return 0.0
+        return combine_and(matched)
+
+    def top_k(self, k: int,
+              min_intensity: Optional[float] = None) -> List[Tuple[int, float]]:
+        """Return the ``k`` most preferred tuples as ``(pid, intensity)`` pairs.
+
+        Tuples are *discovered* combination-by-combination in descending order
+        of combined intensity (the expensive part PEPS optimises); every
+        discovered tuple is then *scored* with the combined intensity of the
+        preferences it actually matches, so the final order is exactly the
+        total order the intensity values define.  ``min_intensity`` optionally
+        cuts the scan at a score threshold instead of a count, matching the
+        Figure 37/38 experiment.
+        """
+        if k <= 0:
+            raise TopKError("k must be positive")
+        ordered = self.order_combinations(include_singletons=True)
+        membership: Dict[int, Tuple[int, ...]] = {
+            index: self.runner.ids(pref.predicate)
+            for index, pref in enumerate(self.preferences)
+            if pref.intensity > 0.0
+        }
+        scores: Dict[int, float] = {}
+        for record in ordered:
+            if min_intensity is not None and record.intensity < min_intensity:
+                break
+            if min_intensity is None and len(scores) >= k:
+                # Sound stopping rule: every undiscovered tuple's exact score
+                # is bounded by the intensity of its (not yet processed) full
+                # combination, which cannot exceed the current record's
+                # intensity because combinations are processed in descending
+                # order.  Once the current k-th best score reaches that bound
+                # no later combination can change the Top-K.
+                kth_best = sorted(scores.values(), reverse=True)[k - 1]
+                if kth_best >= record.intensity:
+                    break
+            for pid in self.runner.ids(record.predicate):
+                if pid not in scores:
+                    scores[pid] = self._exact_score(pid, membership)
+        # The combination scan can stop early (or be truncated by the
+        # expansion caps); fold in every tuple covered by a single preference
+        # so the produced order is the complete total order over covered
+        # tuples — the guarantee the paper's system provides.
+        for pids in membership.values():
+            for pid in pids:
+                if pid not in scores:
+                    scores[pid] = self._exact_score(pid, membership)
+        ranked = sorted(scores.items(), key=lambda item: (-item[1], item[0]))
+        if min_intensity is not None:
+            return [entry for entry in ranked if entry[1] >= min_intensity]
+        return ranked[:k]
+
+    def retrieved_above(self, min_intensity: float) -> List[Tuple[int, float]]:
+        """All tuples whose combined intensity reaches ``min_intensity``."""
+        return self.top_k(k=len(self.preferences) * 1000 + 1,
+                          min_intensity=min_intensity)
+
+
+def peps_top_k(runner: PreferenceQueryRunner,
+               preferences: Sequence[ScoredPreference],
+               k: int,
+               approximate: bool = False) -> List[Tuple[int, float]]:
+    """Functional wrapper: run PEPS end-to-end and return the Top-K tuples."""
+    algorithm = PEPSAlgorithm(runner, preferences, approximate=approximate)
+    return algorithm.top_k(k)

@@ -1,0 +1,185 @@
+"""Command-line interface for the HYPRE reproduction.
+
+Usage::
+
+    python -m repro.cli list
+    python -m repro.cli experiment table10 --scale tiny
+    python -m repro.cli experiment fig28 --scale small --uid 1
+    python -m repro.cli topk --scale tiny --k 10
+
+``list`` prints every available experiment; ``experiment`` regenerates one
+table/figure and prints the same rows the benchmark harness reports; ``topk``
+runs a personalised Top-K query for one user of the synthetic workload.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, List, Optional, Sequence
+
+from .algorithms import PEPSAlgorithm
+from .experiments import figures, reporting
+from .experiments.context import SCALES, ExperimentContext
+
+#: Experiment name -> (description, needs a uid argument).
+EXPERIMENTS: Dict[str, tuple] = {
+    "table10": ("Workload statistics", False),
+    "table11": ("Preference insertion time", False),
+    "table12": ("DEFAULT_VALUE strategies", True),
+    "fig13": ("Node insertion time per batch", False),
+    "fig17": ("Preference-count distribution", False),
+    "fig18_25": ("Utility / tuples / intensity per combination size", True),
+    "fig26_27": ("Quantitative preference growth", True),
+    "fig28": ("Coverage (QT / QL / QT+QL / HYPRE)", True),
+    "fig29_31": ("Combine-Two intensity variation", True),
+    "fig32_34": ("Partially-Combine-All intensity variation", True),
+    "fig35_36": ("Bias-Random valid vs invalid combinations", True),
+    "fig37_38": ("PEPS vs Fagin's TA", True),
+    "fig39_40": ("PEPS time vs K", True),
+    "prop3_4": ("Combination-count upper bounds", False),
+}
+
+
+def _resolve_uid(ctx: ExperimentContext, uid: Optional[int]) -> int:
+    return uid if uid is not None else ctx.focus_users[0]
+
+
+def run_experiment(name: str, scale: str = "tiny", uid: Optional[int] = None) -> str:
+    """Run one experiment and return its formatted report."""
+    if name not in EXPERIMENTS:
+        raise ValueError(f"unknown experiment {name!r}; run 'list' to see the options")
+    if name == "fig13":
+        series = figures.fig13_node_insertion(total_nodes=50_000, batch_size=10_000)
+        rows = [{"nodes": total, "seconds": elapsed} for total, elapsed in series]
+        return reporting.format_table(rows)
+    if name == "prop3_4":
+        result = figures.prop3_4_counting()
+        rows = [{"N": n, "AND-only": a, "AND/OR": b} for n, a, b in result["growth"]]
+        return reporting.format_table(rows)
+
+    ctx = ExperimentContext.create(scale=scale, profile_users=25)
+    try:
+        user = _resolve_uid(ctx, uid)
+        if name == "table10":
+            return reporting.format_mapping(figures.table10_statistics(ctx))
+        if name == "table11":
+            return reporting.format_mapping(figures.table11_insertion_time(ctx))
+        if name == "table12":
+            return reporting.format_mapping(figures.table12_default_values(ctx, user))
+        if name == "fig17":
+            histogram = figures.fig17_preference_distribution(ctx)
+            rows = [{"preferences": count, "users": users}
+                    for count, users in histogram.items()]
+            return reporting.format_table(rows)
+        if name == "fig18_25":
+            output = figures.fig18_25_utility_and_tuples(ctx, user)
+            rows = [{"size": size, **row} for size, entries in output.items()
+                    for row in entries]
+            return reporting.format_table(rows)
+        if name == "fig26_27":
+            growth = figures.fig26_27_preference_growth(ctx, user)
+            return reporting.format_mapping({
+                "uid": growth["uid"],
+                "original_count": growth["original_count"],
+                "graph_count": growth["graph_count"],
+                "growth_factor": growth["growth_factor"],
+            })
+        if name == "fig28":
+            rows = [{"source": report.label, "covered": report.covered_tuples,
+                     "fraction": report.fraction}
+                    for report in figures.fig28_coverage(ctx, user)]
+            return reporting.format_table(rows)
+        if name == "fig29_31":
+            series = figures.fig29_31_combine_two(ctx, user, first_limit=2)
+            lines = [reporting.format_series(
+                [row["intensity"] for row in rows], name=name_)
+                for name_, rows in series.items()]
+            return "\n".join(lines)
+        if name == "fig32_34":
+            result = figures.fig32_34_partially_combine_all(ctx, user)
+            lines = [reporting.format_series(values, name=f"size={size}")
+                     for size, values in result["by_size"].items()]
+            return "\n".join(lines)
+        if name == "fig35_36":
+            rows = figures.fig35_36_bias_random(ctx, user, repetitions=5)
+            return reporting.format_table(rows)
+        if name == "fig37_38":
+            result = figures.fig37_38_peps_vs_ta(ctx, user)
+            summary = {key: value for key, value in result.items()
+                       if not key.endswith("series")}
+            return reporting.format_mapping(summary)
+        if name == "fig39_40":
+            rows = figures.fig39_40_peps_time(ctx, user, k_values=(10, 100, 200))
+            return reporting.format_table(rows)
+        raise ValueError(f"experiment {name!r} is registered but not dispatched")
+    finally:
+        ctx.close()
+
+
+def run_topk(scale: str, k: int, uid: Optional[int] = None) -> str:
+    """Run a personalised Top-K query on the synthetic workload."""
+    ctx = ExperimentContext.create(scale=scale, profile_users=25)
+    try:
+        user = _resolve_uid(ctx, uid)
+        peps = PEPSAlgorithm(ctx.runner, ctx.preferences(user))
+        papers = {paper.pid: paper for paper in ctx.dataset.papers}
+        rows = []
+        for pid, intensity in peps.top_k(k):
+            paper = papers[pid]
+            rows.append({"intensity": intensity, "venue": paper.venue,
+                         "year": paper.year, "title": paper.title})
+        return (f"Top-{k} papers for uid={user}\n"
+                + reporting.format_table(rows))
+    finally:
+        ctx.close()
+
+
+def list_experiments() -> str:
+    """Return the formatted list of available experiments."""
+    rows = [{"name": name, "description": description, "per-user": "yes" if per_user else "no"}
+            for name, (description, per_user) in EXPERIMENTS.items()]
+    return reporting.format_table(rows)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the argparse command-line parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro", description="HYPRE preference-personalization reproduction")
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("list", help="list available experiments")
+
+    experiment = subparsers.add_parser("experiment", help="run one table/figure experiment")
+    experiment.add_argument("name", choices=sorted(EXPERIMENTS))
+    experiment.add_argument("--scale", default="tiny", choices=sorted(SCALES))
+    experiment.add_argument("--uid", type=int, default=None,
+                            help="user id (default: the preference-richest user)")
+
+    topk = subparsers.add_parser("topk", help="run a personalised Top-K query")
+    topk.add_argument("--scale", default="tiny", choices=sorted(SCALES))
+    topk.add_argument("--k", type=int, default=10)
+    topk.add_argument("--uid", type=int, default=None)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        if args.command == "list":
+            print(list_experiments())
+        elif args.command == "experiment":
+            print(run_experiment(args.name, scale=args.scale, uid=args.uid))
+        elif args.command == "topk":
+            print(run_topk(args.scale, args.k, uid=args.uid))
+    except Exception as exc:  # pragma: no cover - defensive top-level handler
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

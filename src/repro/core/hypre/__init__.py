@@ -1,0 +1,29 @@
+"""HYPRE preference graph: model, conflict handling and construction."""
+
+from .builder import BuildReport, HypreGraphBuilder, build_hypre_graph
+from .conflict import ConflictKind, ConflictReport, check_conflict, classify_edge
+from .defaults import DefaultValueStrategy, default_value_table
+from .graph import (
+    SOURCE_COMPUTED,
+    SOURCE_DEFAULT,
+    SOURCE_USER,
+    UID_INDEX_LABEL,
+    HypreGraph,
+)
+
+__all__ = [
+    "BuildReport",
+    "ConflictKind",
+    "ConflictReport",
+    "DefaultValueStrategy",
+    "HypreGraph",
+    "HypreGraphBuilder",
+    "SOURCE_COMPUTED",
+    "SOURCE_DEFAULT",
+    "SOURCE_USER",
+    "UID_INDEX_LABEL",
+    "build_hypre_graph",
+    "check_conflict",
+    "classify_edge",
+    "default_value_table",
+]

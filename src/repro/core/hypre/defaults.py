@@ -1,0 +1,131 @@
+"""DEFAULT_VALUE selection strategies (paper Section 6.3.1, Table 12).
+
+When a qualitative preference introduces two brand-new nodes, neither side has
+a quantitative intensity yet.  Algorithm 1 then assigns a *default value* to
+one node (the seed) and computes the other from it via Equation 4.1/4.2.  The
+paper experiments with several ways of choosing that seed per user; this
+module implements all of them behind a single :class:`DefaultValueStrategy`
+interface.
+
+Strategy summary (Table 12):
+
+========== ============================================= ====================
+name        values considered                              fallback when empty
+========== ============================================= ====================
+default     none (constant)                                0.5
+min         all user-provided intensities                  0.5
+min_pos     intensities >= 0                               0.0
+max         all user-provided intensities                  0.5
+max_pos     intensities in [0, 1)                          0.0
+avg         all user-provided intensities                  0.98 (also used
+                                                           when the average
+                                                           saturates at 1)
+avg_pos     intensities >= 0                               0.0
+========== ============================================= ====================
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Sequence
+
+from ..intensity import clamp
+
+#: Constant used by the ``default`` strategy and as a generic fallback.
+FALLBACK_DEFAULT = 0.5
+#: Fallback used by the ``avg`` strategy (a seed of exactly 1 would make every
+#: derived intensity saturate at 1, so the paper picks a value just below it).
+FALLBACK_AVG = 0.98
+
+
+class DefaultValueStrategy:
+    """Compute the DEFAULT_VALUE seed for one user's intensity values."""
+
+    #: Names accepted by :meth:`by_name`.
+    NAMES = ("default", "min", "min_pos", "max", "max_pos", "avg", "avg_pos")
+
+    def __init__(self, name: str, compute: Callable[[Sequence[float]], float]) -> None:
+        self.name = name
+        self._compute = compute
+
+    def __call__(self, intensities: Iterable[float]) -> float:
+        """Return the seed value for the given user-provided intensities."""
+        values = [float(value) for value in intensities]
+        return clamp(self._compute(values))
+
+    def __repr__(self) -> str:
+        return f"DefaultValueStrategy({self.name!r})"
+
+    # -- factory ---------------------------------------------------------------
+
+    @classmethod
+    def by_name(cls, name: str) -> "DefaultValueStrategy":
+        """Return the strategy registered under ``name`` (see :attr:`NAMES`)."""
+        try:
+            return _REGISTRY[name]
+        except KeyError:
+            raise ValueError(
+                f"unknown DEFAULT_VALUE strategy {name!r}; expected one of {cls.NAMES}"
+            ) from None
+
+    @classmethod
+    def all(cls) -> List["DefaultValueStrategy"]:
+        """Return every registered strategy (Table 12 rows, in order)."""
+        return [_REGISTRY[name] for name in cls.NAMES]
+
+
+def _constant_default(_: Sequence[float]) -> float:
+    return FALLBACK_DEFAULT
+
+
+def _minimum(values: Sequence[float]) -> float:
+    return min(values) if values else FALLBACK_DEFAULT
+
+
+def _minimum_positive(values: Sequence[float]) -> float:
+    positives = [value for value in values if value >= 0.0]
+    return min(positives) if positives else 0.0
+
+
+def _maximum(values: Sequence[float]) -> float:
+    return max(values) if values else FALLBACK_DEFAULT
+
+
+def _maximum_positive(values: Sequence[float]) -> float:
+    bounded = [value for value in values if 0.0 <= value < 1.0]
+    return max(bounded) if bounded else 0.0
+
+
+def _average(values: Sequence[float]) -> float:
+    if not values:
+        return FALLBACK_AVG
+    mean = sum(values) / len(values)
+    if mean >= 1.0:
+        return FALLBACK_AVG
+    return mean
+
+
+def _average_positive(values: Sequence[float]) -> float:
+    positives = [value for value in values if value >= 0.0]
+    if not positives:
+        return 0.0
+    mean = sum(positives) / len(positives)
+    if mean >= 1.0:
+        return FALLBACK_AVG
+    return mean
+
+
+_REGISTRY: Dict[str, DefaultValueStrategy] = {
+    "default": DefaultValueStrategy("default", _constant_default),
+    "min": DefaultValueStrategy("min", _minimum),
+    "min_pos": DefaultValueStrategy("min_pos", _minimum_positive),
+    "max": DefaultValueStrategy("max", _maximum),
+    "max_pos": DefaultValueStrategy("max_pos", _maximum_positive),
+    "avg": DefaultValueStrategy("avg", _average),
+    "avg_pos": DefaultValueStrategy("avg_pos", _average_positive),
+}
+
+
+def default_value_table(intensities: Iterable[float]) -> Dict[str, float]:
+    """Evaluate every strategy on ``intensities`` (regenerates Table 12)."""
+    values = list(intensities)
+    return {strategy.name: strategy(values) for strategy in DefaultValueStrategy.all()}

@@ -1,0 +1,144 @@
+"""Evaluation metrics from the dissertation.
+
+* **Preference selectivity** (Definition 16, Eq. 5.1) — tuples returned per
+  predicate used.
+* **Utility** (Definition 17, Eq. 5.2) — selectivity × combined intensity.
+* **Coverage** (Definition 18) — how many distinct tuples a set of
+  preferences can "touch" when each preference is applied independently.
+* **Similarity** (Definition 21) — fraction of tuples common to two result
+  lists.
+* **Overlap** (Definition 22) — fraction of the common tuples whose relative
+  order agrees across the two lists.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Iterable, List, Sequence, Set, Tuple
+
+
+def preference_selectivity(tuple_count: int, preference_count: int) -> float:
+    """Equation 5.1 — ``#tuples / #preferences``.
+
+    Raises ``ValueError`` when ``preference_count`` is not positive.
+    """
+    if preference_count <= 0:
+        raise ValueError("preference_count must be positive")
+    if tuple_count < 0:
+        raise ValueError("tuple_count must be non-negative")
+    return tuple_count / preference_count
+
+
+def utility(tuple_count: int, preference_count: int, combined_intensity: float,
+            tuple_cap: int | None = 25) -> float:
+    """Equation 5.2 — ``selectivity * combined intensity``.
+
+    The paper caps the number of tuples at the first result page (25) so that
+    combinations returning millions of low-intensity tuples do not dominate
+    the metric; pass ``tuple_cap=None`` to disable the cap.
+    """
+    if tuple_cap is not None:
+        tuple_count = min(tuple_count, tuple_cap)
+    return preference_selectivity(tuple_count, preference_count) * combined_intensity
+
+
+@dataclass(frozen=True)
+class CoverageReport:
+    """Coverage of the dataset by one source of preferences."""
+
+    label: str
+    covered_tuples: int
+    total_tuples: int
+
+    @property
+    def fraction(self) -> float:
+        """Covered tuples as a fraction of the dataset (0 when dataset empty)."""
+        if self.total_tuples <= 0:
+            return 0.0
+        return self.covered_tuples / self.total_tuples
+
+    def improvement_over(self, other: "CoverageReport") -> float:
+        """Percentage improvement of this coverage over ``other`` (paper's 336%)."""
+        if other.covered_tuples <= 0:
+            return float("inf") if self.covered_tuples > 0 else 0.0
+        return 100.0 * (self.covered_tuples - other.covered_tuples) / other.covered_tuples
+
+
+def coverage(covered_ids: Iterable[Hashable], total_tuples: int,
+             label: str = "coverage") -> CoverageReport:
+    """Definition 18 — number of distinct tuples touched by a preference set."""
+    distinct = len(set(covered_ids))
+    if total_tuples < 0:
+        raise ValueError("total_tuples must be non-negative")
+    return CoverageReport(label=label, covered_tuples=distinct, total_tuples=total_tuples)
+
+
+def similarity(first: Sequence[Hashable], second: Sequence[Hashable]) -> float:
+    """Definition 21 — percentage (0..1) of tuples common to the two lists.
+
+    The denominator is the size of the smaller list, so two identical lists
+    give 1.0 and fully disjoint lists give 0.0.  Empty inputs give 0.0 unless
+    both are empty (1.0, trivially identical).
+    """
+    set_a: Set[Hashable] = set(first)
+    set_b: Set[Hashable] = set(second)
+    if not set_a and not set_b:
+        return 1.0
+    if not set_a or not set_b:
+        return 0.0
+    common = len(set_a & set_b)
+    return common / min(len(set_a), len(set_b))
+
+
+def overlap(first: Sequence[Hashable], second: Sequence[Hashable]) -> float:
+    """Definition 22 — order agreement on the tuples common to both lists.
+
+    The common tuples are extracted from each list preserving order; the
+    metric is the fraction of consecutive-pair orderings that agree (1.0 when
+    both lists rank the shared tuples identically).  Lists sharing at most one
+    tuple trivially agree (1.0); lists sharing nothing return 0.0.
+    """
+    common = set(first) & set(second)
+    if not common:
+        return 0.0
+    ordered_a = [item for item in first if item in common]
+    ordered_b = [item for item in second if item in common]
+    if len(ordered_a) <= 1:
+        return 1.0
+    rank_b = {item: index for index, item in enumerate(ordered_b)}
+    agreements = 0
+    comparisons = 0
+    for index in range(len(ordered_a) - 1):
+        left, right = ordered_a[index], ordered_a[index + 1]
+        comparisons += 1
+        if rank_b[left] < rank_b[right]:
+            agreements += 1
+    return agreements / comparisons
+
+
+def kendall_tau_distance(first: Sequence[Hashable], second: Sequence[Hashable]) -> float:
+    """Normalised Kendall-tau distance over the tuples common to both lists.
+
+    0.0 means identical order, 1.0 means completely reversed.  Provided as a
+    stricter companion to :func:`overlap` (all pairs, not just adjacent ones).
+    """
+    common = set(first) & set(second)
+    ordered_a = [item for item in first if item in common]
+    ordered_b = [item for item in second if item in common]
+    n = len(ordered_a)
+    if n <= 1:
+        return 0.0
+    rank_b = {item: index for index, item in enumerate(ordered_b)}
+    discordant = 0
+    total = 0
+    for i in range(n - 1):
+        for j in range(i + 1, n):
+            total += 1
+            if rank_b[ordered_a[i]] > rank_b[ordered_a[j]]:
+                discordant += 1
+    return discordant / total
+
+
+def coverage_comparison(reports: Sequence[CoverageReport]) -> List[Tuple[str, int, float]]:
+    """Return ``(label, covered, fraction)`` rows suitable for Figure 28 output."""
+    return [(report.label, report.covered_tuples, report.fraction) for report in reports]

@@ -1,0 +1,501 @@
+"""Typed SQL predicates.
+
+Every HYPRE preference node stores a *predicate* — a selection condition such
+as ``dblp.venue = 'INFOCOM'`` or ``year >= 2000 AND year <= 2005`` — which is
+later used to enhance a user query (paper Sections 3.3 and 4.6).  This module
+provides:
+
+* an expression tree (:class:`Condition`, :class:`And`, :class:`Or`) with SQL
+  rendering, in-memory evaluation against tuple dictionaries and attribute
+  extraction;
+* a small parser (:func:`parse_predicate`) for the textual predicates the
+  workload extractor produces (equality, comparison, BETWEEN, IN, AND/OR);
+* compatibility checks used by the combination algorithms: two equality
+  predicates on the same attribute with different constants can never be
+  satisfied together under AND semantics (the paper's ``venue='SIGMOD' AND
+  venue='VLDB'`` example).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Any, Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
+
+from ..exceptions import PredicateError, PredicateParseError
+
+#: Comparison operators supported by :class:`Condition`.
+OPERATORS = ("=", "!=", "<", "<=", ">", ">=", "IN")
+
+Value = Union[str, int, float, bool, None]
+
+
+def _sql_literal(value: Value) -> str:
+    """Render a Python value as a SQL literal (single-quoted for strings)."""
+    if value is None:
+        return "NULL"
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, (int, float)):
+        return repr(value)
+    escaped = str(value).replace("'", "''")
+    return f"'{escaped}'"
+
+
+def _lookup(row: Mapping[str, Any], attribute: str) -> Any:
+    """Resolve ``attribute`` in a tuple dict, accepting qualified and bare names."""
+    if attribute in row:
+        return row[attribute]
+    if "." in attribute:
+        bare = attribute.split(".", 1)[1]
+        if bare in row:
+            return row[bare]
+    else:
+        for key, value in row.items():
+            if "." in key and key.split(".", 1)[1] == attribute:
+                return value
+    return None
+
+
+class PredicateExpr:
+    """Base class for predicate expression nodes."""
+
+    def to_sql(self) -> str:
+        """Render the expression as a SQL boolean expression."""
+        raise NotImplementedError
+
+    def evaluate(self, row: Mapping[str, Any]) -> bool:
+        """Evaluate the expression against a tuple represented as a mapping."""
+        raise NotImplementedError
+
+    def attributes(self) -> FrozenSet[str]:
+        """Return the set of attribute names referenced by the expression."""
+        raise NotImplementedError
+
+    def conditions(self) -> List["Condition"]:
+        """Return all leaf conditions in the expression."""
+        raise NotImplementedError
+
+    # Convenience combinators -------------------------------------------------
+
+    def __and__(self, other: "PredicateExpr") -> "And":
+        return And(_flatten(And, (self, other)))
+
+    def __or__(self, other: "PredicateExpr") -> "Or":
+        return Or(_flatten(Or, (self, other)))
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, PredicateExpr) and self.canonical() == other.canonical()
+
+    def __hash__(self) -> int:
+        return hash(self.canonical())
+
+    def canonical(self) -> Tuple:
+        """Return a hashable canonical form used for equality and dedup."""
+        raise NotImplementedError
+
+
+def _flatten(kind: type, children: Iterable[PredicateExpr]) -> List[PredicateExpr]:
+    """Flatten nested And(And(...)) / Or(Or(...)) structures one level deep."""
+    flattened: List[PredicateExpr] = []
+    for child in children:
+        if isinstance(child, kind):
+            flattened.extend(child.children)
+        else:
+            flattened.append(child)
+    return flattened
+
+
+@dataclass(frozen=True)
+class Condition(PredicateExpr):
+    """A single ``attribute <op> value`` comparison.
+
+    ``attribute`` may be qualified (``dblp.venue``) or bare (``year``).  For
+    the ``IN`` operator ``value`` must be a sequence of literals.
+    """
+
+    attribute: str
+    op: str
+    value: Any
+
+    def __post_init__(self) -> None:
+        if self.op not in OPERATORS:
+            raise PredicateError(f"unsupported operator {self.op!r}")
+        if self.op == "IN":
+            if not isinstance(self.value, (list, tuple, set, frozenset)):
+                raise PredicateError("IN conditions require a sequence of values")
+            object.__setattr__(self, "value", tuple(self.value))
+
+    # -- rendering / evaluation ------------------------------------------------
+
+    def to_sql(self) -> str:
+        if self.op == "IN":
+            rendered = ", ".join(_sql_literal(item) for item in self.value)
+            return f"{self.attribute} IN ({rendered})"
+        return f"{self.attribute} {self.op} {_sql_literal(self.value)}"
+
+    def evaluate(self, row: Mapping[str, Any]) -> bool:
+        actual = _lookup(row, self.attribute)
+        if self.op == "IN":
+            return actual in self.value
+        if actual is None:
+            return False
+        try:
+            if self.op == "=":
+                return actual == self.value
+            if self.op == "!=":
+                return actual != self.value
+            if self.op == "<":
+                return actual < self.value
+            if self.op == "<=":
+                return actual <= self.value
+            if self.op == ">":
+                return actual > self.value
+            if self.op == ">=":
+                return actual >= self.value
+        except TypeError:
+            return False
+        raise PredicateError(f"unsupported operator {self.op!r}")  # pragma: no cover
+
+    def attributes(self) -> FrozenSet[str]:
+        return frozenset({self.attribute})
+
+    def conditions(self) -> List["Condition"]:
+        return [self]
+
+    def canonical(self) -> Tuple:
+        return ("cond", self.attribute, self.op, self.value)
+
+    def __repr__(self) -> str:
+        return f"Condition({self.to_sql()})"
+
+
+@dataclass(frozen=True, eq=False)
+class _Composite(PredicateExpr):
+    """Shared behaviour for :class:`And` / :class:`Or`.
+
+    Equality and hashing intentionally fall back to the canonical-form
+    comparison defined on :class:`PredicateExpr`, so two conjunctions with the
+    same children in a different order compare equal.
+    """
+
+    children: Tuple[PredicateExpr, ...]
+
+    _keyword = ""
+
+    def __post_init__(self) -> None:
+        if not self.children:
+            raise PredicateError(f"{type(self).__name__} requires at least one child")
+        object.__setattr__(self, "children", tuple(self.children))
+
+    def to_sql(self) -> str:
+        parts = []
+        for child in self.children:
+            rendered = child.to_sql()
+            if isinstance(child, _Composite) and type(child) is not type(self):
+                rendered = f"({rendered})"
+            parts.append(rendered)
+        return f" {self._keyword} ".join(parts)
+
+    def attributes(self) -> FrozenSet[str]:
+        collected: FrozenSet[str] = frozenset()
+        for child in self.children:
+            collected |= child.attributes()
+        return collected
+
+    def conditions(self) -> List[Condition]:
+        leaves: List[Condition] = []
+        for child in self.children:
+            leaves.extend(child.conditions())
+        return leaves
+
+    def canonical(self) -> Tuple:
+        children = sorted((child.canonical() for child in self.children), key=repr)
+        return (self._keyword, tuple(children))
+
+
+class And(_Composite):
+    """Conjunction of predicate expressions."""
+
+    _keyword = "AND"
+
+    def evaluate(self, row: Mapping[str, Any]) -> bool:
+        return all(child.evaluate(row) for child in self.children)
+
+    def __repr__(self) -> str:
+        return f"And({self.to_sql()})"
+
+
+class Or(_Composite):
+    """Disjunction of predicate expressions."""
+
+    _keyword = "OR"
+
+    def evaluate(self, row: Mapping[str, Any]) -> bool:
+        return any(child.evaluate(row) for child in self.children)
+
+    def __repr__(self) -> str:
+        return f"Or({self.to_sql()})"
+
+
+# ---------------------------------------------------------------------------
+# Convenience constructors
+# ---------------------------------------------------------------------------
+
+
+def equals(attribute: str, value: Value) -> Condition:
+    """``attribute = value``."""
+    return Condition(attribute, "=", value)
+
+
+def not_equals(attribute: str, value: Value) -> Condition:
+    """``attribute != value``."""
+    return Condition(attribute, "!=", value)
+
+
+def in_set(attribute: str, values: Sequence[Value]) -> Condition:
+    """``attribute IN (values...)``."""
+    return Condition(attribute, "IN", tuple(values))
+
+
+def between(attribute: str, low: Value, high: Value) -> And:
+    """``attribute >= low AND attribute <= high`` (the paper's year ranges)."""
+    return And((Condition(attribute, ">=", low), Condition(attribute, "<=", high)))
+
+
+def conjunction(parts: Iterable[PredicateExpr]) -> PredicateExpr:
+    """AND-combine ``parts`` (a single part is returned unchanged)."""
+    items = _flatten(And, parts)
+    if not items:
+        raise PredicateError("cannot build an empty conjunction")
+    if len(items) == 1:
+        return items[0]
+    return And(tuple(items))
+
+
+def disjunction(parts: Iterable[PredicateExpr]) -> PredicateExpr:
+    """OR-combine ``parts`` (a single part is returned unchanged)."""
+    items = _flatten(Or, parts)
+    if not items:
+        raise PredicateError("cannot build an empty disjunction")
+    if len(items) == 1:
+        return items[0]
+    return Or(tuple(items))
+
+
+# ---------------------------------------------------------------------------
+# Compatibility analysis
+# ---------------------------------------------------------------------------
+
+
+def are_and_compatible(first: PredicateExpr, second: PredicateExpr) -> bool:
+    """Return ``False`` when ``first AND second`` is trivially unsatisfiable.
+
+    The check is intentionally conservative (syntactic): it only detects the
+    pattern the paper highlights — two equality (or IN) conditions on the same
+    attribute requiring disjoint constants, such as ``venue='SIGMOD' AND
+    venue='VLDB'``.  Range conditions and different attributes are always
+    considered compatible.
+    """
+    for cond_a in first.conditions():
+        for cond_b in second.conditions():
+            if cond_a.attribute != cond_b.attribute:
+                continue
+            values_a = _equality_values(cond_a)
+            values_b = _equality_values(cond_b)
+            if values_a is None or values_b is None:
+                continue
+            if not values_a & values_b:
+                return False
+    return True
+
+
+def _equality_values(condition: Condition) -> Optional[FrozenSet[Any]]:
+    """The set of constants an equality/IN condition accepts, else ``None``."""
+    if condition.op == "=":
+        return frozenset({condition.value})
+    if condition.op == "IN":
+        return frozenset(condition.value)
+    return None
+
+
+def shared_attributes(first: PredicateExpr, second: PredicateExpr) -> FrozenSet[str]:
+    """Attributes referenced by both expressions (drives AND_OR semantics)."""
+    return first.attributes() & second.attributes()
+
+
+def same_attribute(first: PredicateExpr, second: PredicateExpr) -> bool:
+    """``True`` when the two predicates reference exactly the same attributes."""
+    return first.attributes() == second.attributes()
+
+
+# ---------------------------------------------------------------------------
+# Parsing
+# ---------------------------------------------------------------------------
+
+_TOKEN_RE = re.compile(
+    r"""
+    \s*(
+        \(|\)|,                                  # punctuation
+        |(?:>=|<=|!=|<>|=|<|>)                   # comparison operators
+        |'(?:[^']|'')*'                          # single-quoted string
+        |"(?:[^"]|"")*"                          # double-quoted string
+        |[A-Za-z_][A-Za-z0-9_.]*                 # identifiers / keywords
+        |-?\d+\.\d+|-?\d+                        # numbers
+    )""",
+    re.VERBOSE,
+)
+
+_KEYWORDS = {"AND", "OR", "IN", "BETWEEN", "NOT"}
+
+
+def _tokenize(text: str) -> List[str]:
+    tokens: List[str] = []
+    pos = 0
+    while pos < len(text):
+        match = _TOKEN_RE.match(text, pos)
+        if match is None:
+            raise PredicateParseError(f"unexpected character at {text[pos:pos + 10]!r}")
+        token = match.group(1)
+        if token is None or not token.strip():
+            pos = match.end()
+            if pos == match.start():
+                break
+            continue
+        tokens.append(token)
+        pos = match.end()
+    return tokens
+
+
+def _literal_from_token(token: str) -> Value:
+    if token.startswith("'") and token.endswith("'"):
+        return token[1:-1].replace("''", "'")
+    if token.startswith('"') and token.endswith('"'):
+        return token[1:-1].replace('""', '"')
+    try:
+        if re.fullmatch(r"-?\d+", token):
+            return int(token)
+        return float(token)
+    except ValueError:
+        # Unquoted word used as a value (the paper writes venue=INFOCOM).
+        return token
+
+
+class _Parser:
+    """Recursive-descent parser for the predicate mini-language.
+
+    Grammar (case-insensitive keywords)::
+
+        expr     := term (OR term)*
+        term     := factor (AND factor)*
+        factor   := '(' expr ')' | comparison
+        comparison := attr op literal
+                    | attr IN '(' literal (',' literal)* ')'
+                    | attr BETWEEN literal AND literal
+    """
+
+    def __init__(self, tokens: List[str]) -> None:
+        self.tokens = tokens
+        self.pos = 0
+
+    def peek(self) -> Optional[str]:
+        return self.tokens[self.pos] if self.pos < len(self.tokens) else None
+
+    def next(self) -> str:
+        token = self.peek()
+        if token is None:
+            raise PredicateParseError("unexpected end of predicate")
+        self.pos += 1
+        return token
+
+    def expect(self, expected: str) -> None:
+        token = self.next()
+        if token.upper() != expected.upper():
+            raise PredicateParseError(f"expected {expected!r}, found {token!r}")
+
+    def parse(self) -> PredicateExpr:
+        expr = self.parse_expr()
+        if self.peek() is not None:
+            raise PredicateParseError(f"trailing tokens starting at {self.peek()!r}")
+        return expr
+
+    def parse_expr(self) -> PredicateExpr:
+        parts = [self.parse_term()]
+        while self.peek() is not None and self.peek().upper() == "OR":
+            self.next()
+            parts.append(self.parse_term())
+        return disjunction(parts)
+
+    def parse_term(self) -> PredicateExpr:
+        parts = [self.parse_factor()]
+        while self.peek() is not None and self.peek().upper() == "AND":
+            self.next()
+            parts.append(self.parse_factor())
+        return conjunction(parts)
+
+    def parse_factor(self) -> PredicateExpr:
+        token = self.peek()
+        if token == "(":
+            self.next()
+            inner = self.parse_expr()
+            self.expect(")")
+            return inner
+        return self.parse_comparison()
+
+    def parse_comparison(self) -> PredicateExpr:
+        attribute = self.next()
+        if attribute.upper() in _KEYWORDS or attribute in {"(", ")", ","}:
+            raise PredicateParseError(f"expected attribute name, found {attribute!r}")
+        operator = self.next()
+        upper = operator.upper()
+        if upper == "IN":
+            self.expect("(")
+            values: List[Value] = [_literal_from_token(self.next())]
+            while self.peek() == ",":
+                self.next()
+                values.append(_literal_from_token(self.next()))
+            self.expect(")")
+            return in_set(attribute, values)
+        if upper == "BETWEEN":
+            low = _literal_from_token(self.next())
+            self.expect("AND")
+            high = _literal_from_token(self.next())
+            return between(attribute, low, high)
+        if operator == "<>":
+            operator = "!="
+        if operator not in OPERATORS:
+            raise PredicateParseError(f"unsupported operator {operator!r}")
+        value = _literal_from_token(self.next())
+        return Condition(attribute, operator, value)
+
+
+def parse_predicate(text: str) -> PredicateExpr:
+    """Parse a textual SQL predicate into an expression tree.
+
+    Examples
+    --------
+    >>> parse_predicate("dblp.venue='VLDB' AND year>=2010").to_sql()
+    "dblp.venue = 'VLDB' AND year >= 2010"
+    >>> parse_predicate("venue IN ('CIKM', 'SIGMOD')").to_sql()
+    "venue IN ('CIKM', 'SIGMOD')"
+    """
+    if not text or not text.strip():
+        raise PredicateParseError("empty predicate")
+    tokens = _tokenize(text)
+    if not tokens:
+        raise PredicateParseError("empty predicate")
+    return _Parser(tokens).parse()
+
+
+def ensure_predicate(value: Union[str, PredicateExpr]) -> PredicateExpr:
+    """Accept either a predicate expression or its textual form."""
+    if isinstance(value, PredicateExpr):
+        return value
+    if isinstance(value, str):
+        return parse_predicate(value)
+    raise PredicateError(f"cannot interpret {value!r} as a predicate")
+
+
+def predicate_key(value: Union[str, PredicateExpr]) -> str:
+    """A normalised string identity for a predicate (used for node dedup)."""
+    return ensure_predicate(value).to_sql()

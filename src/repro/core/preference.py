@@ -1,0 +1,248 @@
+"""Preference and user-profile data types.
+
+The HYPRE model distinguishes (paper Chapter 2):
+
+* **quantitative preferences** — a predicate plus a score/intensity in
+  ``[-1, 1]`` describing how much the user likes the matching tuples
+  (Definition 1);
+* **qualitative preferences** — a pair of predicates (left preferred over
+  right) plus an intensity in ``[0, 1]`` describing the *strength* of the
+  relationship (Definition 4 plus the HYPRE extension of Definition 14).
+
+:class:`UserProfile` is the per-user container the system keeps between
+queries — the "global" view of preferences that Preference SQL lacks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple, Union
+
+from ..exceptions import ProfileError
+from .intensity import validate_qualitative, validate_quantitative
+from .predicate import PredicateExpr, ensure_predicate, predicate_key
+
+
+@dataclass(frozen=True)
+class QuantitativePreference:
+    """A predicate with an attached score in ``[-1, 1]``.
+
+    Example: *"I like papers published after 2009 with intensity 0.8"* becomes
+    ``QuantitativePreference(uid, "year >= 2009", 0.8)``.
+    """
+
+    uid: int
+    predicate: PredicateExpr
+    intensity: float
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "predicate", ensure_predicate(self.predicate))
+        object.__setattr__(self, "intensity", validate_quantitative(self.intensity))
+
+    @property
+    def predicate_sql(self) -> str:
+        """The predicate rendered as SQL (also the node identity key)."""
+        return predicate_key(self.predicate)
+
+    @property
+    def is_negative(self) -> bool:
+        """``True`` for negative preferences (intensity < 0)."""
+        return self.intensity < 0.0
+
+    @property
+    def is_indifferent(self) -> bool:
+        """``True`` when the score expresses indifference (intensity == 0)."""
+        return self.intensity == 0.0
+
+    def with_intensity(self, intensity: float) -> "QuantitativePreference":
+        """Return a copy with a different intensity."""
+        return QuantitativePreference(self.uid, self.predicate, intensity)
+
+    def __repr__(self) -> str:
+        return (f"QuantitativePreference(uid={self.uid}, "
+                f"predicate={self.predicate_sql!r}, intensity={self.intensity:.4f})")
+
+
+@dataclass(frozen=True)
+class QualitativePreference:
+    """A *left preferred over right* statement with a strength in ``[0, 1]``.
+
+    The paper resolves negative strengths by swapping the two sides
+    (Proposition 7); :meth:`normalised` applies that rule.
+    """
+
+    uid: int
+    left: PredicateExpr
+    right: PredicateExpr
+    intensity: float
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "left", ensure_predicate(self.left))
+        object.__setattr__(self, "right", ensure_predicate(self.right))
+        # The raw extracted intensity may be negative; normalisation swaps
+        # sides.  Validation of the [0, 1] domain happens in ``normalised``.
+        object.__setattr__(self, "intensity", float(self.intensity))
+
+    @property
+    def left_sql(self) -> str:
+        """Left predicate rendered as SQL."""
+        return predicate_key(self.left)
+
+    @property
+    def right_sql(self) -> str:
+        """Right predicate rendered as SQL."""
+        return predicate_key(self.right)
+
+    @property
+    def is_equality(self) -> bool:
+        """``True`` when both sides are equally preferred (intensity == 0)."""
+        return self.intensity == 0.0
+
+    def normalised(self) -> "QualitativePreference":
+        """Return an equivalent preference with a non-negative intensity.
+
+        A negative strength means the *right* side is actually preferred, so
+        the sides are swapped and the absolute value is used (Proposition 7).
+        """
+        if self.intensity >= 0.0:
+            validate_qualitative(self.intensity)
+            return self
+        validate_qualitative(-self.intensity)
+        return QualitativePreference(self.uid, self.right, self.left, -self.intensity)
+
+    def reversed(self) -> "QualitativePreference":
+        """Return the preference with sides swapped and intensity negated."""
+        return QualitativePreference(self.uid, self.right, self.left, -self.intensity)
+
+    def __repr__(self) -> str:
+        return (f"QualitativePreference(uid={self.uid}, left={self.left_sql!r}, "
+                f"right={self.right_sql!r}, intensity={self.intensity:.4f})")
+
+
+Preference = Union[QuantitativePreference, QualitativePreference]
+
+
+@dataclass
+class UserProfile:
+    """All preferences stored for one user.
+
+    The profile is the persistent, global view of preferences the HYPRE
+    system maintains: quantitative and qualitative preferences are kept side
+    by side and fed to :class:`~repro.core.hypre.builder.HypreGraphBuilder`.
+    """
+
+    uid: int
+    quantitative: List[QuantitativePreference] = field(default_factory=list)
+    qualitative: List[QualitativePreference] = field(default_factory=list)
+
+    # -- mutation --------------------------------------------------------------
+
+    def add_quantitative(self,
+                         predicate: Union[str, PredicateExpr],
+                         intensity: float) -> QuantitativePreference:
+        """Append a quantitative preference and return it."""
+        preference = QuantitativePreference(self.uid, predicate, intensity)
+        self.quantitative.append(preference)
+        return preference
+
+    def add_qualitative(self,
+                        left: Union[str, PredicateExpr],
+                        right: Union[str, PredicateExpr],
+                        intensity: float) -> QualitativePreference:
+        """Append a qualitative preference and return it."""
+        preference = QualitativePreference(self.uid, left, right, intensity)
+        self.qualitative.append(preference)
+        return preference
+
+    def extend(self,
+               quantitative: Iterable[QuantitativePreference] = (),
+               qualitative: Iterable[QualitativePreference] = ()) -> None:
+        """Bulk-append preferences, checking they belong to this user."""
+        for preference in quantitative:
+            if preference.uid != self.uid:
+                raise ProfileError(
+                    f"preference for uid={preference.uid} added to profile uid={self.uid}")
+            self.quantitative.append(preference)
+        for preference in qualitative:
+            if preference.uid != self.uid:
+                raise ProfileError(
+                    f"preference for uid={preference.uid} added to profile uid={self.uid}")
+            self.qualitative.append(preference)
+
+    # -- accessors --------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.quantitative) + len(self.qualitative)
+
+    def is_empty(self) -> bool:
+        """``True`` when the profile holds no preferences at all."""
+        return not self.quantitative and not self.qualitative
+
+    def positive_quantitative(self) -> List[QuantitativePreference]:
+        """Quantitative preferences with strictly positive intensity."""
+        return [pref for pref in self.quantitative if pref.intensity > 0.0]
+
+    def negative_quantitative(self) -> List[QuantitativePreference]:
+        """Quantitative preferences with strictly negative intensity."""
+        return [pref for pref in self.quantitative if pref.intensity < 0.0]
+
+    def ordered_quantitative(self, descending: bool = True) -> List[QuantitativePreference]:
+        """Quantitative preferences sorted by intensity (ties broken by SQL text)."""
+        return sorted(self.quantitative,
+                      key=lambda pref: (-pref.intensity if descending else pref.intensity,
+                                        pref.predicate_sql))
+
+    def predicates(self) -> List[str]:
+        """Distinct predicate SQL strings referenced anywhere in the profile."""
+        seen: Dict[str, None] = {}
+        for pref in self.quantitative:
+            seen.setdefault(pref.predicate_sql)
+        for pref in self.qualitative:
+            seen.setdefault(pref.left_sql)
+            seen.setdefault(pref.right_sql)
+        return list(seen)
+
+    def __repr__(self) -> str:
+        return (f"UserProfile(uid={self.uid}, quantitative={len(self.quantitative)}, "
+                f"qualitative={len(self.qualitative)})")
+
+
+class ProfileRegistry:
+    """In-memory catalogue of :class:`UserProfile` objects keyed by user id."""
+
+    def __init__(self) -> None:
+        self._profiles: Dict[int, UserProfile] = {}
+
+    def get_or_create(self, uid: int) -> UserProfile:
+        """Return the profile for ``uid``, creating an empty one if needed."""
+        if uid not in self._profiles:
+            self._profiles[uid] = UserProfile(uid=uid)
+        return self._profiles[uid]
+
+    def get(self, uid: int) -> UserProfile:
+        """Return the profile for ``uid`` or raise :class:`ProfileError`."""
+        try:
+            return self._profiles[uid]
+        except KeyError:
+            raise ProfileError(f"no profile for uid={uid}") from None
+
+    def add(self, profile: UserProfile) -> None:
+        """Register ``profile``; replaces any existing profile for the same uid."""
+        self._profiles[profile.uid] = profile
+
+    def __contains__(self, uid: int) -> bool:
+        return uid in self._profiles
+
+    def __iter__(self) -> Iterator[UserProfile]:
+        return iter(self._profiles.values())
+
+    def __len__(self) -> int:
+        return len(self._profiles)
+
+    def user_ids(self) -> List[int]:
+        """All user ids with a registered profile, sorted."""
+        return sorted(self._profiles)
+
+    def preference_counts(self) -> Dict[int, int]:
+        """Mapping ``uid -> total number of preferences`` (Figure 17 input)."""
+        return {uid: len(profile) for uid, profile in self._profiles.items()}

@@ -1,0 +1,151 @@
+"""Exception hierarchy for the ``repro`` (HYPRE) library.
+
+Every error raised by the library derives from :class:`ReproError`, so callers
+can install a single ``except ReproError`` guard around library calls.  More
+specific subclasses exist per subsystem (graph store, relational substrate,
+preference model, algorithms) so tests and applications can assert on the
+precise failure mode.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the HYPRE reproduction library."""
+
+
+# ---------------------------------------------------------------------------
+# Graph store (property graph engine)
+# ---------------------------------------------------------------------------
+
+
+class GraphStoreError(ReproError):
+    """Base class for property-graph engine errors."""
+
+
+class NodeNotFoundError(GraphStoreError):
+    """A node id was requested that does not exist in the graph."""
+
+    def __init__(self, node_id: int) -> None:
+        super().__init__(f"node {node_id!r} does not exist")
+        self.node_id = node_id
+
+
+class EdgeNotFoundError(GraphStoreError):
+    """An edge id was requested that does not exist in the graph."""
+
+    def __init__(self, edge_id: int) -> None:
+        super().__init__(f"edge {edge_id!r} does not exist")
+        self.edge_id = edge_id
+
+
+class DuplicateIndexError(GraphStoreError):
+    """An index with the same (label, property) pair already exists."""
+
+
+class IndexNotFoundError(GraphStoreError):
+    """An index lookup was attempted on a (label, property) pair without an index."""
+
+
+class GraphQueryError(GraphStoreError):
+    """A declarative graph query was malformed or referenced unknown fields."""
+
+
+class GraphPersistenceError(GraphStoreError):
+    """Saving or loading a property graph to/from disk failed."""
+
+
+# ---------------------------------------------------------------------------
+# Relational substrate
+# ---------------------------------------------------------------------------
+
+
+class RelationalError(ReproError):
+    """Base class for errors raised by the SQLite relational substrate."""
+
+
+class SchemaError(RelationalError):
+    """The relational schema could not be created or is inconsistent."""
+
+
+class QueryBuildError(RelationalError):
+    """A SQL query could not be constructed from the given specification."""
+
+
+# ---------------------------------------------------------------------------
+# Preference model
+# ---------------------------------------------------------------------------
+
+
+class PreferenceError(ReproError):
+    """Base class for preference-model errors."""
+
+
+class IntensityRangeError(PreferenceError):
+    """An intensity value fell outside the legal domain for its preference type."""
+
+    def __init__(self, value: float, low: float, high: float) -> None:
+        super().__init__(
+            f"intensity {value!r} outside allowed range [{low}, {high}]"
+        )
+        self.value = value
+        self.low = low
+        self.high = high
+
+
+class PredicateError(PreferenceError):
+    """A predicate was malformed or could not be parsed/evaluated."""
+
+
+class PredicateParseError(PredicateError):
+    """A textual SQL predicate could not be parsed."""
+
+
+class IncompatiblePredicateError(PredicateError):
+    """Two predicates cannot be conjoined (e.g. two different venue equalities)."""
+
+
+class ProfileError(PreferenceError):
+    """A user profile operation failed (unknown user, empty profile, ...)."""
+
+
+class ConflictError(PreferenceError):
+    """A preference insertion produced an unresolvable conflict."""
+
+
+class CycleConflictError(ConflictError):
+    """Inserting a qualitative preference would create a cycle (conflicting behaviour)."""
+
+
+class IncompatibleIntensityError(ConflictError):
+    """Left/right node intensities contradict the direction of a qualitative edge."""
+
+
+# ---------------------------------------------------------------------------
+# Algorithms
+# ---------------------------------------------------------------------------
+
+
+class AlgorithmError(ReproError):
+    """Base class for preference-combination algorithm errors."""
+
+
+class EmptyPreferenceListError(AlgorithmError):
+    """An algorithm was invoked with no preferences to combine."""
+
+
+class TopKError(AlgorithmError):
+    """A Top-K retrieval failed (bad K, missing grade lists, ...)."""
+
+
+# ---------------------------------------------------------------------------
+# Workload generation
+# ---------------------------------------------------------------------------
+
+
+class WorkloadError(ReproError):
+    """Base class for synthetic workload generation errors."""
+
+
+class ExtractionError(WorkloadError):
+    """Preference extraction from the citation network failed."""

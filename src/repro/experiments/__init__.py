@@ -1,0 +1,49 @@
+"""Experiment harness: one function per table/figure of the paper."""
+
+from .context import SCALES, ExperimentContext, clear_cache, get_context
+from .figures import (
+    ablation_combination_functions,
+    ablation_default_strategies,
+    fig13_node_insertion,
+    fig17_preference_distribution,
+    fig18_25_utility_and_tuples,
+    fig26_27_preference_growth,
+    fig28_coverage,
+    fig29_31_combine_two,
+    fig32_34_partially_combine_all,
+    fig35_36_bias_random,
+    fig37_38_peps_vs_ta,
+    fig39_40_peps_time,
+    prop3_4_counting,
+    table10_statistics,
+    table11_insertion_time,
+    table12_default_values,
+)
+from .reporting import format_mapping, format_series, format_table, print_report
+
+__all__ = [
+    "SCALES",
+    "ExperimentContext",
+    "ablation_combination_functions",
+    "ablation_default_strategies",
+    "clear_cache",
+    "fig13_node_insertion",
+    "fig17_preference_distribution",
+    "fig18_25_utility_and_tuples",
+    "fig26_27_preference_growth",
+    "fig28_coverage",
+    "fig29_31_combine_two",
+    "fig32_34_partially_combine_all",
+    "fig35_36_bias_random",
+    "fig37_38_peps_vs_ta",
+    "fig39_40_peps_time",
+    "format_mapping",
+    "format_series",
+    "format_table",
+    "get_context",
+    "print_report",
+    "prop3_4_counting",
+    "table10_statistics",
+    "table11_insertion_time",
+    "table12_default_values",
+]

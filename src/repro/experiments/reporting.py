@@ -1,0 +1,70 @@
+"""Plain-text reporting helpers for the experiment harness.
+
+The benchmark modules print the same rows/series the paper reports; these
+helpers format dictionaries and sequences as aligned text tables without any
+third-party dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Mapping, Sequence
+
+
+def format_table(rows: Sequence[Mapping[str, Any]],
+                 columns: Sequence[str] | None = None,
+                 float_format: str = "{:.4f}") -> str:
+    """Render a list of dict rows as an aligned text table."""
+    rows = list(rows)
+    if not rows:
+        return "(no rows)"
+    if columns is None:
+        columns = list(rows[0].keys())
+
+    def render(value: Any) -> str:
+        if isinstance(value, float):
+            return float_format.format(value)
+        return str(value)
+
+    rendered = [[render(row.get(column, "")) for column in columns] for row in rows]
+    widths = [max(len(str(column)), *(len(line[index]) for line in rendered))
+              for index, column in enumerate(columns)]
+    header = "  ".join(str(column).ljust(widths[index])
+                       for index, column in enumerate(columns))
+    separator = "  ".join("-" * width for width in widths)
+    body = [
+        "  ".join(line[index].ljust(widths[index]) for index in range(len(columns)))
+        for line in rendered
+    ]
+    return "\n".join([header, separator, *body])
+
+
+def format_mapping(mapping: Mapping[str, Any], title: str = "",
+                   float_format: str = "{:.4f}") -> str:
+    """Render a flat mapping as ``key: value`` lines with an optional title."""
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+        lines.append("-" * len(title))
+    width = max((len(str(key)) for key in mapping), default=0)
+    for key, value in mapping.items():
+        if isinstance(value, float):
+            value = float_format.format(value)
+        lines.append(f"{str(key).ljust(width)} : {value}")
+    return "\n".join(lines)
+
+
+def format_series(values: Iterable[float], name: str = "series",
+                  max_items: int = 20, float_format: str = "{:.4f}") -> str:
+    """Render a numeric series compactly (truncated with an ellipsis)."""
+    values = list(values)
+    shown = values[:max_items]
+    rendered = ", ".join(float_format.format(value) if isinstance(value, float)
+                         else str(value) for value in shown)
+    suffix = f", ... ({len(values)} values total)" if len(values) > max_items else ""
+    return f"{name}: [{rendered}{suffix}]"
+
+
+def print_report(title: str, body: str) -> None:
+    """Print a titled report block (used by the benchmark harness)."""
+    banner = "=" * max(len(title), 8)
+    print(f"\n{banner}\n{title}\n{banner}\n{body}\n")

@@ -1,0 +1,40 @@
+"""Extensions implementing the paper's future-work directions.
+
+* :mod:`repro.extensions.skyline` — attribute-based preferences and skyline
+  (Pareto-optimal) queries, Sections 1.4 / 3.2.2.
+* :mod:`repro.extensions.context` — context-aware preferences and
+  per-context profile materialisation, Section 8.2.
+* :mod:`repro.extensions.groups` — group profiles merging several users'
+  preferences, Section 8.2.
+"""
+
+from .context import ALL, ContextState, ContextualPreference, ContextualProfile
+from .groups import AGGREGATIONS, GroupProfile, merge_profiles
+from .skyline import (
+    MAX,
+    MIN,
+    AttributePreference,
+    dominates,
+    order_by_clause,
+    prioritized_skyline,
+    rank_by_weighted_score,
+    skyline,
+)
+
+__all__ = [
+    "AGGREGATIONS",
+    "ALL",
+    "AttributePreference",
+    "ContextState",
+    "ContextualPreference",
+    "ContextualProfile",
+    "GroupProfile",
+    "MAX",
+    "MIN",
+    "dominates",
+    "merge_profiles",
+    "order_by_clause",
+    "prioritized_skyline",
+    "rank_by_weighted_score",
+    "skyline",
+]

@@ -1,0 +1,160 @@
+"""Context-aware preferences (paper Sections 2.4, 8.2 — future work).
+
+The dissertation's HYPRE graph is context-free but its future-work chapter
+calls for contextual preferences: the same user may weigh a preference
+differently depending on the situation (*"on a rainy day I care about movies,
+on a sunny day about outdoor activities"*).  This module implements the
+contextual-preference-graph style of Stefanidis et al. (Figure 2):
+
+* a **context state** is a tuple of dimension values (e.g. ``company=friends,
+  weather=good, occasion=holidays``) where ``ALL`` is the wildcard;
+* a :class:`ContextualPreference` attaches a context state to a preference
+  (any predicate/intensity pair);
+* a :class:`ContextualProfile` stores many contextual preferences and, given
+  a concrete query context, returns the applicable ones — preferring the most
+  *specific* matching state (tight covers win over general ones);
+* contextual conflicts are resolved exactly as Section 6.2.3 suggests: a
+  conflicting pair under different contexts is *not* a conflict, so the
+  HYPRE builder can be fed the per-context selection without CYCLE/DISCARD
+  edges.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
+
+from ..core.predicate import PredicateExpr, ensure_predicate, predicate_key
+from ..core.preference import UserProfile
+from ..exceptions import PreferenceError
+
+#: Wildcard value matching any context dimension value.
+ALL = "ALL"
+
+
+@dataclass(frozen=True)
+class ContextState:
+    """An assignment of values to context dimensions (``ALL`` = any value)."""
+
+    values: Tuple[Tuple[str, str], ...]
+
+    @classmethod
+    def of(cls, **dimensions: str) -> "ContextState":
+        """Build a state from keyword arguments, e.g. ``ContextState.of(weather='good')``."""
+        return cls(tuple(sorted((key, str(value)) for key, value in dimensions.items())))
+
+    def as_dict(self) -> Dict[str, str]:
+        """The state as a plain dictionary."""
+        return dict(self.values)
+
+    def dimensions(self) -> Tuple[str, ...]:
+        """The dimensions this state constrains (including ``ALL`` entries)."""
+        return tuple(key for key, _ in self.values)
+
+    def specificity(self) -> int:
+        """Number of non-wildcard dimensions (higher = more specific)."""
+        return sum(1 for _, value in self.values if value != ALL)
+
+    def covers(self, other: "ContextState") -> bool:
+        """``True`` when every dimension of this state matches ``other``.
+
+        A dimension matches when this state holds ``ALL`` or the same value;
+        dimensions absent from this state are treated as ``ALL``.
+        """
+        concrete = other.as_dict()
+        for key, value in self.values:
+            if value == ALL:
+                continue
+            if concrete.get(key, ALL) != value:
+                return False
+        return True
+
+    def __str__(self) -> str:
+        return "(" + ", ".join(f"{key}={value}" for key, value in self.values) + ")"
+
+
+@dataclass(frozen=True)
+class ContextualPreference:
+    """A quantitative preference that only applies in a given context state."""
+
+    predicate: PredicateExpr
+    intensity: float
+    context: ContextState
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "predicate", ensure_predicate(self.predicate))
+        if not -1.0 <= self.intensity <= 1.0:
+            raise PreferenceError(f"intensity {self.intensity} outside [-1, 1]")
+
+    @property
+    def predicate_sql(self) -> str:
+        """SQL rendering of the predicate."""
+        return predicate_key(self.predicate)
+
+
+class ContextualProfile:
+    """A user's contextual preferences plus context-aware selection."""
+
+    def __init__(self, uid: int) -> None:
+        self.uid = uid
+        self._preferences: List[ContextualPreference] = []
+
+    def add(self, predicate: Union[str, PredicateExpr], intensity: float,
+            **context: str) -> ContextualPreference:
+        """Register a preference valid in the given context (``ALL`` when empty)."""
+        preference = ContextualPreference(
+            predicate=ensure_predicate(predicate),
+            intensity=float(intensity),
+            context=ContextState.of(**context) if context else ContextState(()),
+        )
+        self._preferences.append(preference)
+        return preference
+
+    def __len__(self) -> int:
+        return len(self._preferences)
+
+    def preferences(self) -> List[ContextualPreference]:
+        """All registered contextual preferences."""
+        return list(self._preferences)
+
+    # -- context-aware selection --------------------------------------------------
+
+    def applicable(self, **context: str) -> List[ContextualPreference]:
+        """Preferences whose context covers the given query context.
+
+        When several preferences on the *same predicate* apply, only the most
+        specific context state is kept (a tight cover overrides its ancestors,
+        mirroring the contextual preference graph of Figure 2).
+        """
+        state = ContextState.of(**context)
+        matching = [pref for pref in self._preferences if pref.context.covers(state)]
+        best: Dict[str, ContextualPreference] = {}
+        for pref in matching:
+            key = pref.predicate_sql
+            current = best.get(key)
+            if current is None or pref.context.specificity() > current.context.specificity():
+                best[key] = pref
+        return sorted(best.values(), key=lambda pref: -pref.intensity)
+
+    def scored_predicates(self, **context: str) -> List[Tuple[str, float]]:
+        """``(predicate sql, intensity)`` pairs applicable in ``context``."""
+        return [(pref.predicate_sql, pref.intensity)
+                for pref in self.applicable(**context)]
+
+    def to_profile(self, **context: str) -> UserProfile:
+        """Materialise the context-free :class:`UserProfile` for one context.
+
+        The result can be fed straight into the HYPRE graph builder, which is
+        how contextual preferences compose with the rest of the system.
+        """
+        profile = UserProfile(uid=self.uid)
+        for pref in self.applicable(**context):
+            profile.add_quantitative(pref.predicate, pref.intensity)
+        return profile
+
+    def contexts(self) -> List[ContextState]:
+        """The distinct context states mentioned by this profile."""
+        seen: Dict[str, ContextState] = {}
+        for pref in self._preferences:
+            seen.setdefault(str(pref.context), pref.context)
+        return sorted(seen.values(), key=lambda state: (-state.specificity(), str(state)))

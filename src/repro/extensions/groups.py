@@ -1,0 +1,146 @@
+"""Group profiles (paper Section 8.2 — future work).
+
+The dissertation suggests combining multiple user profiles into a *group*
+profile (e.g. everyone in a research group) so that users with few
+preferences can benefit from the collective ones.  This module implements
+that extension on top of the existing :class:`UserProfile` container:
+
+* :func:`merge_profiles` — fold several profiles into one synthetic group
+  profile; predicates shared by several members are aggregated with a
+  configurable strategy (average, minimum, maximum or inflationary f∧),
+  qualitative preferences are kept with their strongest strength;
+* :class:`GroupProfile` — a thin wrapper that tracks the member ids, exposes
+  agreement statistics and can weight members unequally (a team lead counts
+  more than an intern).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from ..core.intensity import clamp, combine_and
+from ..core.preference import QualitativePreference, QuantitativePreference, UserProfile
+from ..exceptions import ProfileError
+
+#: Aggregation strategies for intensities of a predicate shared by members.
+AGGREGATIONS: Dict[str, Callable[[Sequence[float]], float]] = {
+    "average": lambda values: sum(values) / len(values),
+    "min": min,
+    "max": max,
+    "inflationary": lambda values: combine_and([abs(v) for v in values])
+    if all(v >= 0 for v in values) else sum(values) / len(values),
+}
+
+
+def _aggregate(values: Sequence[float], strategy: str) -> float:
+    try:
+        return clamp(AGGREGATIONS[strategy](list(values)))
+    except KeyError:
+        raise ProfileError(
+            f"unknown aggregation {strategy!r}; expected one of {sorted(AGGREGATIONS)}"
+        ) from None
+
+
+def merge_profiles(profiles: Sequence[UserProfile],
+                   group_uid: int,
+                   strategy: str = "average",
+                   weights: Optional[Mapping[int, float]] = None) -> UserProfile:
+    """Merge member profiles into one group profile.
+
+    ``weights`` optionally scales each member's intensities before
+    aggregation (default weight 1.0); the result is clamped back into the
+    legal intensity domain.  Qualitative preferences appearing in several
+    members keep the strongest strength seen.
+    """
+    if not profiles:
+        raise ProfileError("cannot merge an empty list of profiles")
+    weights = dict(weights or {})
+
+    quantitative: Dict[str, List[float]] = defaultdict(list)
+    for profile in profiles:
+        weight = float(weights.get(profile.uid, 1.0))
+        for pref in profile.quantitative:
+            quantitative[pref.predicate_sql].append(clamp(pref.intensity * weight))
+
+    qualitative: Dict[Tuple[str, str], float] = {}
+    for profile in profiles:
+        for pref in profile.qualitative:
+            normalised = pref.normalised()
+            key = (normalised.left_sql, normalised.right_sql)
+            qualitative[key] = max(qualitative.get(key, 0.0), normalised.intensity)
+
+    group = UserProfile(uid=group_uid)
+    for predicate, values in sorted(quantitative.items()):
+        group.add_quantitative(predicate, _aggregate(values, strategy))
+    for (left, right), strength in sorted(qualitative.items()):
+        group.add_qualitative(left, right, strength)
+    return group
+
+
+@dataclass
+class GroupProfile:
+    """A named group of users whose profiles can be merged on demand."""
+
+    group_uid: int
+    members: Dict[int, UserProfile] = field(default_factory=dict)
+    weights: Dict[int, float] = field(default_factory=dict)
+
+    def add_member(self, profile: UserProfile, weight: float = 1.0) -> None:
+        """Register (or replace) a member profile with an optional weight."""
+        if weight <= 0:
+            raise ProfileError("member weight must be positive")
+        self.members[profile.uid] = profile
+        self.weights[profile.uid] = weight
+
+    def remove_member(self, uid: int) -> None:
+        """Drop a member (no-op when absent)."""
+        self.members.pop(uid, None)
+        self.weights.pop(uid, None)
+
+    def __len__(self) -> int:
+        return len(self.members)
+
+    def merged(self, strategy: str = "average") -> UserProfile:
+        """The merged group profile under the given aggregation strategy."""
+        if not self.members:
+            raise ProfileError(f"group {self.group_uid} has no members")
+        return merge_profiles(list(self.members.values()), self.group_uid,
+                              strategy=strategy, weights=self.weights)
+
+    # -- statistics ---------------------------------------------------------------
+
+    def predicate_support(self) -> Dict[str, int]:
+        """How many members mention each quantitative predicate."""
+        support: Dict[str, int] = defaultdict(int)
+        for profile in self.members.values():
+            for predicate in {pref.predicate_sql for pref in profile.quantitative}:
+                support[predicate] += 1
+        return dict(support)
+
+    def consensus_predicates(self, minimum_support: Optional[int] = None) -> List[str]:
+        """Predicates shared by at least ``minimum_support`` members (default: all)."""
+        if minimum_support is None:
+            minimum_support = len(self.members)
+        if minimum_support < 1:
+            raise ProfileError("minimum_support must be at least 1")
+        return sorted(predicate for predicate, count in self.predicate_support().items()
+                      if count >= minimum_support)
+
+    def disagreements(self) -> List[Tuple[str, float, float]]:
+        """Predicates on which members disagree in sign (like vs dislike).
+
+        Returns ``(predicate, lowest intensity, highest intensity)`` rows —
+        candidates for asking the group to resolve explicitly, the conflict
+        resolution route Section 6.2.3 describes for interactive systems.
+        """
+        by_predicate: Dict[str, List[float]] = defaultdict(list)
+        for profile in self.members.values():
+            for pref in profile.quantitative:
+                by_predicate[pref.predicate_sql].append(pref.intensity)
+        rows = []
+        for predicate, values in sorted(by_predicate.items()):
+            if min(values) < 0 < max(values):
+                rows.append((predicate, min(values), max(values)))
+        return rows

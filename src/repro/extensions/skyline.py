@@ -1,0 +1,193 @@
+"""Attribute-based preferences and skyline queries (paper Sections 1.4, 3.2.2, 8.2).
+
+The dissertation's model is predicate-based, but it points out that
+*attribute-based* preferences — a preferred attribute plus a function such as
+``min`` or ``max`` — extend the graph naturally and enable skyline queries
+("I want the cheapest hotel that is close to the beach").  This module
+implements that extension:
+
+* :class:`AttributePreference` — an attribute, an optimisation direction and
+  an optional importance weight / priority;
+* :func:`dominates` and :func:`skyline` — Pareto dominance and the skyline
+  (Pareto-optimal set) over in-memory rows;
+* :func:`prioritized_skyline` — the *prioritized* composition of attribute
+  preferences (the more important attribute decides first, the next one
+  breaks ties), matching the paper's "price is more important than distance"
+  example;
+* :func:`rank_by_weighted_score` — the quantitative counterpart: attribute
+  values are normalised to ``[0, 1]`` and folded with the inflationary
+  combination, so skyline and Top-K live in the same intensity algebra;
+* :func:`order_by_clause` — translate attribute preferences into a SQL
+  ``ORDER BY`` clause for the relational substrate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from ..exceptions import PreferenceError
+
+#: Optimisation directions for attribute preferences.
+MIN = "min"
+MAX = "max"
+
+
+@dataclass(frozen=True)
+class AttributePreference:
+    """A preference on an attribute plus the function that orders its values.
+
+    ``weight`` expresses how much the attribute matters for the quantitative
+    (weighted-score) ranking; ``priority`` orders attributes for the
+    prioritized (lexicographic) composition — lower values are more
+    important.
+    """
+
+    attribute: str
+    direction: str = MIN
+    weight: float = 1.0
+    priority: int = 0
+
+    def __post_init__(self) -> None:
+        if self.direction not in (MIN, MAX):
+            raise PreferenceError(
+                f"direction must be {MIN!r} or {MAX!r}, got {self.direction!r}")
+        if self.weight <= 0:
+            raise PreferenceError("weight must be positive")
+
+    def better(self, first: Any, second: Any) -> bool:
+        """``True`` when ``first`` is strictly better than ``second``."""
+        if first is None or second is None:
+            return False
+        if self.direction == MIN:
+            return first < second
+        return first > second
+
+    def at_least_as_good(self, first: Any, second: Any) -> bool:
+        """``True`` when ``first`` is at least as good as ``second``."""
+        if first is None or second is None:
+            return first == second
+        if self.direction == MIN:
+            return first <= second
+        return first >= second
+
+    def sort_key(self, row: Mapping[str, Any]) -> Any:
+        """Sort key under which *better* values come first."""
+        value = row.get(self.attribute)
+        if value is None:
+            return float("inf")
+        return value if self.direction == MIN else -value
+
+
+def dominates(first: Mapping[str, Any], second: Mapping[str, Any],
+              preferences: Sequence[AttributePreference]) -> bool:
+    """Pareto dominance: ``first`` is at least as good everywhere, better somewhere."""
+    if not preferences:
+        raise PreferenceError("dominance needs at least one attribute preference")
+    at_least_as_good = all(
+        pref.at_least_as_good(first.get(pref.attribute), second.get(pref.attribute))
+        for pref in preferences)
+    strictly_better = any(
+        pref.better(first.get(pref.attribute), second.get(pref.attribute))
+        for pref in preferences)
+    return at_least_as_good and strictly_better
+
+
+def skyline(rows: Iterable[Mapping[str, Any]],
+            preferences: Sequence[AttributePreference]) -> List[Mapping[str, Any]]:
+    """Return the Pareto-optimal rows (no other row dominates them).
+
+    The block-nested-loop formulation is quadratic but dependency-free and
+    adequate for the workload sizes the library targets.
+    """
+    rows = list(rows)
+    result: List[Mapping[str, Any]] = []
+    for candidate in rows:
+        if not any(dominates(other, candidate, preferences)
+                   for other in rows if other is not candidate):
+            result.append(candidate)
+    return result
+
+
+def prioritized_skyline(rows: Iterable[Mapping[str, Any]],
+                        preferences: Sequence[AttributePreference]) -> List[Mapping[str, Any]]:
+    """Lexicographic (prioritized) composition of attribute preferences.
+
+    The attribute with the lowest ``priority`` decides first; later attributes
+    only break ties — the paper's "price is more important than distance".
+    Returns all rows sorted from most to least preferred.
+    """
+    ordered_preferences = sorted(preferences, key=lambda pref: pref.priority)
+    if not ordered_preferences:
+        raise PreferenceError("prioritized composition needs at least one preference")
+    return sorted(rows, key=lambda row: tuple(
+        pref.sort_key(row) for pref in ordered_preferences))
+
+
+def _normalise(values: Sequence[float], direction: str) -> List[float]:
+    """Scale values into [0, 1] where 1 is best under ``direction``."""
+    numeric = [float(value) for value in values]
+    low, high = min(numeric), max(numeric)
+    if high == low:
+        return [1.0 for _ in numeric]
+    scaled = [(value - low) / (high - low) for value in numeric]
+    if direction == MIN:
+        scaled = [1.0 - value for value in scaled]
+    return scaled
+
+
+def rank_by_weighted_score(rows: Sequence[Mapping[str, Any]],
+                           preferences: Sequence[AttributePreference],
+                           top_k: Optional[int] = None) -> List[Tuple[Mapping[str, Any], float]]:
+    """Quantitative ranking of rows by attribute preferences.
+
+    Each attribute value is normalised into ``[0, 1]`` (1 = best under the
+    preference's direction) and the per-attribute scores are combined with the
+    *reserved* strategy — a weighted average — so a row must do well on every
+    attribute to rank highly (the inflationary ``f∧`` would saturate as soon
+    as a single attribute is perfect).  Rows missing an attribute value
+    receive the worst observed value for that attribute.  The resulting score
+    lives in ``[0, 1]`` and is therefore directly comparable with
+    predicate-based intensities.
+    """
+    if not preferences:
+        raise PreferenceError("ranking needs at least one attribute preference")
+    rows = list(rows)
+    if not rows:
+        return []
+    per_attribute: Dict[str, List[float]] = {}
+    for pref in preferences:
+        values = [row.get(pref.attribute) for row in rows]
+        present = [value for value in values if value is not None]
+        if not present:
+            per_attribute[pref.attribute] = [0.0] * len(rows)
+            continue
+        fallback = max(present) if pref.direction == MIN else min(present)
+        filled = [value if value is not None else fallback for value in values]
+        per_attribute[pref.attribute] = _normalise(filled, pref.direction)
+
+    total_weight = sum(pref.weight for pref in preferences)
+    scored: List[Tuple[Mapping[str, Any], float]] = []
+    for index, row in enumerate(rows):
+        weighted = sum(per_attribute[pref.attribute][index] * pref.weight
+                       for pref in preferences)
+        scored.append((row, weighted / total_weight))
+    scored.sort(key=lambda item: -item[1])
+    if top_k is not None:
+        scored = scored[:top_k]
+    return scored
+
+
+def order_by_clause(preferences: Sequence[AttributePreference]) -> str:
+    """Translate attribute preferences into a SQL ``ORDER BY`` clause.
+
+    Attributes are ordered by priority; ``min`` maps to ``ASC`` and ``max`` to
+    ``DESC`` — the translation step Section 3.2.2 says an attribute-based
+    graph needs before it can enhance a user query.
+    """
+    if not preferences:
+        raise PreferenceError("ORDER BY needs at least one attribute preference")
+    ordered = sorted(preferences, key=lambda pref: pref.priority)
+    parts = [f"{pref.attribute} {'ASC' if pref.direction == MIN else 'DESC'}"
+             for pref in ordered]
+    return ", ".join(parts)

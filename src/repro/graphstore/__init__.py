@@ -1,0 +1,40 @@
+"""Embedded property-graph engine (Neo4j substitute) used by the HYPRE graph.
+
+Public API
+----------
+:class:`PropertyGraph`
+    Directed labelled property graph with indexes, traversal and persistence.
+:class:`Node`, :class:`Edge`
+    Immutable-ish records returned by the graph.
+:class:`NodeQuery`, :class:`ExpandQuery`
+    Declarative query layer (the Cypher substitute).
+:class:`GraphStore`, :func:`save_graph`, :func:`load_graph`
+    JSON persistence.
+``PREFERS``, ``CYCLE``, ``DISCARD``
+    Relationship types used by the HYPRE preference graph.
+"""
+
+from .edge import CYCLE, DISCARD, HYPRE_EDGE_TYPES, PREFERS, Edge
+from .graph import PropertyGraph
+from .index import IndexRegistry, PropertyIndex
+from .node import Node, make_node
+from .query import ExpandQuery, NodeQuery
+from .storage import GraphStore, load_graph, save_graph
+
+__all__ = [
+    "CYCLE",
+    "DISCARD",
+    "HYPRE_EDGE_TYPES",
+    "PREFERS",
+    "Edge",
+    "ExpandQuery",
+    "GraphStore",
+    "IndexRegistry",
+    "Node",
+    "NodeQuery",
+    "PropertyGraph",
+    "PropertyIndex",
+    "load_graph",
+    "make_node",
+    "save_graph",
+]

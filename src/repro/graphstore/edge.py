@@ -1,0 +1,89 @@
+"""Edge records for the embedded property-graph engine.
+
+Edges are directed, typed (``rel_type``) and carry a property map.  The HYPRE
+graph uses three relationship types (Section 4.2 of the paper):
+
+* ``PREFERS`` — a valid qualitative preference, traversed by all algorithms.
+* ``CYCLE``   — the edge would have created a cycle; kept for provenance but
+  never traversed.
+* ``DISCARD`` — the edge contradicts existing node intensities and could not
+  be repaired; kept but never traversed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Mapping
+
+#: Relationship type for valid qualitative preferences.
+PREFERS = "PREFERS"
+#: Relationship type marking a conflicting (cycle-creating) edge.
+CYCLE = "CYCLE"
+#: Relationship type marking an edge dropped due to incompatible intensities.
+DISCARD = "DISCARD"
+
+#: All relationship types used by the HYPRE graph.
+HYPRE_EDGE_TYPES = (PREFERS, CYCLE, DISCARD)
+
+
+@dataclass
+class Edge:
+    """A directed, typed edge between two nodes.
+
+    Parameters
+    ----------
+    edge_id:
+        Internal identifier assigned by the graph.
+    source:
+        Node id where the edge starts (the *left*, more-preferred node).
+    target:
+        Node id where the edge ends (the *right*, less-preferred node).
+    rel_type:
+        Relationship type string (e.g. ``PREFERS``).
+    properties:
+        Arbitrary key/value payload; HYPRE stores the qualitative intensity here.
+    """
+
+    edge_id: int
+    source: int
+    target: int
+    rel_type: str
+    properties: Dict[str, Any] = field(default_factory=dict)
+
+    def get(self, key: str, default: Any = None) -> Any:
+        """Return property ``key`` or ``default`` when absent."""
+        return self.properties.get(key, default)
+
+    def __getitem__(self, key: str) -> Any:
+        return self.properties[key]
+
+    def is_self_loop(self) -> bool:
+        """Return ``True`` when the edge starts and ends on the same node."""
+        return self.source == self.target
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Return a JSON-serialisable representation of the edge."""
+        return {
+            "edge_id": self.edge_id,
+            "source": self.source,
+            "target": self.target,
+            "rel_type": self.rel_type,
+            "properties": dict(self.properties),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "Edge":
+        """Rebuild an edge from :meth:`to_dict` output."""
+        return cls(
+            edge_id=int(payload["edge_id"]),
+            source=int(payload["source"]),
+            target=int(payload["target"]),
+            rel_type=str(payload["rel_type"]),
+            properties=dict(payload.get("properties", {})),
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"Edge(id={self.edge_id}, {self.source}-[{self.rel_type}]->{self.target}, "
+            f"props={self.properties})"
+        )

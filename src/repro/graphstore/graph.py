@@ -1,0 +1,489 @@
+"""An embedded property-graph engine.
+
+This module is the Neo4j substitute used by the HYPRE prototype (paper
+Section 4.3).  It provides the graph-database operations the dissertation
+relies on:
+
+* node creation with labels and properties, including batch insertion,
+* typed, directed edges with properties,
+* exact-match property indexes restricted to a label (``uidIndex(uid)``),
+* degree queries filtered by relationship type,
+* path-existence checks (used for cycle detection before inserting a
+  qualitative preference),
+* traversal and simple declarative queries (see :mod:`repro.graphstore.query`).
+
+The engine is deliberately in-memory with explicit persistence (see
+:mod:`repro.graphstore.storage`), which keeps the algorithmic behaviour of the
+paper while remaining a pure-Python dependency-free substrate.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict, deque
+from typing import Any, Callable, Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Set, Tuple
+
+from ..exceptions import (
+    DuplicateIndexError,
+    EdgeNotFoundError,
+    IndexNotFoundError,
+    NodeNotFoundError,
+)
+from .edge import Edge
+from .index import IndexRegistry, PropertyIndex
+from .node import Node, make_node
+
+
+class PropertyGraph:
+    """A directed, labelled property graph with indexes and traversal support."""
+
+    def __init__(self) -> None:
+        self._nodes: Dict[int, Node] = {}
+        self._edges: Dict[int, Edge] = {}
+        self._outgoing: Dict[int, Set[int]] = defaultdict(set)
+        self._incoming: Dict[int, Set[int]] = defaultdict(set)
+        self._indexes = IndexRegistry()
+        self._next_node_id = 0
+        self._next_edge_id = 0
+
+    # ------------------------------------------------------------------
+    # Node operations
+    # ------------------------------------------------------------------
+
+    def add_node(self,
+                 properties: Optional[Mapping[str, Any]] = None,
+                 labels: Optional[Iterable[str]] = None) -> Node:
+        """Create a node, assign it an internal id and return it."""
+        node = make_node(self._next_node_id, properties, labels)
+        self._next_node_id += 1
+        self._nodes[node.node_id] = node
+        self._indexes.on_node_added(node)
+        return node
+
+    def add_nodes_batch(self,
+                        batch: Sequence[Mapping[str, Any]],
+                        labels: Optional[Iterable[str]] = None) -> List[Node]:
+        """Insert many nodes in one call (the paper's batched insertion path).
+
+        ``batch`` is a sequence of property mappings; all created nodes share
+        the same ``labels``.  Returns the created nodes in input order.
+        """
+        label_set = frozenset(labels or ())
+        created: List[Node] = []
+        for properties in batch:
+            node = Node(
+                node_id=self._next_node_id,
+                properties=dict(properties),
+                labels=label_set,
+            )
+            self._next_node_id += 1
+            self._nodes[node.node_id] = node
+            self._indexes.on_node_added(node)
+            created.append(node)
+        return created
+
+    def get_node(self, node_id: int) -> Node:
+        """Return the node with ``node_id`` or raise :class:`NodeNotFoundError`."""
+        try:
+            return self._nodes[node_id]
+        except KeyError:
+            raise NodeNotFoundError(node_id) from None
+
+    def has_node(self, node_id: int) -> bool:
+        """Return ``True`` when ``node_id`` exists in the graph."""
+        return node_id in self._nodes
+
+    def update_node(self, node_id: int, updates: Mapping[str, Any]) -> Node:
+        """Merge ``updates`` into the node's properties and refresh indexes."""
+        node = self.get_node(node_id)
+        updated = node.with_updates(updates)
+        self._nodes[node_id] = updated
+        self._indexes.on_node_updated(updated)
+        return updated
+
+    def add_labels(self, node_id: int, labels: Iterable[str]) -> Node:
+        """Add ``labels`` to the node and refresh indexes."""
+        node = self.get_node(node_id)
+        updated = node.with_labels(labels)
+        self._nodes[node_id] = updated
+        self._indexes.on_node_updated(updated)
+        return updated
+
+    def remove_node(self, node_id: int) -> None:
+        """Delete a node together with all its incident edges."""
+        self.get_node(node_id)
+        for edge_id in list(self._outgoing.get(node_id, ())):
+            self.remove_edge(edge_id)
+        for edge_id in list(self._incoming.get(node_id, ())):
+            self.remove_edge(edge_id)
+        del self._nodes[node_id]
+        self._outgoing.pop(node_id, None)
+        self._incoming.pop(node_id, None)
+        self._indexes.on_node_removed(node_id)
+
+    def nodes(self) -> Iterator[Node]:
+        """Iterate over all nodes."""
+        return iter(self._nodes.values())
+
+    def node_count(self) -> int:
+        """Return the number of nodes in the graph."""
+        return len(self._nodes)
+
+    # ------------------------------------------------------------------
+    # Edge operations
+    # ------------------------------------------------------------------
+
+    def add_edge(self,
+                 source: int,
+                 target: int,
+                 rel_type: str,
+                 properties: Optional[Mapping[str, Any]] = None) -> Edge:
+        """Create a directed edge of ``rel_type`` from ``source`` to ``target``."""
+        if source not in self._nodes:
+            raise NodeNotFoundError(source)
+        if target not in self._nodes:
+            raise NodeNotFoundError(target)
+        edge = Edge(
+            edge_id=self._next_edge_id,
+            source=source,
+            target=target,
+            rel_type=rel_type,
+            properties=dict(properties or {}),
+        )
+        self._next_edge_id += 1
+        self._edges[edge.edge_id] = edge
+        self._outgoing[source].add(edge.edge_id)
+        self._incoming[target].add(edge.edge_id)
+        return edge
+
+    def get_edge(self, edge_id: int) -> Edge:
+        """Return the edge with ``edge_id`` or raise :class:`EdgeNotFoundError`."""
+        try:
+            return self._edges[edge_id]
+        except KeyError:
+            raise EdgeNotFoundError(edge_id) from None
+
+    def update_edge(self, edge_id: int, *,
+                    rel_type: Optional[str] = None,
+                    properties: Optional[Mapping[str, Any]] = None) -> Edge:
+        """Relabel an edge and/or merge new properties into it."""
+        edge = self.get_edge(edge_id)
+        new_props = dict(edge.properties)
+        if properties:
+            new_props.update(properties)
+        updated = Edge(
+            edge_id=edge.edge_id,
+            source=edge.source,
+            target=edge.target,
+            rel_type=rel_type if rel_type is not None else edge.rel_type,
+            properties=new_props,
+        )
+        self._edges[edge_id] = updated
+        return updated
+
+    def remove_edge(self, edge_id: int) -> None:
+        """Delete an edge from the graph."""
+        edge = self.get_edge(edge_id)
+        del self._edges[edge_id]
+        self._outgoing[edge.source].discard(edge_id)
+        self._incoming[edge.target].discard(edge_id)
+
+    def edges(self) -> Iterator[Edge]:
+        """Iterate over all edges."""
+        return iter(self._edges.values())
+
+    def edge_count(self) -> int:
+        """Return the number of edges in the graph."""
+        return len(self._edges)
+
+    # ------------------------------------------------------------------
+    # Neighbourhood and degree queries
+    # ------------------------------------------------------------------
+
+    def out_edges(self, node_id: int,
+                  rel_types: Optional[Iterable[str]] = None) -> List[Edge]:
+        """Return edges leaving ``node_id``, optionally filtered by type."""
+        self.get_node(node_id)
+        allowed = set(rel_types) if rel_types is not None else None
+        edges = [self._edges[eid] for eid in self._outgoing.get(node_id, ())]
+        if allowed is not None:
+            edges = [edge for edge in edges if edge.rel_type in allowed]
+        return edges
+
+    def in_edges(self, node_id: int,
+                 rel_types: Optional[Iterable[str]] = None) -> List[Edge]:
+        """Return edges entering ``node_id``, optionally filtered by type."""
+        self.get_node(node_id)
+        allowed = set(rel_types) if rel_types is not None else None
+        edges = [self._edges[eid] for eid in self._incoming.get(node_id, ())]
+        if allowed is not None:
+            edges = [edge for edge in edges if edge.rel_type in allowed]
+        return edges
+
+    def successors(self, node_id: int,
+                   rel_types: Optional[Iterable[str]] = None) -> List[int]:
+        """Node ids reachable through one outgoing edge (excluding self loops)."""
+        return [edge.target for edge in self.out_edges(node_id, rel_types)
+                if edge.target != node_id]
+
+    def predecessors(self, node_id: int,
+                     rel_types: Optional[Iterable[str]] = None) -> List[int]:
+        """Node ids that reach ``node_id`` through one edge (excluding self loops)."""
+        return [edge.source for edge in self.in_edges(node_id, rel_types)
+                if edge.source != node_id]
+
+    def out_degree(self, node_id: int,
+                   rel_types: Optional[Iterable[str]] = None,
+                   include_self_loops: bool = False) -> int:
+        """Number of outgoing edges, optionally excluding self loops."""
+        edges = self.out_edges(node_id, rel_types)
+        if not include_self_loops:
+            edges = [edge for edge in edges if not edge.is_self_loop()]
+        return len(edges)
+
+    def in_degree(self, node_id: int,
+                  rel_types: Optional[Iterable[str]] = None,
+                  include_self_loops: bool = False) -> int:
+        """Number of incoming edges, optionally excluding self loops."""
+        edges = self.in_edges(node_id, rel_types)
+        if not include_self_loops:
+            edges = [edge for edge in edges if not edge.is_self_loop()]
+        return len(edges)
+
+    def degree(self, node_id: int,
+               rel_types: Optional[Iterable[str]] = None,
+               include_self_loops: bool = False) -> int:
+        """Total (in + out) degree of ``node_id``."""
+        return (self.in_degree(node_id, rel_types, include_self_loops)
+                + self.out_degree(node_id, rel_types, include_self_loops))
+
+    def edges_between(self, source: int, target: int,
+                      rel_types: Optional[Iterable[str]] = None) -> List[Edge]:
+        """Return all edges from ``source`` to ``target`` (filtered by type)."""
+        return [edge for edge in self.out_edges(source, rel_types)
+                if edge.target == target]
+
+    # ------------------------------------------------------------------
+    # Traversal
+    # ------------------------------------------------------------------
+
+    def path_exists(self, source: int, target: int,
+                    rel_types: Optional[Iterable[str]] = None) -> bool:
+        """Return ``True`` when a directed path from ``source`` to ``target`` exists.
+
+        Self loops are ignored; a node always has a (trivial) path to itself.
+        This is the primitive Algorithm 1 uses for cycle detection: inserting
+        edge ``left -> right`` creates a cycle precisely when a path
+        ``right -> left`` already exists.
+        """
+        self.get_node(source)
+        self.get_node(target)
+        if source == target:
+            return True
+        seen: Set[int] = {source}
+        frontier: deque[int] = deque([source])
+        while frontier:
+            current = frontier.popleft()
+            for nxt in self.successors(current, rel_types):
+                if nxt == target:
+                    return True
+                if nxt not in seen:
+                    seen.add(nxt)
+                    frontier.append(nxt)
+        return False
+
+    def shortest_path(self, source: int, target: int,
+                      rel_types: Optional[Iterable[str]] = None) -> Optional[List[int]]:
+        """Return the node ids of a shortest directed path or ``None``."""
+        self.get_node(source)
+        self.get_node(target)
+        if source == target:
+            return [source]
+        parents: Dict[int, int] = {}
+        seen: Set[int] = {source}
+        frontier: deque[int] = deque([source])
+        while frontier:
+            current = frontier.popleft()
+            for nxt in self.successors(current, rel_types):
+                if nxt in seen:
+                    continue
+                parents[nxt] = current
+                if nxt == target:
+                    path = [target]
+                    while path[-1] != source:
+                        path.append(parents[path[-1]])
+                    return list(reversed(path))
+                seen.add(nxt)
+                frontier.append(nxt)
+        return None
+
+    def bfs(self, start: int,
+            rel_types: Optional[Iterable[str]] = None) -> Iterator[int]:
+        """Yield node ids reachable from ``start`` in breadth-first order."""
+        self.get_node(start)
+        seen: Set[int] = {start}
+        frontier: deque[int] = deque([start])
+        while frontier:
+            current = frontier.popleft()
+            yield current
+            for nxt in self.successors(current, rel_types):
+                if nxt not in seen:
+                    seen.add(nxt)
+                    frontier.append(nxt)
+
+    def connected_component(self, start: int,
+                            rel_types: Optional[Iterable[str]] = None) -> Set[int]:
+        """Return the weakly connected component containing ``start``."""
+        self.get_node(start)
+        seen: Set[int] = {start}
+        frontier: deque[int] = deque([start])
+        while frontier:
+            current = frontier.popleft()
+            neighbours = set(self.successors(current, rel_types))
+            neighbours.update(self.predecessors(current, rel_types))
+            for nxt in neighbours:
+                if nxt not in seen:
+                    seen.add(nxt)
+                    frontier.append(nxt)
+        return seen
+
+    def topological_order(self, node_ids: Optional[Iterable[int]] = None,
+                          rel_types: Optional[Iterable[str]] = None) -> List[int]:
+        """Return a topological ordering of ``node_ids`` (default: all nodes).
+
+        Raises ``ValueError`` when the restricted subgraph contains a directed
+        cycle (ignoring self loops).
+        """
+        subset = set(node_ids) if node_ids is not None else set(self._nodes)
+        indegree: Dict[int, int] = {nid: 0 for nid in subset}
+        for nid in subset:
+            for succ in self.successors(nid, rel_types):
+                if succ in subset:
+                    indegree[succ] += 1
+        frontier = deque(sorted(nid for nid, deg in indegree.items() if deg == 0))
+        order: List[int] = []
+        while frontier:
+            current = frontier.popleft()
+            order.append(current)
+            for succ in self.successors(current, rel_types):
+                if succ not in subset:
+                    continue
+                indegree[succ] -= 1
+                if indegree[succ] == 0:
+                    frontier.append(succ)
+        if len(order) != len(subset):
+            raise ValueError("graph restricted to the given nodes contains a cycle")
+        return order
+
+    # ------------------------------------------------------------------
+    # Indexes and property lookups
+    # ------------------------------------------------------------------
+
+    def create_index(self, label: str, prop: str) -> PropertyIndex:
+        """Create an exact-match index on ``prop`` for nodes labelled ``label``."""
+        try:
+            index = self._indexes.create(label, prop)
+        except KeyError as exc:
+            raise DuplicateIndexError(str(exc)) from None
+        index.rebuild(self._nodes.values())
+        return index
+
+    def drop_index(self, label: str, prop: str) -> None:
+        """Remove the index on ``(label, prop)`` if it exists."""
+        self._indexes.drop(label, prop)
+
+    def has_index(self, label: str, prop: str) -> bool:
+        """Return ``True`` when an index on ``(label, prop)`` exists."""
+        return (label, prop) in self._indexes
+
+    def find_by_index(self, label: str, prop: str, value: Any) -> List[Node]:
+        """Indexed lookup of nodes with ``label`` whose ``prop`` equals ``value``."""
+        index = self._indexes.maybe_get(label, prop)
+        if index is None:
+            raise IndexNotFoundError(f"no index on ({label!r}, {prop!r})")
+        return [self._nodes[nid] for nid in sorted(index.lookup(value))]
+
+    def find_nodes(self,
+                   label: Optional[str] = None,
+                   predicate: Optional[Callable[[Node], bool]] = None,
+                   **property_equals: Any) -> List[Node]:
+        """Scan (or use an index when possible) for nodes matching the filters.
+
+        ``property_equals`` are exact-match constraints.  When a single
+        constraint matches an existing index the lookup is served from the
+        index and then post-filtered.
+        """
+        candidates: Optional[Iterable[Node]] = None
+        if label is not None and property_equals:
+            for prop, value in property_equals.items():
+                index = self._indexes.maybe_get(label, prop)
+                if index is not None:
+                    candidates = [self._nodes[nid] for nid in index.lookup(value)]
+                    break
+        if candidates is None:
+            candidates = self._nodes.values()
+
+        results: List[Node] = []
+        for node in candidates:
+            if label is not None and not node.has_label(label):
+                continue
+            if any(node.get(prop) != value for prop, value in property_equals.items()):
+                continue
+            if predicate is not None and not predicate(node):
+                continue
+            results.append(node)
+        results.sort(key=lambda node: node.node_id)
+        return results
+
+    # ------------------------------------------------------------------
+    # Statistics / serialisation support
+    # ------------------------------------------------------------------
+
+    def stats(self) -> Dict[str, int]:
+        """Return simple size statistics about the graph."""
+        by_type: Dict[str, int] = defaultdict(int)
+        for edge in self._edges.values():
+            by_type[edge.rel_type] += 1
+        summary: Dict[str, int] = {
+            "nodes": len(self._nodes),
+            "edges": len(self._edges),
+            "indexes": len(self._indexes),
+        }
+        for rel_type, count in sorted(by_type.items()):
+            summary[f"edges[{rel_type}]"] = count
+        return summary
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Serialise the whole graph (used by :mod:`repro.graphstore.storage`)."""
+        return {
+            "nodes": [node.to_dict() for node in self._nodes.values()],
+            "edges": [edge.to_dict() for edge in self._edges.values()],
+            "indexes": [list(index.key) for index in self._indexes.all()],
+            "next_node_id": self._next_node_id,
+            "next_edge_id": self._next_edge_id,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "PropertyGraph":
+        """Rebuild a graph from :meth:`to_dict` output."""
+        graph = cls()
+        for node_payload in payload.get("nodes", ()):
+            node = Node.from_dict(node_payload)
+            graph._nodes[node.node_id] = node
+        for edge_payload in payload.get("edges", ()):
+            edge = Edge.from_dict(edge_payload)
+            graph._edges[edge.edge_id] = edge
+            graph._outgoing[edge.source].add(edge.edge_id)
+            graph._incoming[edge.target].add(edge.edge_id)
+        graph._next_node_id = int(payload.get(
+            "next_node_id", 1 + max(graph._nodes, default=-1)))
+        graph._next_edge_id = int(payload.get(
+            "next_edge_id", 1 + max(graph._edges, default=-1)))
+        for label, prop in payload.get("indexes", ()):
+            graph.create_index(label, prop)
+        return graph
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"PropertyGraph(nodes={len(self._nodes)}, edges={len(self._edges)})"

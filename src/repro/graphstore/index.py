@@ -1,0 +1,160 @@
+"""Property indexes for the embedded property-graph engine.
+
+The paper (Section 4.3) relies on a Neo4j schema index on ``uidIndex(uid)`` so
+that all preference nodes for one user can be retrieved interactively (sub-
+second instead of a full graph scan).  :class:`PropertyIndex` provides the
+same capability: an exact-match index on one property, restricted to nodes
+carrying a given label.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Any, Dict, Iterable, Iterator, List, Set, Tuple
+
+from .node import Node
+
+
+class PropertyIndex:
+    """Exact-match index over one property of nodes with a given label.
+
+    The index maps ``property value -> set of node ids``.  It is maintained
+    incrementally by :class:`~repro.graphstore.graph.PropertyGraph` whenever
+    nodes are added, updated or removed.
+    """
+
+    def __init__(self, label: str, prop: str) -> None:
+        self.label = label
+        self.prop = prop
+        self._entries: Dict[Any, Set[int]] = defaultdict(set)
+        self._indexed_nodes: Dict[int, Any] = {}
+
+    # -- maintenance ---------------------------------------------------------
+
+    def applies_to(self, node: Node) -> bool:
+        """Return ``True`` when ``node`` should be tracked by this index."""
+        return node.has_label(self.label) and self.prop in node.properties
+
+    def add(self, node: Node) -> None:
+        """Index ``node`` if it carries the label and property."""
+        if not self.applies_to(node):
+            return
+        value = node.properties[self.prop]
+        key = self._normalise(value)
+        self._entries[key].add(node.node_id)
+        self._indexed_nodes[node.node_id] = key
+
+    def remove(self, node_id: int) -> None:
+        """Remove ``node_id`` from the index if present."""
+        key = self._indexed_nodes.pop(node_id, None)
+        if key is None:
+            return
+        bucket = self._entries.get(key)
+        if bucket is None:
+            return
+        bucket.discard(node_id)
+        if not bucket:
+            del self._entries[key]
+
+    def update(self, node: Node) -> None:
+        """Re-index ``node`` after a property or label change."""
+        self.remove(node.node_id)
+        self.add(node)
+
+    def rebuild(self, nodes: Iterable[Node]) -> None:
+        """Discard all entries and re-index ``nodes`` from scratch."""
+        self._entries.clear()
+        self._indexed_nodes.clear()
+        for node in nodes:
+            self.add(node)
+
+    # -- lookup ---------------------------------------------------------------
+
+    def lookup(self, value: Any) -> Set[int]:
+        """Return the set of node ids whose property equals ``value``."""
+        return set(self._entries.get(self._normalise(value), ()))
+
+    def values(self) -> Iterator[Any]:
+        """Iterate over the distinct indexed values."""
+        return iter(self._entries.keys())
+
+    def items(self) -> Iterator[Tuple[Any, Set[int]]]:
+        """Iterate over ``(value, node ids)`` pairs."""
+        for key, bucket in self._entries.items():
+            yield key, set(bucket)
+
+    def __len__(self) -> int:
+        return len(self._indexed_nodes)
+
+    def __contains__(self, value: Any) -> bool:
+        return self._normalise(value) in self._entries
+
+    @property
+    def key(self) -> Tuple[str, str]:
+        """The ``(label, property)`` pair identifying this index."""
+        return (self.label, self.prop)
+
+    # -- helpers ---------------------------------------------------------------
+
+    @staticmethod
+    def _normalise(value: Any) -> Any:
+        """Make unhashable values (lists) indexable and fold bools into ints."""
+        if isinstance(value, list):
+            return tuple(value)
+        return value
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"PropertyIndex(label={self.label!r}, prop={self.prop!r}, size={len(self)})"
+
+
+class IndexRegistry:
+    """Collection of :class:`PropertyIndex` objects keyed by (label, property)."""
+
+    def __init__(self) -> None:
+        self._indexes: Dict[Tuple[str, str], PropertyIndex] = {}
+
+    def create(self, label: str, prop: str) -> PropertyIndex:
+        """Create and register a new index; raise ``KeyError`` on duplicates."""
+        key = (label, prop)
+        if key in self._indexes:
+            raise KeyError(f"index on {key!r} already exists")
+        index = PropertyIndex(label, prop)
+        self._indexes[key] = index
+        return index
+
+    def get(self, label: str, prop: str) -> PropertyIndex:
+        """Return the index registered for ``(label, prop)``; ``KeyError`` if missing."""
+        return self._indexes[(label, prop)]
+
+    def maybe_get(self, label: str, prop: str) -> PropertyIndex | None:
+        """Return the index registered for ``(label, prop)`` or ``None``."""
+        return self._indexes.get((label, prop))
+
+    def drop(self, label: str, prop: str) -> None:
+        """Remove the index registered for ``(label, prop)`` if it exists."""
+        self._indexes.pop((label, prop), None)
+
+    def all(self) -> List[PropertyIndex]:
+        """Return all registered indexes."""
+        return list(self._indexes.values())
+
+    def on_node_added(self, node: Node) -> None:
+        """Notify all indexes that ``node`` was inserted."""
+        for index in self._indexes.values():
+            index.add(node)
+
+    def on_node_removed(self, node_id: int) -> None:
+        """Notify all indexes that ``node_id`` was deleted."""
+        for index in self._indexes.values():
+            index.remove(node_id)
+
+    def on_node_updated(self, node: Node) -> None:
+        """Notify all indexes that ``node`` changed properties or labels."""
+        for index in self._indexes.values():
+            index.update(node)
+
+    def __len__(self) -> int:
+        return len(self._indexes)
+
+    def __contains__(self, key: Tuple[str, str]) -> bool:
+        return key in self._indexes

@@ -1,0 +1,115 @@
+"""Node records for the embedded property-graph engine.
+
+A :class:`Node` mirrors the information a Neo4j node carries in the paper's
+prototype (Section 4.3): an internal id, a set of labels, and a free-form
+property map.  HYPRE stores ``uid``, ``predicate`` and ``intensity`` as
+properties and uses the ``uidIndex`` label for indexed lookup.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, FrozenSet, Iterable, Mapping, Optional
+
+
+@dataclass
+class Node:
+    """A single vertex in the property graph.
+
+    Parameters
+    ----------
+    node_id:
+        Internal identifier assigned by the graph at creation time.
+    properties:
+        Arbitrary key/value payload.  Values must be JSON-serialisable for
+        persistence (str, int, float, bool, None, lists of those).
+    labels:
+        Set of string labels, used by indexes and by queries.
+    """
+
+    node_id: int
+    properties: Dict[str, Any] = field(default_factory=dict)
+    labels: FrozenSet[str] = field(default_factory=frozenset)
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.labels, frozenset):
+            self.labels = frozenset(self.labels)
+
+    # -- property access ----------------------------------------------------
+
+    def get(self, key: str, default: Any = None) -> Any:
+        """Return property ``key`` or ``default`` when absent."""
+        return self.properties.get(key, default)
+
+    def __getitem__(self, key: str) -> Any:
+        return self.properties[key]
+
+    def __contains__(self, key: str) -> bool:
+        return key in self.properties
+
+    def has_label(self, label: str) -> bool:
+        """Return ``True`` when the node carries ``label``."""
+        return label in self.labels
+
+    def with_updates(self, updates: Mapping[str, Any]) -> "Node":
+        """Return a copy of this node with ``updates`` merged into its properties."""
+        merged = dict(self.properties)
+        merged.update(updates)
+        return Node(node_id=self.node_id, properties=merged, labels=self.labels)
+
+    def with_labels(self, labels: Iterable[str]) -> "Node":
+        """Return a copy of this node with ``labels`` added."""
+        return Node(
+            node_id=self.node_id,
+            properties=dict(self.properties),
+            labels=self.labels | frozenset(labels),
+        )
+
+    # -- serialisation -------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Return a JSON-serialisable representation of the node."""
+        return {
+            "node_id": self.node_id,
+            "properties": dict(self.properties),
+            "labels": sorted(self.labels),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "Node":
+        """Rebuild a node from :meth:`to_dict` output."""
+        return cls(
+            node_id=int(payload["node_id"]),
+            properties=dict(payload.get("properties", {})),
+            labels=frozenset(payload.get("labels", ())),
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        labels = "|".join(sorted(self.labels)) or "-"
+        return f"Node(id={self.node_id}, labels={labels}, props={self.properties})"
+
+
+def node_sort_key(node: Node, prop: str, descending: bool = False) -> Any:
+    """Sort key helper placing nodes without ``prop`` last.
+
+    Returns a tuple ``(missing, value)`` where ``missing`` is 1 for nodes that
+    do not define ``prop``.  For descending order the caller should also set
+    ``reverse=True``; missing values still sort last because the helper negates
+    numeric values instead of relying on ``reverse`` in that case.
+    """
+    value = node.get(prop)
+    missing = value is None
+    if descending and isinstance(value, (int, float)) and not isinstance(value, bool):
+        return (missing, -value)
+    return (missing, value if value is not None else 0)
+
+
+def make_node(node_id: int,
+              properties: Optional[Mapping[str, Any]] = None,
+              labels: Optional[Iterable[str]] = None) -> Node:
+    """Convenience constructor used by the graph engine."""
+    return Node(
+        node_id=node_id,
+        properties=dict(properties or {}),
+        labels=frozenset(labels or ()),
+    )

@@ -1,0 +1,194 @@
+"""A small declarative query layer over :class:`PropertyGraph`.
+
+The paper drives Neo4j through Cypher queries of the form::
+
+    START n=node(*) WHERE n.uid = $uid
+    RETURN n.preference, n.intensity ORDER BY n.intensity DESC
+
+and relationship expansions such as ``MATCH n -[:PREFERS]-> m``.  This module
+provides the equivalent programmatic building blocks: :class:`NodeQuery` for
+filtered/ordered node scans (index-accelerated when possible) and
+:class:`ExpandQuery` for one-hop relationship expansion.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..exceptions import GraphQueryError
+from .edge import Edge
+from .graph import PropertyGraph
+from .node import Node
+
+#: Comparison operators usable in :meth:`NodeQuery.where`.
+_OPERATORS: Dict[str, Callable[[Any, Any], bool]] = {
+    "=": lambda left, right: left == right,
+    "!=": lambda left, right: left != right,
+    ">": lambda left, right: left is not None and left > right,
+    ">=": lambda left, right: left is not None and left >= right,
+    "<": lambda left, right: left is not None and left < right,
+    "<=": lambda left, right: left is not None and left <= right,
+    "in": lambda left, right: left in right,
+}
+
+
+@dataclass
+class _Condition:
+    """A single ``property <op> value`` filter."""
+
+    prop: str
+    op: str
+    value: Any
+
+    def matches(self, node: Node) -> bool:
+        compare = _OPERATORS[self.op]
+        return compare(node.get(self.prop), self.value)
+
+
+@dataclass
+class NodeQuery:
+    """Fluent query over the nodes of a :class:`PropertyGraph`.
+
+    Example
+    -------
+    >>> rows = (NodeQuery(graph)
+    ...         .with_label("uidIndex")
+    ...         .where("uid", "=", 2)
+    ...         .where("intensity", ">", 0.0)
+    ...         .order_by("intensity", descending=True)
+    ...         .returning("predicate", "intensity")
+    ...         .run())
+    """
+
+    graph: PropertyGraph
+    _label: Optional[str] = None
+    _conditions: List[_Condition] = field(default_factory=list)
+    _order_prop: Optional[str] = None
+    _order_desc: bool = False
+    _limit: Optional[int] = None
+    _skip: int = 0
+    _projection: Optional[Tuple[str, ...]] = None
+
+    # -- builder steps -------------------------------------------------------
+
+    def with_label(self, label: str) -> "NodeQuery":
+        """Restrict results to nodes carrying ``label``."""
+        self._label = label
+        return self
+
+    def where(self, prop: str, op: str, value: Any) -> "NodeQuery":
+        """Add a ``property <op> value`` filter (op in =, !=, >, >=, <, <=, in)."""
+        if op not in _OPERATORS:
+            raise GraphQueryError(f"unsupported operator {op!r}")
+        self._conditions.append(_Condition(prop, op, value))
+        return self
+
+    def order_by(self, prop: str, descending: bool = False) -> "NodeQuery":
+        """Order results by ``prop`` (nodes missing the property sort last)."""
+        self._order_prop = prop
+        self._order_desc = descending
+        return self
+
+    def limit(self, count: int) -> "NodeQuery":
+        """Return at most ``count`` results."""
+        if count < 0:
+            raise GraphQueryError("limit must be non-negative")
+        self._limit = count
+        return self
+
+    def skip(self, count: int) -> "NodeQuery":
+        """Skip the first ``count`` results (applied after ordering)."""
+        if count < 0:
+            raise GraphQueryError("skip must be non-negative")
+        self._skip = count
+        return self
+
+    def returning(self, *props: str) -> "NodeQuery":
+        """Project each node onto a dict of the given properties."""
+        self._projection = props
+        return self
+
+    # -- execution -------------------------------------------------------------
+
+    def _candidates(self) -> Iterable[Node]:
+        """Pick the cheapest access path: an index when one matches a filter."""
+        if self._label is not None:
+            for condition in self._conditions:
+                if condition.op != "=":
+                    continue
+                if self.graph.has_index(self._label, condition.prop):
+                    return self.graph.find_by_index(
+                        self._label, condition.prop, condition.value)
+        return list(self.graph.nodes())
+
+    def nodes(self) -> List[Node]:
+        """Execute the query and return matching nodes."""
+        results: List[Node] = []
+        for node in self._candidates():
+            if self._label is not None and not node.has_label(self._label):
+                continue
+            if all(condition.matches(node) for condition in self._conditions):
+                results.append(node)
+        if self._order_prop is not None:
+            prop = self._order_prop
+            present = [node for node in results if node.get(prop) is not None]
+            missing = [node for node in results if node.get(prop) is None]
+            present.sort(key=lambda node: node.get(prop), reverse=self._order_desc)
+            results = present + missing
+        else:
+            results.sort(key=lambda node: node.node_id)
+        if self._skip:
+            results = results[self._skip:]
+        if self._limit is not None:
+            results = results[: self._limit]
+        return results
+
+    def run(self) -> List[Dict[str, Any]]:
+        """Execute the query and return projected rows (or full property dicts)."""
+        nodes = self.nodes()
+        if self._projection is None:
+            return [dict(node.properties) for node in nodes]
+        return [{prop: node.get(prop) for prop in self._projection} for node in nodes]
+
+    def count(self) -> int:
+        """Execute the query and return the number of matches."""
+        return len(self.nodes())
+
+
+@dataclass
+class ExpandQuery:
+    """One-hop relationship expansion, the equivalent of ``MATCH n-[:TYPE]->m``."""
+
+    graph: PropertyGraph
+    rel_types: Optional[Sequence[str]] = None
+
+    def expand(self, node_id: int) -> List[Tuple[Edge, Node]]:
+        """Return ``(edge, target node)`` pairs for edges leaving ``node_id``."""
+        pairs: List[Tuple[Edge, Node]] = []
+        for edge in self.graph.out_edges(node_id, self.rel_types):
+            if edge.is_self_loop():
+                continue
+            pairs.append((edge, self.graph.get_node(edge.target)))
+        return pairs
+
+    def expand_incoming(self, node_id: int) -> List[Tuple[Edge, Node]]:
+        """Return ``(edge, source node)`` pairs for edges entering ``node_id``."""
+        pairs: List[Tuple[Edge, Node]] = []
+        for edge in self.graph.in_edges(node_id, self.rel_types):
+            if edge.is_self_loop():
+                continue
+            pairs.append((edge, self.graph.get_node(edge.source)))
+        return pairs
+
+    def pairs(self) -> List[Tuple[int, int]]:
+        """Return every ``(source id, target id)`` pair for the selected types."""
+        allowed = set(self.rel_types) if self.rel_types is not None else None
+        result = []
+        for edge in self.graph.edges():
+            if edge.is_self_loop():
+                continue
+            if allowed is not None and edge.rel_type not in allowed:
+                continue
+            result.append((edge.source, edge.target))
+        return result

@@ -1,0 +1,110 @@
+"""Persistence for :class:`~repro.graphstore.graph.PropertyGraph`.
+
+The paper's prototype keeps the HYPRE graph inside an on-disk Neo4j store so
+that user profiles survive across sessions.  This module provides the same
+durability with a simple JSON representation: :func:`save_graph` and
+:func:`load_graph` round-trip the whole graph, while :class:`GraphStore`
+offers a tiny named-graph catalogue on top of a directory.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Dict, Iterator, List, Union
+
+from ..exceptions import GraphPersistenceError
+from .graph import PropertyGraph
+
+PathLike = Union[str, os.PathLike]
+
+
+def save_graph(graph: PropertyGraph, path: PathLike) -> None:
+    """Write ``graph`` to ``path`` as JSON.
+
+    The parent directory must exist; errors are wrapped in
+    :class:`GraphPersistenceError`.
+    """
+    target = Path(path)
+    try:
+        payload = graph.to_dict()
+        tmp_path = target.with_suffix(target.suffix + ".tmp")
+        with open(tmp_path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle)
+        os.replace(tmp_path, target)
+    except (OSError, TypeError, ValueError) as exc:
+        raise GraphPersistenceError(f"could not save graph to {target}: {exc}") from exc
+
+
+def load_graph(path: PathLike) -> PropertyGraph:
+    """Read a graph previously written by :func:`save_graph`."""
+    source = Path(path)
+    try:
+        with open(source, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+        return PropertyGraph.from_dict(payload)
+    except (OSError, ValueError, KeyError) as exc:
+        raise GraphPersistenceError(f"could not load graph from {source}: {exc}") from exc
+
+
+class GraphStore:
+    """A directory of named property graphs.
+
+    Example
+    -------
+    >>> store = GraphStore(tmp_path)
+    >>> store.save("preferences", graph)
+    >>> store.list()
+    ['preferences']
+    >>> restored = store.load("preferences")
+    """
+
+    def __init__(self, directory: PathLike) -> None:
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+
+    def _path(self, name: str) -> Path:
+        if not name or any(sep in name for sep in ("/", "\\", os.sep)):
+            raise GraphPersistenceError(f"invalid graph name {name!r}")
+        return self.directory / f"{name}.graph.json"
+
+    def save(self, name: str, graph: PropertyGraph) -> Path:
+        """Persist ``graph`` under ``name`` and return the file path."""
+        path = self._path(name)
+        save_graph(graph, path)
+        return path
+
+    def load(self, name: str) -> PropertyGraph:
+        """Load the graph stored under ``name``."""
+        path = self._path(name)
+        if not path.exists():
+            raise GraphPersistenceError(f"no graph named {name!r} in {self.directory}")
+        return load_graph(path)
+
+    def exists(self, name: str) -> bool:
+        """Return ``True`` when a graph named ``name`` is stored."""
+        return self._path(name).exists()
+
+    def delete(self, name: str) -> None:
+        """Remove the stored graph ``name`` (no-op when absent)."""
+        path = self._path(name)
+        if path.exists():
+            path.unlink()
+
+    def list(self) -> List[str]:
+        """Return the names of all stored graphs, sorted."""
+        names = []
+        for entry in self.directory.glob("*.graph.json"):
+            names.append(entry.name[: -len(".graph.json")])
+        return sorted(names)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.list())
+
+    def __len__(self) -> int:
+        return len(self.list())
+
+    def sizes(self) -> Dict[str, int]:
+        """Return the on-disk size in bytes of every stored graph."""
+        return {name: self._path(name).stat().st_size for name in self.list()}

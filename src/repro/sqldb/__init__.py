@@ -1,0 +1,57 @@
+"""SQLite relational substrate: schema, connection, query building, enhancement."""
+
+from .database import Database
+from .enhancer import (
+    EnhancedQuery,
+    conjunctive_clause,
+    covered_paper_ids,
+    disjunctive_clause,
+    enhance_query,
+    group_by_attribute,
+    mixed_clause,
+    rank_tuples,
+)
+from .query_builder import (
+    SelectQuery,
+    count_matching_papers,
+    count_query,
+    matching_paper_ids,
+    paper_ids_query,
+)
+from .schema import (
+    BASE_COUNT_QUERY,
+    BASE_FROM,
+    BASE_SELECT_QUERY,
+    TABLES,
+    create_schema,
+    drop_schema,
+    existing_tables,
+    table_counts,
+    verify_schema,
+)
+
+__all__ = [
+    "BASE_COUNT_QUERY",
+    "BASE_FROM",
+    "BASE_SELECT_QUERY",
+    "Database",
+    "EnhancedQuery",
+    "SelectQuery",
+    "TABLES",
+    "conjunctive_clause",
+    "count_matching_papers",
+    "count_query",
+    "covered_paper_ids",
+    "create_schema",
+    "disjunctive_clause",
+    "drop_schema",
+    "enhance_query",
+    "existing_tables",
+    "group_by_attribute",
+    "matching_paper_ids",
+    "mixed_clause",
+    "paper_ids_query",
+    "rank_tuples",
+    "table_counts",
+    "verify_schema",
+]

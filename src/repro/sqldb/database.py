@@ -1,0 +1,122 @@
+"""Connection management for the SQLite workload database.
+
+:class:`Database` is a thin, explicit wrapper around :mod:`sqlite3` that
+
+* owns one connection (file-backed or in-memory),
+* creates the workload schema on demand,
+* exposes ``execute`` / ``query`` / ``query_one`` / ``executemany`` helpers
+  returning plain tuples or dict rows,
+* supports use as a context manager so tests and examples always close the
+  connection.
+
+It replaces the MySQL + JDBC stack of the paper's prototype with an embedded
+engine while keeping the exact SQL surface used by the algorithms.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from ..exceptions import RelationalError
+from . import schema
+
+PathLike = Union[str, Path]
+
+
+class Database:
+    """An open SQLite database holding the DBLP workload."""
+
+    def __init__(self, path: PathLike = ":memory:", create: bool = True) -> None:
+        self.path = str(path)
+        try:
+            self._connection = sqlite3.connect(self.path)
+        except sqlite3.Error as exc:
+            raise RelationalError(f"could not open database {self.path!r}: {exc}") from exc
+        self._connection.row_factory = sqlite3.Row
+        if create:
+            schema.create_schema(self._connection)
+
+    # -- lifecycle --------------------------------------------------------------
+
+    @property
+    def connection(self) -> sqlite3.Connection:
+        """The underlying :class:`sqlite3.Connection`."""
+        return self._connection
+
+    def close(self) -> None:
+        """Close the connection (safe to call twice)."""
+        if self._connection is not None:
+            self._connection.close()
+
+    def __enter__(self) -> "Database":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # -- execution ---------------------------------------------------------------
+
+    def execute(self, sql: str, parameters: Sequence[Any] = ()) -> sqlite3.Cursor:
+        """Execute a statement and return the cursor (errors wrapped)."""
+        try:
+            return self._connection.execute(sql, tuple(parameters))
+        except sqlite3.Error as exc:
+            raise RelationalError(f"SQL error in {sql!r}: {exc}") from exc
+
+    def executemany(self, sql: str, rows: Iterable[Sequence[Any]]) -> None:
+        """Execute a parametrised statement for every row in ``rows``."""
+        try:
+            self._connection.executemany(sql, rows)
+        except sqlite3.Error as exc:
+            raise RelationalError(f"SQL error in {sql!r}: {exc}") from exc
+
+    def commit(self) -> None:
+        """Commit the current transaction."""
+        self._connection.commit()
+
+    # -- querying -----------------------------------------------------------------
+
+    def query(self, sql: str, parameters: Sequence[Any] = ()) -> List[Dict[str, Any]]:
+        """Run a SELECT and return a list of dict rows."""
+        cursor = self.execute(sql, parameters)
+        return [dict(row) for row in cursor.fetchall()]
+
+    def query_tuples(self, sql: str, parameters: Sequence[Any] = ()) -> List[Tuple]:
+        """Run a SELECT and return plain tuples (cheaper for id lists)."""
+        cursor = self.execute(sql, parameters)
+        return [tuple(row) for row in cursor.fetchall()]
+
+    def query_one(self, sql: str, parameters: Sequence[Any] = ()) -> Optional[Dict[str, Any]]:
+        """Run a SELECT and return the first row as a dict (or ``None``)."""
+        cursor = self.execute(sql, parameters)
+        row = cursor.fetchone()
+        return dict(row) if row is not None else None
+
+    def scalar(self, sql: str, parameters: Sequence[Any] = ()) -> Any:
+        """Run a SELECT and return the first column of the first row."""
+        cursor = self.execute(sql, parameters)
+        row = cursor.fetchone()
+        return row[0] if row is not None else None
+
+    def count(self, sql: str, parameters: Sequence[Any] = ()) -> int:
+        """Run a counting SELECT and return an int (0 when no rows)."""
+        value = self.scalar(sql, parameters)
+        return int(value) if value is not None else 0
+
+    # -- schema helpers ------------------------------------------------------------
+
+    def table_counts(self) -> Dict[str, int]:
+        """Row counts for every workload table (Table 10 statistics)."""
+        return schema.table_counts(self._connection)
+
+    def total_papers(self) -> int:
+        """Number of rows in the ``dblp`` table."""
+        return self.count("SELECT COUNT(*) FROM dblp")
+
+    def distinct_count(self, table: str, column: str) -> int:
+        """``COUNT(DISTINCT column)`` for a workload table."""
+        if table not in schema.TABLES:
+            raise RelationalError(f"unknown table {table!r}")
+        return self.count(f"SELECT COUNT(DISTINCT {column}) FROM {table}")

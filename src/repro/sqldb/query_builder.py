@@ -1,0 +1,116 @@
+"""SQL SELECT construction helpers.
+
+The combination algorithms repeatedly build queries of the shape::
+
+    SELECT COUNT(DISTINCT dblp.pid)
+    FROM dblp JOIN dblp_author ON dblp.pid = dblp_author.pid
+    WHERE <preference predicate combination>;
+
+:class:`SelectQuery` provides a small fluent builder for that shape, and the
+module-level helpers run the two variants (count / id list) the algorithms
+need against a :class:`~repro.sqldb.database.Database`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Union
+
+from ..core.predicate import PredicateExpr, ensure_predicate
+from ..exceptions import QueryBuildError
+from .database import Database
+from .schema import BASE_FROM
+
+
+@dataclass
+class SelectQuery:
+    """A composable SELECT statement.
+
+    Example
+    -------
+    >>> sql = (SelectQuery(columns=["COUNT(DISTINCT dblp.pid)"])
+    ...        .where("dblp.venue = 'VLDB'")
+    ...        .to_sql())
+    """
+
+    columns: Sequence[str] = ("*",)
+    from_clause: str = BASE_FROM
+    _conditions: List[str] = field(default_factory=list)
+    _order_by: Optional[str] = None
+    _limit: Optional[int] = None
+    distinct: bool = False
+
+    def where(self, condition: Union[str, PredicateExpr]) -> "SelectQuery":
+        """AND-append a condition (a SQL string or a predicate expression)."""
+        if isinstance(condition, PredicateExpr):
+            rendered = condition.to_sql()
+        else:
+            rendered = str(condition).strip()
+        if not rendered:
+            raise QueryBuildError("empty WHERE condition")
+        self._conditions.append(rendered)
+        return self
+
+    def order_by(self, clause: str) -> "SelectQuery":
+        """Set the ORDER BY clause (pass the full expression, e.g. ``year DESC``)."""
+        self._order_by = clause
+        return self
+
+    def limit(self, count: int) -> "SelectQuery":
+        """Set a LIMIT; must be non-negative."""
+        if count < 0:
+            raise QueryBuildError("LIMIT must be non-negative")
+        self._limit = count
+        return self
+
+    def to_sql(self) -> str:
+        """Render the statement as a SQL string."""
+        if not self.columns:
+            raise QueryBuildError("a SELECT needs at least one column")
+        select_kw = "SELECT DISTINCT" if self.distinct else "SELECT"
+        parts = [f"{select_kw} {', '.join(self.columns)}", f"FROM {self.from_clause}"]
+        if self._conditions:
+            wrapped = [f"({condition})" for condition in self._conditions]
+            parts.append("WHERE " + " AND ".join(wrapped))
+        if self._order_by:
+            parts.append(f"ORDER BY {self._order_by}")
+        if self._limit is not None:
+            parts.append(f"LIMIT {self._limit}")
+        return " ".join(parts)
+
+    def __str__(self) -> str:
+        return self.to_sql()
+
+
+def count_query(predicate: Union[str, PredicateExpr, None] = None) -> str:
+    """The paper's base counting query, optionally enhanced with a predicate."""
+    query = SelectQuery(columns=["COUNT(DISTINCT dblp.pid)"])
+    if predicate is not None:
+        query.where(ensure_predicate(predicate) if isinstance(predicate, str) else predicate)
+    return query.to_sql()
+
+
+def paper_ids_query(predicate: Union[str, PredicateExpr, None] = None,
+                    limit: Optional[int] = None) -> str:
+    """Query returning the distinct paper ids matching ``predicate``."""
+    query = SelectQuery(columns=["dblp.pid"], distinct=True)
+    if predicate is not None:
+        query.where(ensure_predicate(predicate) if isinstance(predicate, str) else predicate)
+    query.order_by("dblp.pid")
+    if limit is not None:
+        query.limit(limit)
+    return query.to_sql()
+
+
+def count_matching_papers(db: Database,
+                          predicate: Union[str, PredicateExpr, None] = None) -> int:
+    """Number of distinct papers matching ``predicate`` (whole table when ``None``)."""
+    return db.count(count_query(predicate))
+
+
+def matching_paper_ids(db: Database,
+                       predicate: Union[str, PredicateExpr, None] = None,
+                       limit: Optional[int] = None) -> List[int]:
+    """Distinct paper ids matching ``predicate``, ordered by pid."""
+    rows = db.query_tuples(paper_ids_query(predicate, limit))
+    return [int(row[0]) for row in rows]

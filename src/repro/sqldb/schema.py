@@ -1,0 +1,152 @@
+"""Relational schema for the DBLP citation workload (paper Section 6.1).
+
+The workload database has four data tables plus two staging tables for
+extracted preferences:
+
+* ``dblp(pid, title, venue, year, abstract)``
+* ``author(aid, full_name)``
+* ``citation(pid, cid)``
+* ``dblp_author(pid, aid)``
+* ``quantitative_pref(pfid, uid, preference, intensity)``
+* ``qualitative_pref(pfid, uid, left_pref, right_pref, intensity)``
+
+The module exposes the DDL, the canonical join used by every enhanced query
+(papers join ``dblp`` with ``dblp_author``) and helpers to create/verify the
+schema on a SQLite connection.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+from typing import Dict, List, Tuple
+
+from ..exceptions import SchemaError
+
+#: Table name -> CREATE TABLE statement.
+TABLES: Dict[str, str] = {
+    "dblp": (
+        "CREATE TABLE IF NOT EXISTS dblp ("
+        " pid INTEGER PRIMARY KEY,"
+        " title TEXT NOT NULL,"
+        " venue TEXT NOT NULL,"
+        " year INTEGER NOT NULL,"
+        " abstract TEXT DEFAULT ''"
+        ")"
+    ),
+    "author": (
+        "CREATE TABLE IF NOT EXISTS author ("
+        " aid INTEGER PRIMARY KEY,"
+        " full_name TEXT NOT NULL"
+        ")"
+    ),
+    "citation": (
+        "CREATE TABLE IF NOT EXISTS citation ("
+        " pid INTEGER NOT NULL,"
+        " cid INTEGER NOT NULL,"
+        " PRIMARY KEY (pid, cid)"
+        ")"
+    ),
+    "dblp_author": (
+        "CREATE TABLE IF NOT EXISTS dblp_author ("
+        " pid INTEGER NOT NULL,"
+        " aid INTEGER NOT NULL,"
+        " PRIMARY KEY (pid, aid)"
+        ")"
+    ),
+    "quantitative_pref": (
+        "CREATE TABLE IF NOT EXISTS quantitative_pref ("
+        " pfid INTEGER PRIMARY KEY AUTOINCREMENT,"
+        " uid INTEGER NOT NULL,"
+        " preference TEXT NOT NULL,"
+        " intensity REAL NOT NULL"
+        ")"
+    ),
+    "qualitative_pref": (
+        "CREATE TABLE IF NOT EXISTS qualitative_pref ("
+        " pfid INTEGER PRIMARY KEY AUTOINCREMENT,"
+        " uid INTEGER NOT NULL,"
+        " left_pref TEXT NOT NULL,"
+        " right_pref TEXT NOT NULL,"
+        " intensity REAL NOT NULL"
+        ")"
+    ),
+}
+
+#: Secondary indexes that keep enhanced queries and extraction interactive.
+INDEXES: Tuple[str, ...] = (
+    "CREATE INDEX IF NOT EXISTS idx_dblp_venue ON dblp(venue)",
+    "CREATE INDEX IF NOT EXISTS idx_dblp_year ON dblp(year)",
+    "CREATE INDEX IF NOT EXISTS idx_citation_pid ON citation(pid)",
+    "CREATE INDEX IF NOT EXISTS idx_citation_cid ON citation(cid)",
+    "CREATE INDEX IF NOT EXISTS idx_dblp_author_aid ON dblp_author(aid)",
+    "CREATE INDEX IF NOT EXISTS idx_dblp_author_pid ON dblp_author(pid)",
+    "CREATE INDEX IF NOT EXISTS idx_quant_uid ON quantitative_pref(uid)",
+    "CREATE INDEX IF NOT EXISTS idx_qual_uid ON qualitative_pref(uid)",
+)
+
+#: FROM clause used by every preference-enhanced query in the paper.
+BASE_FROM = "dblp JOIN dblp_author ON dblp.pid = dblp_author.pid"
+
+#: Base query that counts distinct matching papers (Algorithms 2-4).
+BASE_COUNT_QUERY = f"SELECT COUNT(DISTINCT dblp.pid) FROM {BASE_FROM}"
+
+#: Base query that returns distinct matching paper ids.
+BASE_SELECT_QUERY = f"SELECT DISTINCT dblp.pid FROM {BASE_FROM}"
+
+#: Attributes queryable by preferences, mapped to the table that owns them.
+PREFERENCE_ATTRIBUTES: Dict[str, str] = {
+    "dblp.venue": "dblp",
+    "dblp.year": "dblp",
+    "dblp.title": "dblp",
+    "dblp_author.aid": "dblp_author",
+}
+
+
+def create_schema(connection: sqlite3.Connection) -> None:
+    """Create all tables and indexes on ``connection`` (idempotent)."""
+    try:
+        cursor = connection.cursor()
+        for ddl in TABLES.values():
+            cursor.execute(ddl)
+        for ddl in INDEXES:
+            cursor.execute(ddl)
+        connection.commit()
+    except sqlite3.Error as exc:
+        raise SchemaError(f"could not create schema: {exc}") from exc
+
+
+def drop_schema(connection: sqlite3.Connection) -> None:
+    """Drop every workload table (used by tests that rebuild the database)."""
+    try:
+        cursor = connection.cursor()
+        for table in TABLES:
+            cursor.execute(f"DROP TABLE IF EXISTS {table}")
+        connection.commit()
+    except sqlite3.Error as exc:
+        raise SchemaError(f"could not drop schema: {exc}") from exc
+
+
+def existing_tables(connection: sqlite3.Connection) -> List[str]:
+    """Return the workload tables already present on ``connection``."""
+    cursor = connection.execute(
+        "SELECT name FROM sqlite_master WHERE type='table' ORDER BY name")
+    present = {row[0] for row in cursor.fetchall()}
+    return sorted(name for name in TABLES if name in present)
+
+
+def verify_schema(connection: sqlite3.Connection) -> None:
+    """Raise :class:`SchemaError` when any workload table is missing."""
+    present = set(existing_tables(connection))
+    missing = [name for name in TABLES if name not in present]
+    if missing:
+        raise SchemaError(f"missing tables: {', '.join(missing)}")
+
+
+def table_counts(connection: sqlite3.Connection) -> Dict[str, int]:
+    """Return ``table -> row count`` for every workload table (Table 10)."""
+    verify_schema(connection)
+    counts: Dict[str, int] = {}
+    for table in TABLES:
+        cursor = connection.execute(f"SELECT COUNT(*) FROM {table}")
+        counts[table] = int(cursor.fetchone()[0])
+    return counts

@@ -1,0 +1,38 @@
+"""Synthetic DBLP workload: generation, loading and preference extraction."""
+
+from .dblp import (
+    Author,
+    DblpConfig,
+    DblpDataset,
+    Paper,
+    default_dataset,
+    generate_dblp,
+    small_dataset,
+)
+from .extraction import (
+    ExtractionConfig,
+    PreferenceExtractor,
+    author_predicate,
+    richest_users,
+    venue_predicate,
+)
+from .loader import build_workload_database, load_dataset, load_profiles, read_profiles
+
+__all__ = [
+    "Author",
+    "DblpConfig",
+    "DblpDataset",
+    "ExtractionConfig",
+    "Paper",
+    "PreferenceExtractor",
+    "author_predicate",
+    "build_workload_database",
+    "default_dataset",
+    "generate_dblp",
+    "load_dataset",
+    "load_profiles",
+    "read_profiles",
+    "richest_users",
+    "small_dataset",
+    "venue_predicate",
+]

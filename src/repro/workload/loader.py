@@ -1,0 +1,96 @@
+"""Load a synthetic DBLP dataset and extracted preferences into SQLite.
+
+The paper parses the DBLP citation dump into four relational tables plus two
+staging tables for extracted preferences (Section 6.1).  This module performs
+the equivalent bulk loading for the synthetic workload.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Tuple
+
+from ..core.preference import ProfileRegistry, QualitativePreference, QuantitativePreference
+from ..sqldb.database import Database
+from .dblp import DblpConfig, DblpDataset, generate_dblp
+
+
+def load_dataset(db: Database, dataset: DblpDataset) -> Dict[str, int]:
+    """Insert every dataset row into the workload tables; returns row counts."""
+    db.executemany(
+        "INSERT OR REPLACE INTO dblp (pid, title, venue, year, abstract) VALUES (?, ?, ?, ?, ?)",
+        [(paper.pid, paper.title, paper.venue, paper.year, paper.abstract)
+         for paper in dataset.papers])
+    db.executemany(
+        "INSERT OR REPLACE INTO author (aid, full_name) VALUES (?, ?)",
+        [(author.aid, author.full_name) for author in dataset.authors])
+    db.executemany(
+        "INSERT OR REPLACE INTO dblp_author (pid, aid) VALUES (?, ?)",
+        dataset.paper_authors)
+    db.executemany(
+        "INSERT OR REPLACE INTO citation (pid, cid) VALUES (?, ?)",
+        dataset.citations)
+    db.commit()
+    return db.table_counts()
+
+
+def load_profiles(db: Database, registry: ProfileRegistry) -> Dict[str, int]:
+    """Insert extracted preferences into the two staging tables.
+
+    Returns the number of quantitative and qualitative rows inserted.
+    """
+    quantitative_rows: List[Tuple[int, str, float]] = []
+    qualitative_rows: List[Tuple[int, str, str, float]] = []
+    for profile in registry:
+        for preference in profile.quantitative:
+            quantitative_rows.append(
+                (profile.uid, preference.predicate_sql, preference.intensity))
+        for preference in profile.qualitative:
+            qualitative_rows.append(
+                (profile.uid, preference.left_sql, preference.right_sql,
+                 preference.intensity))
+    db.executemany(
+        "INSERT INTO quantitative_pref (uid, preference, intensity) VALUES (?, ?, ?)",
+        quantitative_rows)
+    db.executemany(
+        "INSERT INTO qualitative_pref (uid, left_pref, right_pref, intensity)"
+        " VALUES (?, ?, ?, ?)",
+        qualitative_rows)
+    db.commit()
+    return {
+        "quantitative_pref": len(quantitative_rows),
+        "qualitative_pref": len(qualitative_rows),
+    }
+
+
+def read_profiles(db: Database, uids: Iterable[int] | None = None) -> ProfileRegistry:
+    """Rebuild a :class:`ProfileRegistry` from the staging tables."""
+    registry = ProfileRegistry()
+    params: Tuple = ()
+    quant_sql = "SELECT uid, preference, intensity FROM quantitative_pref"
+    qual_sql = "SELECT uid, left_pref, right_pref, intensity FROM qualitative_pref"
+    uid_filter = ""
+    if uids is not None:
+        uid_list = sorted(set(int(uid) for uid in uids))
+        placeholders = ", ".join("?" for _ in uid_list)
+        uid_filter = f" WHERE uid IN ({placeholders})"
+        params = tuple(uid_list)
+    for row in db.query(quant_sql + uid_filter, params):
+        profile = registry.get_or_create(int(row["uid"]))
+        profile.quantitative.append(QuantitativePreference(
+            uid=int(row["uid"]), predicate=row["preference"],
+            intensity=float(row["intensity"])))
+    for row in db.query(qual_sql + uid_filter, params):
+        profile = registry.get_or_create(int(row["uid"]))
+        profile.qualitative.append(QualitativePreference(
+            uid=int(row["uid"]), left=row["left_pref"], right=row["right_pref"],
+            intensity=float(row["intensity"])))
+    return registry
+
+
+def build_workload_database(config: DblpConfig = DblpConfig(),
+                            path: str = ":memory:") -> Tuple[Database, DblpDataset]:
+    """Generate a dataset for ``config`` and load it into a fresh database."""
+    dataset = generate_dblp(config)
+    db = Database(path)
+    load_dataset(db, dataset)
+    return db, dataset

@@ -1,0 +1,174 @@
+"""Tests for the algorithm building blocks and the combination-count bounds."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms.base import (
+    CombinationRecord,
+    PreferenceQueryRunner,
+    ScoredPreference,
+    and_combine,
+    make_preferences,
+    mixed_combine,
+    or_combine,
+    ordered_by_intensity,
+    pairwise_compatible,
+    preferences_from_graph,
+)
+from repro.algorithms.counting import (
+    and_only_upper_bound,
+    and_or_upper_bound,
+    count_and_combinations,
+    count_and_or_combinations,
+    enumerate_and_combinations,
+    enumerate_and_or_combinations,
+    growth_table,
+)
+from repro.core.hypre import build_hypre_graph
+from repro.core.intensity import f_and, f_or
+from repro.core.predicate import parse_predicate
+from repro.core.preference import UserProfile
+from repro.exceptions import EmptyPreferenceListError
+
+
+class TestScoredPreferenceHelpers:
+    def test_make_preferences_orders_and_filters(self):
+        prefs = make_preferences([
+            ("venue = 'A'", 0.2),
+            ("venue = 'B'", 0.9),
+            ("venue = 'C'", -0.5),
+            ("venue = 'D'", 0.0),
+        ])
+        assert [pref.intensity for pref in prefs] == [0.9, 0.2]
+
+    def test_make_preferences_keep_everything(self):
+        prefs = make_preferences([("venue = 'A'", -0.5)], positive_only=False)
+        assert len(prefs) == 1
+
+    def test_scored_preference_attributes(self):
+        pref = ScoredPreference(parse_predicate("dblp.venue = 'A' AND year > 2000"), 0.5)
+        assert pref.attributes == frozenset({"dblp.venue", "year"})
+        assert "dblp.venue" in pref.sql
+
+    def test_ordered_by_intensity_stable(self):
+        prefs = make_preferences([("a = 1", 0.5), ("a = 2", 0.5), ("a = 3", 0.7)])
+        ordered = ordered_by_intensity(prefs)
+        assert ordered[0].intensity == 0.7
+        assert [pref.sql for pref in ordered[1:]] == ["a = 1", "a = 2"]
+
+    def test_and_or_combine(self):
+        prefs = make_preferences([("venue = 'A'", 0.8), ("aid = 2", 0.5)])
+        predicate, intensity = and_combine(prefs)
+        assert intensity == pytest.approx(f_and(0.8, 0.5))
+        assert " AND " in predicate.to_sql()
+        predicate, intensity = or_combine(prefs)
+        assert intensity == pytest.approx(f_or(0.8, 0.5))
+        assert " OR " in predicate.to_sql()
+
+    def test_combine_empty_rejected(self):
+        with pytest.raises(EmptyPreferenceListError):
+            and_combine([])
+        with pytest.raises(EmptyPreferenceListError):
+            or_combine([])
+        with pytest.raises(EmptyPreferenceListError):
+            mixed_combine([])
+
+    def test_mixed_combine_groups_by_attribute(self):
+        prefs = make_preferences([
+            ("dblp.venue = 'A'", 0.8),
+            ("dblp.venue = 'B'", 0.4),
+            ("dblp_author.aid = 7", 0.5),
+        ])
+        predicate, intensity = mixed_combine(prefs)
+        sql = predicate.to_sql()
+        assert "dblp.venue = 'A' OR dblp.venue = 'B'" in sql
+        assert "dblp_author.aid = 7" in sql
+        assert intensity == pytest.approx(f_and(f_or(0.8, 0.4), 0.5))
+
+    def test_pairwise_compatible(self):
+        venue_a = ScoredPreference(parse_predicate("venue = 'A'"), 0.5)
+        venue_b = ScoredPreference(parse_predicate("venue = 'B'"), 0.5)
+        author = ScoredPreference(parse_predicate("aid = 1"), 0.5)
+        assert not pairwise_compatible(venue_a, venue_b)
+        assert pairwise_compatible(venue_a, author)
+
+    def test_combination_record_metrics(self):
+        record = CombinationRecord(size=2, tuple_count=50, intensity=0.5,
+                                   predicate=parse_predicate("a = 1"))
+        assert record.is_applicable
+        assert record.as_tuple() == (2, 50, 0.5)
+        assert record.utility() == pytest.approx(25 / 2 * 0.5)
+        empty = CombinationRecord(size=2, tuple_count=0, intensity=0.9,
+                                  predicate=parse_predicate("a = 1"))
+        assert not empty.is_applicable
+
+    def test_preferences_from_graph(self, dblp_profile):
+        hypre, _ = build_hypre_graph(dblp_profile)
+        prefs = preferences_from_graph(hypre, 1)
+        assert prefs
+        assert all(pref.intensity > 0 for pref in prefs)
+        intensities = [pref.intensity for pref in prefs]
+        assert intensities == sorted(intensities, reverse=True)
+
+
+class TestQueryRunner:
+    def test_count_and_ids_cached(self, tiny_db):
+        runner = PreferenceQueryRunner(tiny_db)
+        predicate = parse_predicate("dblp.year >= 2005")
+        first = runner.count(predicate)
+        executed = runner.queries_executed
+        second = runner.count(predicate)
+        assert first == second
+        assert runner.queries_executed == executed
+        ids = runner.ids(predicate)
+        assert len(ids) == first
+        assert runner.is_applicable(predicate)
+
+    def test_clear_resets_cache(self, tiny_db):
+        runner = PreferenceQueryRunner(tiny_db)
+        runner.count(parse_predicate("dblp.year >= 2005"))
+        runner.clear()
+        assert runner.queries_executed == 0
+
+
+class TestCountingBounds:
+    @pytest.mark.parametrize("n,expected", [(0, 0), (1, 1), (3, 7), (5, 31), (10, 1023)])
+    def test_proposition3_formula(self, n, expected):
+        assert and_only_upper_bound(n) == expected
+
+    @pytest.mark.parametrize("n,expected", [(0, 0), (1, 1), (2, 4), (3, 13), (5, 121)])
+    def test_proposition4_formula(self, n, expected):
+        assert and_or_upper_bound(n) == expected
+
+    @pytest.mark.parametrize("n", range(1, 9))
+    def test_enumeration_matches_proposition3(self, n):
+        assert count_and_combinations(list(range(n))) == and_only_upper_bound(n)
+
+    @pytest.mark.parametrize("n", range(1, 8))
+    def test_enumeration_matches_proposition4(self, n):
+        assert count_and_or_combinations(list(range(n))) == and_or_upper_bound(n)
+
+    def test_negative_n_rejected(self):
+        with pytest.raises(ValueError):
+            and_only_upper_bound(-1)
+        with pytest.raises(ValueError):
+            and_or_upper_bound(-1)
+
+    def test_enumerate_and_yields_subsets_in_size_order(self):
+        combos = list(enumerate_and_combinations(["a", "b", "c"]))
+        sizes = [len(combo) for combo in combos]
+        assert sizes == sorted(sizes)
+        assert ("a",) in combos and ("a", "b", "c") in combos
+
+    def test_enumerate_and_or_operator_arity(self):
+        for subset, operators in enumerate_and_or_combinations(["a", "b", "c"]):
+            assert len(operators) == len(subset) - 1
+            assert all(op in ("AND", "OR") for op in operators)
+
+    def test_growth_table(self):
+        table = growth_table(4)
+        assert table[0] == (1, 1, 1)
+        assert table[-1] == (4, 15, 40)
+        with pytest.raises(ValueError):
+            growth_table(0)

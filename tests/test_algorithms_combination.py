@@ -1,0 +1,226 @@
+"""Tests for Combine-Two, Partially-Combine-All and Bias-Random-Selection."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.algorithms.base import PreferenceQueryRunner, make_preferences
+from repro.algorithms.bias_random import BiasRandomSelectionAlgorithm, bias_random_selection
+from repro.algorithms.combine_two import (
+    AND_OR_SEMANTICS,
+    AND_SEMANTICS,
+    CombineTwoAlgorithm,
+    combine_two,
+)
+from repro.algorithms.partial import PartiallyCombineAllAlgorithm, partially_combine_all
+from repro.core.intensity import f_and, f_or
+from repro.exceptions import EmptyPreferenceListError
+
+
+@pytest.fixture(scope="module")
+def workload(tiny_db):
+    """A small, deterministic preference list mixing venue and author predicates."""
+    venues = [row["venue"] for row in
+              tiny_db.query("SELECT venue, COUNT(*) AS n FROM dblp GROUP BY venue"
+                            " ORDER BY n DESC LIMIT 3")]
+    authors = [row["aid"] for row in
+               tiny_db.query("SELECT aid, COUNT(*) AS n FROM dblp_author GROUP BY aid"
+                             " ORDER BY n DESC LIMIT 3")]
+    preferences = make_preferences([
+        (f"dblp.venue = '{venues[0]}'", 0.9),
+        (f"dblp.venue = '{venues[1]}'", 0.6),
+        (f"dblp_author.aid = {authors[0]}", 0.5),
+        (f"dblp_author.aid = {authors[1]}", 0.35),
+        (f"dblp.venue = '{venues[2]}'", 0.3),
+        (f"dblp_author.aid = {authors[2]}", 0.2),
+    ])
+    runner = PreferenceQueryRunner(tiny_db)
+    return runner, preferences
+
+
+class TestCombineTwo:
+    def test_pair_count_and_semantics(self, workload):
+        runner, preferences = workload
+        records = combine_two(runner, preferences, semantics=AND_SEMANTICS)
+        n = len(preferences)
+        assert len(records) == n * (n - 1) // 2
+        assert all(record.size == 2 for record in records)
+
+    def test_same_attribute_pairs_use_or_in_mixed_semantics(self, workload):
+        runner, preferences = workload
+        algorithm = CombineTwoAlgorithm(runner, semantics=AND_OR_SEMANTICS)
+        records = algorithm.run(preferences)
+        or_records = [record for record in records if " OR " in record.predicate.to_sql()]
+        and_records = [record for record in records if " AND " in record.predicate.to_sql()]
+        assert or_records and and_records
+        # Same-venue OR pairs are always applicable.
+        assert all(record.is_applicable for record in or_records)
+
+    def test_and_semantics_can_be_inapplicable(self, workload):
+        """Two different venues AND-ed never return tuples (paper's key point)."""
+        runner, preferences = workload
+        records = combine_two(runner, preferences, semantics=AND_SEMANTICS)
+        venue_pairs = [record for record in records
+                       if record.predicate.to_sql().count("dblp.venue") == 2]
+        assert venue_pairs
+        assert all(record.tuple_count == 0 for record in venue_pairs)
+
+    def test_intensity_values_match_functions(self, workload):
+        runner, preferences = workload
+        algorithm = CombineTwoAlgorithm(runner, semantics=AND_OR_SEMANTICS)
+        records = algorithm.run_for_first(preferences, 0)
+        assert len(records) == len(preferences) - 1
+        for record, other in zip(records, preferences[1:]):
+            first = preferences[0]
+            if first.attributes == other.attributes:
+                expected = f_or(first.intensity, other.intensity)
+            else:
+                expected = f_and(first.intensity, other.intensity)
+            assert record.intensity == pytest.approx(expected)
+
+    def test_and_intensity_not_monotone_in_partner_rank(self, workload):
+        """Figure 29: the best AND partner is not necessarily the next preference."""
+        runner, preferences = workload
+        algorithm = CombineTwoAlgorithm(runner, semantics=AND_SEMANTICS)
+        records = algorithm.run_for_first(preferences, 0)
+        applicable = [record.intensity for record in records if record.is_applicable]
+        raw = [record.intensity for record in records]
+        # Raw intensities strictly decrease with partner rank, but once
+        # applicability is taken into account the usable sequence is no longer
+        # the plain prefix of the ordered list.
+        assert raw == sorted(raw, reverse=True)
+        assert len(applicable) < len(raw)
+
+    def test_first_limit_and_skip_empty(self, workload):
+        runner, preferences = workload
+        records = combine_two(runner, preferences, semantics=AND_SEMANTICS,
+                              first_limit=1, skip_empty=True)
+        assert all(record.is_applicable for record in records)
+        assert len(records) <= len(preferences) - 1
+
+    def test_empty_preferences_rejected(self, workload):
+        runner, _ = workload
+        with pytest.raises(EmptyPreferenceListError):
+            combine_two(runner, [])
+        with pytest.raises(EmptyPreferenceListError):
+            CombineTwoAlgorithm(runner).run_for_first([], 0)
+
+    def test_invalid_semantics_rejected(self, workload):
+        runner, _ = workload
+        with pytest.raises(ValueError):
+            CombineTwoAlgorithm(runner, semantics="XOR")
+
+
+class TestPartiallyCombineAll:
+    def test_replays_paper_example(self, tiny_db):
+        """The INFOCOM/author example of Section 5.3.2 produces 4 combinations."""
+        runner = PreferenceQueryRunner(tiny_db)
+        venue = tiny_db.scalar("SELECT venue FROM dblp LIMIT 1")
+        aids = [row["aid"] for row in tiny_db.query(
+            "SELECT DISTINCT aid FROM dblp_author LIMIT 2")]
+        preferences = make_preferences([
+            (f"dblp.venue = '{venue}'", 0.9),
+            (f"dblp_author.aid = {aids[0]}", 0.5),
+            (f"dblp_author.aid = {aids[1]}", 0.3),
+        ])
+        records = partially_combine_all(runner, preferences)
+        sqls = [record.predicate.to_sql() for record in records]
+        assert len(records) == 4
+        assert sqls[0] == f"dblp.venue = '{venue}'"
+        assert sqls[1] == f"dblp.venue = '{venue}' AND dblp_author.aid = {aids[0]}"
+        assert sqls[2] == f"dblp.venue = '{venue}' AND dblp_author.aid = {aids[1]}"
+        assert (f"dblp_author.aid = {aids[0]} OR dblp_author.aid = {aids[1]}") in sqls[3]
+
+    def test_single_attribute_profile_is_linear(self, tiny_db):
+        """Best case [1] of Proposition 5: one combination per preference."""
+        runner = PreferenceQueryRunner(tiny_db)
+        venues = [row["venue"] for row in
+                  tiny_db.query("SELECT DISTINCT venue FROM dblp LIMIT 4")]
+        preferences = make_preferences(
+            [(f"dblp.venue = '{venue}'", 0.9 - 0.1 * i) for i, venue in enumerate(venues)])
+        records = partially_combine_all(runner, preferences)
+        assert len(records) == len(preferences)
+        assert records[-1].size == len(preferences)
+
+    def test_all_records_sizes_and_intensities(self, workload):
+        runner, preferences = workload
+        algorithm = PartiallyCombineAllAlgorithm(runner)
+        records = algorithm.run(preferences)
+        assert records[0].size == 1
+        assert all(record.size >= 1 for record in records)
+        assert all(0.0 <= record.intensity <= 1.0 for record in records)
+        # Mixed clauses never conjoin two different venues, so every
+        # combination keeps returning tuples unless authors do not intersect.
+        assert any(record.is_applicable for record in records)
+
+    def test_size_filters(self, workload):
+        runner, preferences = workload
+        algorithm = PartiallyCombineAllAlgorithm(runner)
+        records = algorithm.run(preferences)
+        for size in (2, 3):
+            for record in algorithm.records_of_size(records, size):
+                assert record.size == size
+        at_least = algorithm.records_of_size_at_least(records, 3)
+        assert all(record.size >= 3 for record in at_least)
+
+    def test_max_preferences_truncates(self, workload):
+        runner, preferences = workload
+        records = partially_combine_all(runner, preferences, max_preferences=2)
+        assert max(record.size for record in records) <= 2
+
+    def test_empty_rejected(self, workload):
+        runner, _ = workload
+        with pytest.raises(EmptyPreferenceListError):
+            partially_combine_all(runner, [])
+
+
+class TestBiasRandom:
+    def test_deterministic_with_seed(self, workload):
+        runner, preferences = workload
+        first = bias_random_selection(runner, preferences, seed=99, repetitions=2)
+        second = bias_random_selection(runner, preferences, seed=99, repetitions=2)
+        assert [(run.valid_combinations, run.invalid_combinations) for run in first] == \
+               [(run.valid_combinations, run.invalid_combinations) for run in second]
+
+    def test_counts_valid_and_invalid(self, workload):
+        runner, preferences = workload
+        run = bias_random_selection(runner, preferences, seed=5)[0]
+        assert run.total_checked == run.valid_combinations + run.invalid_combinations
+        assert run.total_checked > 0
+        # Every recorded combination is applicable and has at least 2 predicates.
+        for record in run.records:
+            assert record.size >= 2
+            assert record.is_applicable
+
+    def test_flip_coin_prefers_high_intensity(self, workload):
+        _, preferences = workload
+        algorithm = BiasRandomSelectionAlgorithm(
+            PreferenceQueryRunner.__new__(PreferenceQueryRunner), rng=random.Random(3))
+        picks = [algorithm.flip_coin(preferences).intensity for _ in range(300)]
+        top = preferences[0].intensity
+        assert picks.count(top) > len(picks) / len(preferences)
+
+    def test_flip_coin_empty_returns_none(self):
+        algorithm = BiasRandomSelectionAlgorithm(
+            PreferenceQueryRunner.__new__(PreferenceQueryRunner), rng=random.Random(3))
+        assert algorithm.flip_coin([]) is None
+
+    def test_repetitions_validated(self, workload):
+        runner, preferences = workload
+        algorithm = BiasRandomSelectionAlgorithm(runner, rng=random.Random(1))
+        with pytest.raises(ValueError):
+            algorithm.run_many(preferences, 0)
+
+    def test_empty_preferences_rejected(self, workload):
+        runner, _ = workload
+        algorithm = BiasRandomSelectionAlgorithm(runner, rng=random.Random(1))
+        with pytest.raises(EmptyPreferenceListError):
+            algorithm.run([])
+
+    def test_max_extensions_bounds_work(self, workload):
+        runner, preferences = workload
+        algorithm = BiasRandomSelectionAlgorithm(runner, rng=random.Random(7))
+        run = algorithm.run(preferences, max_extensions=1)
+        assert run.total_checked <= len(preferences)

@@ -1,0 +1,76 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import EXPERIMENTS, build_parser, list_experiments, main, run_experiment, run_topk
+
+
+class TestParser:
+    def test_list_command(self):
+        args = build_parser().parse_args(["list"])
+        assert args.command == "list"
+
+    def test_experiment_command_defaults(self):
+        args = build_parser().parse_args(["experiment", "table10"])
+        assert args.command == "experiment"
+        assert args.name == "table10"
+        assert args.scale == "tiny"
+        assert args.uid is None
+
+    def test_experiment_rejects_unknown_name(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["experiment", "fig99"])
+
+    def test_topk_command(self):
+        args = build_parser().parse_args(["topk", "--k", "5", "--scale", "tiny"])
+        assert args.command == "topk"
+        assert args.k == 5
+
+    def test_missing_command_errors(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestListAndDispatch:
+    def test_list_mentions_every_experiment(self):
+        text = list_experiments()
+        for name in EXPERIMENTS:
+            assert name in text
+
+    def test_run_experiment_unknown_name(self):
+        with pytest.raises(ValueError):
+            run_experiment("fig99")
+
+    def test_run_counting_experiment_without_context(self):
+        text = run_experiment("prop3_4")
+        assert "AND-only" in text
+
+    def test_run_table10(self):
+        text = run_experiment("table10", scale="tiny")
+        assert "papers" in text
+
+    def test_run_fig28(self):
+        text = run_experiment("fig28", scale="tiny")
+        assert "HYPRE_Graph" in text
+
+    def test_run_topk(self):
+        text = run_topk("tiny", k=5)
+        assert "Top-5" in text
+        assert "intensity" in text
+
+
+class TestMainEntryPoint:
+    def test_main_list(self, capsys):
+        assert main(["list"]) == 0
+        assert "table10" in capsys.readouterr().out
+
+    def test_main_experiment(self, capsys):
+        assert main(["experiment", "fig26_27", "--scale", "tiny"]) == 0
+        output = capsys.readouterr().out
+        assert "graph_count" in output
+
+    def test_main_topk(self, capsys):
+        assert main(["topk", "--scale", "tiny", "--k", "3"]) == 0
+        assert "Top-3" in capsys.readouterr().out

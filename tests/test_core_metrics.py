@@ -1,0 +1,124 @@
+"""Unit tests for the utility, coverage, similarity and overlap metrics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.metrics import (
+    CoverageReport,
+    coverage,
+    coverage_comparison,
+    kendall_tau_distance,
+    overlap,
+    preference_selectivity,
+    similarity,
+    utility,
+)
+
+
+class TestSelectivityAndUtility:
+    def test_selectivity(self):
+        assert preference_selectivity(10, 2) == 5.0
+        assert preference_selectivity(0, 3) == 0.0
+
+    def test_selectivity_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            preference_selectivity(10, 0)
+        with pytest.raises(ValueError):
+            preference_selectivity(-1, 2)
+
+    def test_utility_is_selectivity_times_intensity(self):
+        assert utility(10, 2, 0.5, tuple_cap=None) == pytest.approx(2.5)
+
+    def test_utility_caps_tuples_at_first_page(self):
+        # 1000 tuples are capped to 25 (the paper's first page).
+        assert utility(1000, 5, 0.4) == pytest.approx(25 / 5 * 0.4)
+
+    def test_utility_without_cap(self):
+        assert utility(1000, 5, 0.4, tuple_cap=None) == pytest.approx(1000 / 5 * 0.4)
+
+    def test_zero_intensity_gives_zero_utility(self):
+        assert utility(100, 4, 0.0) == 0.0
+
+
+class TestCoverage:
+    def test_coverage_counts_distinct(self):
+        report = coverage([1, 2, 2, 3], total_tuples=10)
+        assert report.covered_tuples == 3
+        assert report.fraction == pytest.approx(0.3)
+
+    def test_empty_dataset_fraction_zero(self):
+        assert coverage([], total_tuples=0).fraction == 0.0
+
+    def test_negative_total_rejected(self):
+        with pytest.raises(ValueError):
+            coverage([1], total_tuples=-1)
+
+    def test_improvement_over(self):
+        small = CoverageReport("QT", 100, 1000)
+        big = CoverageReport("HYPRE", 436, 1000)
+        assert big.improvement_over(small) == pytest.approx(336.0)
+
+    def test_improvement_over_zero_baseline(self):
+        empty = CoverageReport("QT", 0, 1000)
+        some = CoverageReport("HYPRE", 5, 1000)
+        assert some.improvement_over(empty) == float("inf")
+        assert empty.improvement_over(empty) == 0.0
+
+    def test_comparison_rows(self):
+        rows = coverage_comparison([CoverageReport("QT", 3, 10),
+                                    CoverageReport("HYPRE", 7, 10)])
+        assert rows == [("QT", 3, 0.3), ("HYPRE", 7, 0.7)]
+
+
+class TestSimilarity:
+    def test_identical_lists(self):
+        assert similarity([1, 2, 3], [3, 2, 1]) == 1.0
+
+    def test_disjoint_lists(self):
+        assert similarity([1, 2], [3, 4]) == 0.0
+
+    def test_partial_overlap_uses_smaller_denominator(self):
+        assert similarity([1, 2, 3, 4], [3, 4]) == 1.0
+        assert similarity([1, 2, 3, 4], [3, 9]) == 0.5
+
+    def test_empty_cases(self):
+        assert similarity([], []) == 1.0
+        assert similarity([1], []) == 0.0
+        assert similarity([], [1]) == 0.0
+
+
+class TestOverlap:
+    def test_same_order_full_overlap(self):
+        assert overlap([1, 2, 3, 4], [0, 1, 2, 3, 4, 9]) == 1.0
+
+    def test_reversed_order_zero_overlap(self):
+        assert overlap([1, 2, 3], [3, 2, 1]) == 0.0
+
+    def test_partial_agreement(self):
+        # Common tuples: 1,2,3.  First orders them 1,2,3; second 1,3,2.
+        value = overlap([1, 2, 3], [1, 3, 2])
+        assert 0.0 < value < 1.0
+
+    def test_single_common_tuple_counts_as_agreement(self):
+        assert overlap([1, 5], [5, 9]) == 1.0
+
+    def test_no_common_tuples(self):
+        assert overlap([1], [2]) == 0.0
+
+
+class TestKendallTau:
+    def test_identical_is_zero(self):
+        assert kendall_tau_distance([1, 2, 3], [1, 2, 3]) == 0.0
+
+    def test_reversed_is_one(self):
+        assert kendall_tau_distance([1, 2, 3], [3, 2, 1]) == 1.0
+
+    def test_short_lists_are_zero(self):
+        assert kendall_tau_distance([1], [1]) == 0.0
+        assert kendall_tau_distance([1], [2]) == 0.0
+
+    def test_consistent_with_overlap_direction(self):
+        nearly_same = kendall_tau_distance([1, 2, 3, 4], [1, 2, 4, 3])
+        very_different = kendall_tau_distance([1, 2, 3, 4], [4, 3, 2, 1])
+        assert nearly_same < very_different

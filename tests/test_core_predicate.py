@@ -1,0 +1,245 @@
+"""Unit tests for predicate construction, parsing, evaluation and compatibility."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.predicate import (
+    And,
+    Condition,
+    Or,
+    are_and_compatible,
+    between,
+    conjunction,
+    disjunction,
+    ensure_predicate,
+    equals,
+    in_set,
+    not_equals,
+    parse_predicate,
+    predicate_key,
+    same_attribute,
+    shared_attributes,
+)
+from repro.exceptions import PredicateError, PredicateParseError
+
+
+class TestConditionConstruction:
+    def test_equals_renders_quoted_strings(self):
+        assert equals("dblp.venue", "VLDB").to_sql() == "dblp.venue = 'VLDB'"
+
+    def test_equals_renders_numbers_unquoted(self):
+        assert equals("year", 2010).to_sql() == "year = 2010"
+
+    def test_not_equals(self):
+        assert not_equals("venue", "PODS").to_sql() == "venue != 'PODS'"
+
+    def test_in_set_renders_all_values(self):
+        sql = in_set("make", ["BMW", "Honda"]).to_sql()
+        assert sql == "make IN ('BMW', 'Honda')"
+
+    def test_in_requires_sequence(self):
+        with pytest.raises(PredicateError):
+            Condition("make", "IN", "BMW")
+
+    def test_between_builds_two_conditions(self):
+        expr = between("year", 2000, 2005)
+        assert expr.to_sql() == "year >= 2000 AND year <= 2005"
+
+    def test_unknown_operator_rejected(self):
+        with pytest.raises(PredicateError):
+            Condition("a", "LIKE", "x")
+
+    def test_string_with_quote_is_escaped(self):
+        assert equals("venue", "O'Reilly").to_sql() == "venue = 'O''Reilly'"
+
+
+class TestEvaluation:
+    def test_equality_against_row(self):
+        assert equals("venue", "VLDB").evaluate({"venue": "VLDB"})
+        assert not equals("venue", "VLDB").evaluate({"venue": "PODS"})
+
+    def test_qualified_attribute_matches_bare_column(self):
+        predicate = equals("dblp.venue", "VLDB")
+        assert predicate.evaluate({"venue": "VLDB"})
+        assert predicate.evaluate({"dblp.venue": "VLDB"})
+
+    def test_bare_attribute_matches_qualified_column(self):
+        assert equals("venue", "VLDB").evaluate({"dblp.venue": "VLDB"})
+
+    def test_range_evaluation(self):
+        expr = between("price", 7000, 16000)
+        assert expr.evaluate({"price": 7000})
+        assert expr.evaluate({"price": 16000})
+        assert not expr.evaluate({"price": 20000})
+
+    def test_in_evaluation(self):
+        expr = in_set("make", ["BMW", "Honda"])
+        assert expr.evaluate({"make": "Honda"})
+        assert not expr.evaluate({"make": "VW"})
+
+    def test_missing_attribute_is_false(self):
+        assert not equals("venue", "VLDB").evaluate({"year": 2000})
+
+    def test_type_mismatch_is_false_not_error(self):
+        assert not Condition("year", ">", 2000).evaluate({"year": "not-a-number"})
+
+    def test_and_or_evaluation(self):
+        expr = Or((equals("make", "BMW"),
+                   And((equals("make", "Honda"), Condition("price", "<", 10000)))))
+        assert expr.evaluate({"make": "Honda", "price": 7000})
+        assert expr.evaluate({"make": "BMW", "price": 99999})
+        assert not expr.evaluate({"make": "Honda", "price": 20000})
+
+
+class TestComposition:
+    def test_conjunction_flattens(self):
+        expr = conjunction([equals("a", 1), conjunction([equals("b", 2), equals("c", 3)])])
+        assert expr.to_sql() == "a = 1 AND b = 2 AND c = 3"
+
+    def test_disjunction_flattens(self):
+        expr = disjunction([equals("a", 1), disjunction([equals("b", 2)])])
+        assert expr.to_sql() == "a = 1 OR b = 2"
+
+    def test_single_item_composition_returns_item(self):
+        single = equals("a", 1)
+        assert conjunction([single]) is single
+        assert disjunction([single]) is single
+
+    def test_empty_composition_raises(self):
+        with pytest.raises(PredicateError):
+            conjunction([])
+        with pytest.raises(PredicateError):
+            disjunction([])
+
+    def test_nested_or_inside_and_gets_parentheses(self):
+        expr = And((equals("venue", "VLDB"),
+                    Or((equals("aid", 1), equals("aid", 2)))))
+        assert expr.to_sql() == "venue = 'VLDB' AND (aid = 1 OR aid = 2)"
+
+    def test_operator_overloads(self):
+        expr = equals("a", 1) & equals("b", 2)
+        assert isinstance(expr, And)
+        expr = equals("a", 1) | equals("b", 2)
+        assert isinstance(expr, Or)
+
+    def test_attributes_collected_across_tree(self):
+        expr = And((equals("dblp.venue", "VLDB"), equals("dblp_author.aid", 2)))
+        assert expr.attributes() == frozenset({"dblp.venue", "dblp_author.aid"})
+
+    def test_conditions_lists_leaves(self):
+        expr = And((equals("a", 1), Or((equals("b", 2), equals("c", 3)))))
+        assert len(expr.conditions()) == 3
+
+    def test_equality_ignores_child_order(self):
+        first = And((equals("a", 1), equals("b", 2)))
+        second = And((equals("b", 2), equals("a", 1)))
+        assert first == second
+        assert hash(first) == hash(second)
+
+    def test_and_is_not_equal_to_or(self):
+        assert And((equals("a", 1), equals("b", 2))) != Or((equals("a", 1), equals("b", 2)))
+
+
+class TestParsing:
+    def test_parse_simple_equality(self):
+        expr = parse_predicate("dblp.venue = 'VLDB'")
+        assert expr == equals("dblp.venue", "VLDB")
+
+    def test_parse_unquoted_value(self):
+        expr = parse_predicate("venue=INFOCOM")
+        assert expr == equals("venue", "INFOCOM")
+
+    def test_parse_numeric_comparison(self):
+        expr = parse_predicate("year >= 2009")
+        assert expr == Condition("year", ">=", 2009)
+
+    def test_parse_float(self):
+        expr = parse_predicate("score > 0.5")
+        assert expr == Condition("score", ">", 0.5)
+
+    def test_parse_and(self):
+        expr = parse_predicate("year>=2000 AND year<=2005")
+        assert expr == between("year", 2000, 2005)
+
+    def test_parse_or_and_precedence(self):
+        expr = parse_predicate("venue='A' OR venue='B' AND year>2000")
+        # AND binds tighter than OR.
+        assert isinstance(expr, Or)
+        assert len(expr.children) == 2
+
+    def test_parse_parentheses(self):
+        expr = parse_predicate("(venue='A' OR venue='B') AND year>2000")
+        assert isinstance(expr, And)
+
+    def test_parse_in(self):
+        expr = parse_predicate("venue IN ('CIKM', 'SIGMOD')")
+        assert expr == in_set("venue", ["CIKM", "SIGMOD"])
+
+    def test_parse_between(self):
+        expr = parse_predicate("price BETWEEN 7000 AND 16000")
+        assert expr == between("price", 7000, 16000)
+
+    def test_parse_not_equal_variants(self):
+        assert parse_predicate("a != 1") == parse_predicate("a <> 1")
+
+    def test_parse_double_quotes(self):
+        expr = parse_predicate('venue = "PODS"')
+        assert expr == equals("venue", "PODS")
+
+    def test_parse_empty_raises(self):
+        with pytest.raises(PredicateParseError):
+            parse_predicate("   ")
+
+    def test_parse_trailing_tokens_raise(self):
+        with pytest.raises(PredicateParseError):
+            parse_predicate("a = 1 b = 2")
+
+    def test_parse_missing_value_raises(self):
+        with pytest.raises(PredicateParseError):
+            parse_predicate("a =")
+
+    def test_parse_keyword_as_attribute_raises(self):
+        with pytest.raises(PredicateParseError):
+            parse_predicate("AND = 1")
+
+    def test_roundtrip_sql(self):
+        text = "dblp.venue = 'VLDB' AND year >= 2010"
+        assert parse_predicate(text).to_sql() == text
+
+    def test_ensure_predicate_accepts_both_forms(self):
+        expr = equals("a", 1)
+        assert ensure_predicate(expr) is expr
+        assert ensure_predicate("a = 1") == expr
+        with pytest.raises(PredicateError):
+            ensure_predicate(42)
+
+    def test_predicate_key_is_normalised_sql(self):
+        assert predicate_key("venue='VLDB'") == "venue = 'VLDB'"
+
+
+class TestCompatibility:
+    def test_different_venues_incompatible(self):
+        assert not are_and_compatible(equals("venue", "SIGMOD"), equals("venue", "VLDB"))
+
+    def test_same_venue_compatible(self):
+        assert are_and_compatible(equals("venue", "VLDB"), equals("venue", "VLDB"))
+
+    def test_different_attributes_compatible(self):
+        assert are_and_compatible(equals("venue", "VLDB"), equals("aid", 12))
+
+    def test_ranges_always_considered_compatible(self):
+        assert are_and_compatible(Condition("year", ">", 2010), Condition("year", "<", 2000))
+
+    def test_in_sets_with_overlap_compatible(self):
+        assert are_and_compatible(in_set("make", ["BMW", "Honda"]), equals("make", "Honda"))
+        assert not are_and_compatible(in_set("make", ["BMW"]), equals("make", "Honda"))
+
+    def test_shared_and_same_attributes(self):
+        venue_a = equals("dblp.venue", "A")
+        venue_b = equals("dblp.venue", "B")
+        author = equals("dblp_author.aid", 3)
+        assert shared_attributes(venue_a, venue_b) == frozenset({"dblp.venue"})
+        assert same_attribute(venue_a, venue_b)
+        assert not same_attribute(venue_a, author)
+        assert shared_attributes(venue_a, author) == frozenset()

@@ -1,0 +1,165 @@
+"""Unit tests for preference data types and user profiles."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.preference import (
+    ProfileRegistry,
+    QualitativePreference,
+    QuantitativePreference,
+    UserProfile,
+)
+from repro.exceptions import IntensityRangeError, ProfileError
+
+
+class TestQuantitativePreference:
+    def test_construction_from_text(self):
+        pref = QuantitativePreference(1, "dblp.venue='VLDB'", 0.8)
+        assert pref.predicate_sql == "dblp.venue = 'VLDB'"
+        assert pref.intensity == 0.8
+        assert not pref.is_negative
+
+    def test_negative_preference(self):
+        pref = QuantitativePreference(1, "venue = 'INFOCOM'", -1.0)
+        assert pref.is_negative
+        assert not pref.is_indifferent
+
+    def test_indifference(self):
+        assert QuantitativePreference(1, "venue = 'X'", 0.0).is_indifferent
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(IntensityRangeError):
+            QuantitativePreference(1, "venue = 'X'", 1.5)
+
+    def test_with_intensity_returns_copy(self):
+        pref = QuantitativePreference(1, "venue = 'X'", 0.5)
+        changed = pref.with_intensity(0.9)
+        assert changed.intensity == 0.9
+        assert pref.intensity == 0.5
+        assert changed.predicate_sql == pref.predicate_sql
+
+    def test_equality_and_hash(self):
+        first = QuantitativePreference(1, "venue='X'", 0.5)
+        second = QuantitativePreference(1, "venue = 'X'", 0.5)
+        assert first == second
+        assert hash(first) == hash(second)
+
+
+class TestQualitativePreference:
+    def test_construction(self):
+        pref = QualitativePreference(1, "venue='VLDB'", "venue='SIGMOD'", 0.3)
+        assert pref.left_sql == "venue = 'VLDB'"
+        assert pref.right_sql == "venue = 'SIGMOD'"
+        assert not pref.is_equality
+
+    def test_equality_preference(self):
+        assert QualitativePreference(1, "a=1", "a=2", 0.0).is_equality
+
+    def test_normalised_keeps_positive(self):
+        pref = QualitativePreference(1, "a=1", "a=2", 0.4)
+        assert pref.normalised() is pref
+
+    def test_normalised_swaps_negative(self):
+        """Proposition 7: 'A over B' with -x equals 'B over A' with +x."""
+        pref = QualitativePreference(1, "a=1", "a=2", -0.4)
+        fixed = pref.normalised()
+        assert fixed.left_sql == "a = 2"
+        assert fixed.right_sql == "a = 1"
+        assert fixed.intensity == pytest.approx(0.4)
+
+    def test_normalised_rejects_out_of_range(self):
+        with pytest.raises(IntensityRangeError):
+            QualitativePreference(1, "a=1", "a=2", 1.4).normalised()
+
+    def test_reversed(self):
+        pref = QualitativePreference(1, "a=1", "a=2", 0.4)
+        swapped = pref.reversed()
+        assert swapped.left_sql == "a = 2"
+        assert swapped.intensity == pytest.approx(-0.4)
+        assert swapped.reversed() == pref
+
+
+class TestUserProfile:
+    def test_add_and_count(self):
+        profile = UserProfile(uid=7)
+        profile.add_quantitative("venue='A'", 0.5)
+        profile.add_qualitative("venue='A'", "venue='B'", 0.2)
+        assert len(profile) == 2
+        assert not profile.is_empty()
+
+    def test_positive_and_negative_views(self):
+        profile = UserProfile(uid=1)
+        profile.add_quantitative("venue='A'", 0.5)
+        profile.add_quantitative("venue='B'", -0.5)
+        profile.add_quantitative("venue='C'", 0.0)
+        assert len(profile.positive_quantitative()) == 1
+        assert len(profile.negative_quantitative()) == 1
+
+    def test_ordered_quantitative_descending(self):
+        profile = UserProfile(uid=1)
+        profile.add_quantitative("venue='A'", 0.2)
+        profile.add_quantitative("venue='B'", 0.9)
+        profile.add_quantitative("venue='C'", 0.5)
+        ordered = profile.ordered_quantitative()
+        assert [pref.intensity for pref in ordered] == [0.9, 0.5, 0.2]
+
+    def test_ordered_quantitative_ascending(self):
+        profile = UserProfile(uid=1)
+        profile.add_quantitative("venue='A'", 0.2)
+        profile.add_quantitative("venue='B'", 0.9)
+        ordered = profile.ordered_quantitative(descending=False)
+        assert [pref.intensity for pref in ordered] == [0.2, 0.9]
+
+    def test_predicates_deduplicated(self):
+        profile = UserProfile(uid=1)
+        profile.add_quantitative("venue='A'", 0.5)
+        profile.add_qualitative("venue='A'", "venue='B'", 0.2)
+        assert profile.predicates() == ["venue = 'A'", "venue = 'B'"]
+
+    def test_extend_checks_uid(self):
+        profile = UserProfile(uid=1)
+        stranger = QuantitativePreference(2, "venue='A'", 0.5)
+        with pytest.raises(ProfileError):
+            profile.extend(quantitative=[stranger])
+
+    def test_extend_appends_matching(self):
+        profile = UserProfile(uid=1)
+        profile.extend(
+            quantitative=[QuantitativePreference(1, "venue='A'", 0.5)],
+            qualitative=[QualitativePreference(1, "venue='A'", "venue='B'", 0.1)])
+        assert len(profile) == 2
+
+
+class TestProfileRegistry:
+    def test_get_or_create(self):
+        registry = ProfileRegistry()
+        profile = registry.get_or_create(3)
+        assert registry.get_or_create(3) is profile
+        assert 3 in registry
+        assert len(registry) == 1
+
+    def test_get_unknown_raises(self):
+        with pytest.raises(ProfileError):
+            ProfileRegistry().get(42)
+
+    def test_add_replaces(self):
+        registry = ProfileRegistry()
+        registry.add(UserProfile(uid=1))
+        replacement = UserProfile(uid=1)
+        replacement.add_quantitative("venue='A'", 0.4)
+        registry.add(replacement)
+        assert len(registry.get(1)) == 1
+
+    def test_user_ids_sorted(self):
+        registry = ProfileRegistry()
+        for uid in (5, 1, 3):
+            registry.get_or_create(uid)
+        assert registry.user_ids() == [1, 3, 5]
+
+    def test_preference_counts(self):
+        registry = ProfileRegistry()
+        profile = registry.get_or_create(1)
+        profile.add_quantitative("venue='A'", 0.4)
+        registry.get_or_create(2)
+        assert registry.preference_counts() == {1: 1, 2: 0}

@@ -1,0 +1,197 @@
+"""Tests for the context-aware preference and group-profile extensions."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.hypre import build_hypre_graph
+from repro.core.preference import UserProfile
+from repro.exceptions import PreferenceError, ProfileError
+from repro.extensions.context import ALL, ContextState, ContextualProfile
+from repro.extensions.groups import GroupProfile, merge_profiles
+
+
+class TestContextState:
+    def test_of_builds_sorted_tuple(self):
+        state = ContextState.of(weather="good", company="friends")
+        assert state.dimensions() == ("company", "weather")
+        assert state.as_dict() == {"company": "friends", "weather": "good"}
+
+    def test_specificity_counts_non_wildcards(self):
+        assert ContextState.of(weather="good", occasion=ALL).specificity() == 1
+        assert ContextState.of().specificity() == 0
+
+    def test_covers_with_wildcards(self):
+        general = ContextState.of(company="friends", weather=ALL)
+        concrete = ContextState.of(company="friends", weather="good")
+        assert general.covers(concrete)
+        assert not concrete.covers(ContextState.of(company="friends", weather="bad"))
+
+    def test_missing_dimension_treated_as_all(self):
+        general = ContextState.of(company="friends")
+        concrete = ContextState.of(company="friends", weather="good")
+        assert general.covers(concrete)
+
+    def test_empty_state_covers_everything(self):
+        assert ContextState(()).covers(ContextState.of(weather="awful"))
+
+    def test_str_rendering(self):
+        assert "weather=good" in str(ContextState.of(weather="good"))
+
+
+class TestContextualProfile:
+    @pytest.fixture()
+    def profile(self):
+        """The Figure 2 style profile: preferences under nested contexts."""
+        profile = ContextualProfile(uid=7)
+        profile.add("genre = 'comedy'", 0.9, company="friends", weather="good")
+        profile.add("genre = 'comedy'", 0.5, company="friends")
+        profile.add("genre = 'comedy'", 0.2)                      # ALL contexts
+        profile.add("genre = 'documentary'", 0.7, company="family")
+        profile.add("activity = 'hiking'", 0.8, weather="good")
+        return profile
+
+    def test_len_and_contexts(self, profile):
+        assert len(profile) == 5
+        contexts = profile.contexts()
+        assert contexts[0].specificity() >= contexts[-1].specificity()
+
+    def test_most_specific_context_wins(self, profile):
+        applicable = {pref.predicate_sql: pref.intensity
+                      for pref in profile.applicable(company="friends", weather="good")}
+        assert applicable["genre = 'comedy'"] == 0.9
+        assert applicable["activity = 'hiking'"] == 0.8
+        assert "genre = 'documentary'" not in applicable
+
+    def test_fallback_to_general_context(self, profile):
+        applicable = {pref.predicate_sql: pref.intensity
+                      for pref in profile.applicable(company="friends", weather="bad")}
+        assert applicable["genre = 'comedy'"] == 0.5
+        assert "activity = 'hiking'" not in applicable
+
+    def test_all_context_used_when_nothing_matches(self, profile):
+        applicable = {pref.predicate_sql: pref.intensity
+                      for pref in profile.applicable(company="colleagues", weather="bad")}
+        assert applicable == {"genre = 'comedy'": 0.2}
+
+    def test_scored_predicates_ordered(self, profile):
+        pairs = profile.scored_predicates(company="friends", weather="good")
+        intensities = [intensity for _, intensity in pairs]
+        assert intensities == sorted(intensities, reverse=True)
+
+    def test_to_profile_feeds_hypre_builder(self, profile):
+        materialised = profile.to_profile(company="friends", weather="good")
+        assert isinstance(materialised, UserProfile)
+        hypre, _ = build_hypre_graph(materialised)
+        assert len(hypre.user_node_ids(7)) == len(materialised.quantitative)
+
+    def test_intensity_validated(self):
+        with pytest.raises(PreferenceError):
+            ContextualProfile(1).add("a = 1", 1.5)
+
+
+class TestMergeProfiles:
+    def _member(self, uid, venue_intensity, extra=None):
+        profile = UserProfile(uid=uid)
+        profile.add_quantitative("dblp.venue = 'VLDB'", venue_intensity)
+        if extra:
+            profile.add_quantitative(extra[0], extra[1])
+        profile.add_qualitative("dblp.venue = 'VLDB'", "dblp.venue = 'PODS'", 0.2 * uid)
+        return profile
+
+    def test_average_aggregation(self):
+        group = merge_profiles([self._member(1, 0.4), self._member(2, 0.8)], group_uid=100)
+        shared = {pref.predicate_sql: pref.intensity for pref in group.quantitative}
+        assert shared["dblp.venue = 'VLDB'"] == pytest.approx(0.6)
+
+    def test_min_max_and_inflationary(self):
+        members = [self._member(1, 0.4), self._member(2, 0.8)]
+        assert merge_profiles(members, 100, strategy="min").quantitative[0].intensity == \
+            pytest.approx(0.4)
+        assert merge_profiles(members, 100, strategy="max").quantitative[0].intensity == \
+            pytest.approx(0.8)
+        inflationary = merge_profiles(members, 100, strategy="inflationary")
+        assert inflationary.quantitative[0].intensity == pytest.approx(1 - 0.6 * 0.2)
+
+    def test_weights_scale_members(self):
+        members = [self._member(1, 0.4), self._member(2, 0.8)]
+        weighted = merge_profiles(members, 100, weights={1: 0.5, 2: 1.0})
+        assert weighted.quantitative[0].intensity == pytest.approx((0.2 + 0.8) / 2)
+
+    def test_qualitative_keeps_strongest(self):
+        group = merge_profiles([self._member(1, 0.4), self._member(2, 0.8)], 100)
+        assert len(group.qualitative) == 1
+        assert group.qualitative[0].intensity == pytest.approx(0.4)
+
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(ProfileError):
+            merge_profiles([self._member(1, 0.4)], 100, strategy="median")
+
+    def test_empty_member_list_rejected(self):
+        with pytest.raises(ProfileError):
+            merge_profiles([], 100)
+
+    def test_group_profile_feeds_hypre(self):
+        members = [self._member(1, 0.4, extra=("dblp.venue = 'ICDE'", 0.3)),
+                   self._member(2, 0.8)]
+        group = merge_profiles(members, 100)
+        hypre, _ = build_hypre_graph(group)
+        assert len(hypre.user_node_ids(100)) >= 3
+
+
+class TestGroupProfile:
+    def _profile(self, uid, intensity):
+        profile = UserProfile(uid=uid)
+        profile.add_quantitative("dblp.venue = 'VLDB'", intensity)
+        profile.add_quantitative(f"dblp_author.aid = {uid}", 0.5)
+        return profile
+
+    def test_membership_management(self):
+        group = GroupProfile(group_uid=50)
+        group.add_member(self._profile(1, 0.4))
+        group.add_member(self._profile(2, 0.8), weight=2.0)
+        assert len(group) == 2
+        group.remove_member(1)
+        assert len(group) == 1
+        group.remove_member(42)  # no-op
+
+    def test_invalid_weight_rejected(self):
+        group = GroupProfile(group_uid=50)
+        with pytest.raises(ProfileError):
+            group.add_member(self._profile(1, 0.4), weight=0.0)
+
+    def test_merged_requires_members(self):
+        with pytest.raises(ProfileError):
+            GroupProfile(group_uid=50).merged()
+
+    def test_predicate_support_and_consensus(self):
+        group = GroupProfile(group_uid=50)
+        group.add_member(self._profile(1, 0.4))
+        group.add_member(self._profile(2, 0.8))
+        support = group.predicate_support()
+        assert support["dblp.venue = 'VLDB'"] == 2
+        assert support["dblp_author.aid = 1"] == 1
+        assert group.consensus_predicates() == ["dblp.venue = 'VLDB'"]
+        assert len(group.consensus_predicates(minimum_support=1)) == 3
+        with pytest.raises(ProfileError):
+            group.consensus_predicates(minimum_support=0)
+
+    def test_disagreements_detects_sign_conflicts(self):
+        group = GroupProfile(group_uid=50)
+        liker = UserProfile(uid=1)
+        liker.add_quantitative("dblp.venue = 'INFOCOM'", 0.6)
+        hater = UserProfile(uid=2)
+        hater.add_quantitative("dblp.venue = 'INFOCOM'", -0.9)
+        group.add_member(liker)
+        group.add_member(hater)
+        rows = group.disagreements()
+        assert rows == [("dblp.venue = 'INFOCOM'", -0.9, 0.6)]
+
+    def test_merged_uses_weights(self):
+        group = GroupProfile(group_uid=50)
+        group.add_member(self._profile(1, 0.4), weight=1.0)
+        group.add_member(self._profile(2, 0.8), weight=0.5)
+        merged = group.merged()
+        venue = next(pref for pref in merged.quantitative
+                     if pref.predicate_sql == "dblp.venue = 'VLDB'")
+        assert venue.intensity == pytest.approx((0.4 + 0.4) / 2)

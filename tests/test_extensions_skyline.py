@@ -1,0 +1,160 @@
+"""Tests for attribute-based preferences and skyline queries."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import PreferenceError
+from repro.extensions.skyline import (
+    MAX,
+    MIN,
+    AttributePreference,
+    dominates,
+    order_by_clause,
+    prioritized_skyline,
+    rank_by_weighted_score,
+    skyline,
+)
+
+#: The paper's motivating example: cheap hotels close to the beach.
+HOTELS = [
+    {"name": "Budget Inn", "price": 60, "distance": 2000},
+    {"name": "Beach Hut", "price": 120, "distance": 100},
+    {"name": "Fair Deal", "price": 80, "distance": 800},
+    {"name": "Overpriced & Far", "price": 200, "distance": 2500},
+    {"name": "Perfect", "price": 60, "distance": 100},
+]
+
+PRICE = AttributePreference("price", MIN, priority=0)
+DISTANCE = AttributePreference("distance", MIN, priority=1)
+
+
+class TestAttributePreference:
+    def test_direction_validation(self):
+        with pytest.raises(PreferenceError):
+            AttributePreference("price", "median")
+
+    def test_weight_validation(self):
+        with pytest.raises(PreferenceError):
+            AttributePreference("price", MIN, weight=0)
+
+    def test_better_and_at_least_as_good(self):
+        assert PRICE.better(50, 80)
+        assert not PRICE.better(80, 50)
+        assert PRICE.at_least_as_good(50, 50)
+        rating = AttributePreference("rating", MAX)
+        assert rating.better(5, 3)
+        assert not rating.better(3, 5)
+
+    def test_missing_values_never_better(self):
+        assert not PRICE.better(None, 10)
+        assert not PRICE.better(10, None)
+        assert PRICE.at_least_as_good(None, None)
+
+    def test_sort_key_orders_best_first(self):
+        rows = sorted(HOTELS, key=PRICE.sort_key)
+        assert rows[0]["price"] == 60
+        rating = AttributePreference("price", MAX)
+        rows = sorted(HOTELS, key=rating.sort_key)
+        assert rows[0]["price"] == 200
+
+
+class TestDominanceAndSkyline:
+    def test_dominates(self):
+        perfect = HOTELS[4]
+        overpriced = HOTELS[3]
+        assert dominates(perfect, overpriced, [PRICE, DISTANCE])
+        assert not dominates(overpriced, perfect, [PRICE, DISTANCE])
+
+    def test_dominates_requires_strict_improvement(self):
+        a = {"price": 50, "distance": 100}
+        b = {"price": 50, "distance": 100}
+        assert not dominates(a, b, [PRICE, DISTANCE])
+
+    def test_dominates_requires_preferences(self):
+        with pytest.raises(PreferenceError):
+            dominates(HOTELS[0], HOTELS[1], [])
+
+    def test_skyline_contents(self):
+        names = {row["name"] for row in skyline(HOTELS, [PRICE, DISTANCE])}
+        # "Perfect" dominates everything except nothing dominates it; the
+        # dominated hotels must be excluded.
+        assert "Perfect" in names
+        assert "Overpriced & Far" not in names
+        assert "Budget Inn" not in names  # dominated by Perfect (same price, closer)
+        assert "Beach Hut" not in names   # dominated by Perfect (same distance, cheaper)
+
+    def test_skyline_of_incomparable_rows_keeps_all(self):
+        rows = [{"price": 50, "distance": 900}, {"price": 90, "distance": 100}]
+        assert len(skyline(rows, [PRICE, DISTANCE])) == 2
+
+    def test_skyline_empty_input(self):
+        assert skyline([], [PRICE, DISTANCE]) == []
+
+
+class TestPrioritizedAndWeighted:
+    def test_prioritized_skyline_price_first(self):
+        ordered = prioritized_skyline(HOTELS, [PRICE, DISTANCE])
+        assert ordered[0]["name"] == "Perfect"       # cheapest, then closest
+        assert ordered[1]["name"] == "Budget Inn"    # cheapest, further away
+        assert ordered[-1]["name"] == "Overpriced & Far"
+
+    def test_prioritized_skyline_distance_first(self):
+        ordered = prioritized_skyline(
+            HOTELS,
+            [AttributePreference("distance", MIN, priority=0),
+             AttributePreference("price", MIN, priority=1)])
+        assert ordered[0]["name"] == "Perfect"
+        assert ordered[1]["name"] == "Beach Hut"
+
+    def test_prioritized_requires_preferences(self):
+        with pytest.raises(PreferenceError):
+            prioritized_skyline(HOTELS, [])
+
+    def test_weighted_ranking_best_row_wins(self):
+        ranked = rank_by_weighted_score(HOTELS, [PRICE, DISTANCE])
+        assert ranked[0][0]["name"] == "Perfect"
+        assert ranked[0][1] == pytest.approx(1.0)
+        scores = [score for _, score in ranked]
+        assert scores == sorted(scores, reverse=True)
+        assert all(0.0 <= score <= 1.0 for score in scores)
+
+    def test_weighted_ranking_top_k(self):
+        ranked = rank_by_weighted_score(HOTELS, [PRICE], top_k=2)
+        assert len(ranked) == 2
+
+    def test_weighted_ranking_handles_missing_values(self):
+        rows = HOTELS + [{"name": "No price", "distance": 50}]
+        ranked = rank_by_weighted_score(rows, [PRICE, DISTANCE])
+        assert len(ranked) == len(rows)
+
+    def test_weighted_ranking_constant_attribute(self):
+        rows = [{"price": 10}, {"price": 10}]
+        ranked = rank_by_weighted_score(rows, [PRICE])
+        assert all(score == pytest.approx(1.0) for _, score in ranked)
+
+    def test_weighted_ranking_empty(self):
+        assert rank_by_weighted_score([], [PRICE]) == []
+        with pytest.raises(PreferenceError):
+            rank_by_weighted_score(HOTELS, [])
+
+
+class TestOrderByClause:
+    def test_translation(self):
+        clause = order_by_clause([DISTANCE, PRICE])
+        # priority decides the order: price (0) before distance (1).
+        assert clause == "price ASC, distance ASC"
+
+    def test_max_maps_to_desc(self):
+        clause = order_by_clause([AttributePreference("rating", MAX)])
+        assert clause == "rating DESC"
+
+    def test_requires_preferences(self):
+        with pytest.raises(PreferenceError):
+            order_by_clause([])
+
+    def test_clause_usable_in_sql(self, tiny_db):
+        clause = order_by_clause([AttributePreference("dblp.year", MAX)])
+        rows = tiny_db.query(f"SELECT pid, year FROM dblp ORDER BY {clause} LIMIT 5")
+        years = [row["year"] for row in rows]
+        assert years == sorted(years, reverse=True)

@@ -1,0 +1,263 @@
+"""Unit tests for the property-graph engine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import (
+    DuplicateIndexError,
+    EdgeNotFoundError,
+    IndexNotFoundError,
+    NodeNotFoundError,
+)
+from repro.graphstore import CYCLE, PREFERS, PropertyGraph
+
+
+@pytest.fixture()
+def graph():
+    return PropertyGraph()
+
+
+@pytest.fixture()
+def chain_graph():
+    """A small graph a -> b -> c plus an isolated node d."""
+    graph = PropertyGraph()
+    a = graph.add_node({"name": "a"})
+    b = graph.add_node({"name": "b"})
+    c = graph.add_node({"name": "c"})
+    d = graph.add_node({"name": "d"})
+    graph.add_edge(a.node_id, b.node_id, PREFERS, {"intensity": 0.5})
+    graph.add_edge(b.node_id, c.node_id, PREFERS, {"intensity": 0.2})
+    return graph, (a.node_id, b.node_id, c.node_id, d.node_id)
+
+
+class TestNodeOperations:
+    def test_add_node_assigns_sequential_ids(self, graph):
+        first = graph.add_node({"x": 1})
+        second = graph.add_node({"x": 2})
+        assert second.node_id == first.node_id + 1
+        assert graph.node_count() == 2
+
+    def test_get_node_unknown_raises(self, graph):
+        with pytest.raises(NodeNotFoundError):
+            graph.get_node(99)
+
+    def test_update_node_merges_properties(self, graph):
+        node = graph.add_node({"uid": 1, "intensity": 0.2})
+        graph.update_node(node.node_id, {"intensity": 0.7})
+        assert graph.get_node(node.node_id)["intensity"] == 0.7
+        assert graph.get_node(node.node_id)["uid"] == 1
+
+    def test_add_labels(self, graph):
+        node = graph.add_node({"uid": 1})
+        graph.add_labels(node.node_id, ["uidIndex"])
+        assert graph.get_node(node.node_id).has_label("uidIndex")
+
+    def test_remove_node_removes_incident_edges(self, chain_graph):
+        graph, (a, b, c, _) = chain_graph
+        graph.remove_node(b)
+        assert not graph.has_node(b)
+        assert graph.edge_count() == 0
+        assert graph.out_degree(a) == 0
+        assert graph.in_degree(c) == 0
+
+    def test_batch_insert_returns_nodes_in_order(self, graph):
+        created = graph.add_nodes_batch(
+            [{"uid": i} for i in range(10)], labels=("uidIndex",))
+        assert [node["uid"] for node in created] == list(range(10))
+        assert all(node.has_label("uidIndex") for node in created)
+        assert graph.node_count() == 10
+
+    def test_len_matches_node_count(self, graph):
+        graph.add_node()
+        graph.add_node()
+        assert len(graph) == 2
+
+
+class TestEdgeOperations:
+    def test_add_edge_requires_existing_nodes(self, graph):
+        node = graph.add_node()
+        with pytest.raises(NodeNotFoundError):
+            graph.add_edge(node.node_id, 42, PREFERS)
+
+    def test_get_edge_unknown_raises(self, graph):
+        with pytest.raises(EdgeNotFoundError):
+            graph.get_edge(5)
+
+    def test_update_edge_relabels(self, chain_graph):
+        graph, (a, b, _, _) = chain_graph
+        edge = graph.edges_between(a, b)[0]
+        updated = graph.update_edge(edge.edge_id, rel_type=CYCLE)
+        assert updated.rel_type == CYCLE
+        assert graph.get_edge(edge.edge_id).rel_type == CYCLE
+
+    def test_update_edge_merges_properties(self, chain_graph):
+        graph, (a, b, _, _) = chain_graph
+        edge = graph.edges_between(a, b)[0]
+        graph.update_edge(edge.edge_id, properties={"note": "x"})
+        assert graph.get_edge(edge.edge_id)["note"] == "x"
+        assert graph.get_edge(edge.edge_id)["intensity"] == 0.5
+
+    def test_remove_edge(self, chain_graph):
+        graph, (a, b, _, _) = chain_graph
+        edge = graph.edges_between(a, b)[0]
+        graph.remove_edge(edge.edge_id)
+        assert graph.edges_between(a, b) == []
+
+    def test_edges_between_filters_by_type(self, graph):
+        a = graph.add_node()
+        b = graph.add_node()
+        graph.add_edge(a.node_id, b.node_id, PREFERS)
+        graph.add_edge(a.node_id, b.node_id, CYCLE)
+        assert len(graph.edges_between(a.node_id, b.node_id)) == 2
+        assert len(graph.edges_between(a.node_id, b.node_id, (PREFERS,))) == 1
+
+
+class TestDegreesAndNeighbours:
+    def test_degrees(self, chain_graph):
+        graph, (a, b, c, d) = chain_graph
+        assert graph.out_degree(a) == 1
+        assert graph.in_degree(a) == 0
+        assert graph.degree(b) == 2
+        assert graph.degree(d) == 0
+        assert graph.in_degree(c) == 1
+
+    def test_self_loops_excluded_by_default(self, graph):
+        node = graph.add_node()
+        graph.add_edge(node.node_id, node.node_id, PREFERS)
+        assert graph.out_degree(node.node_id) == 0
+        assert graph.out_degree(node.node_id, include_self_loops=True) == 1
+
+    def test_successors_and_predecessors(self, chain_graph):
+        graph, (a, b, c, _) = chain_graph
+        assert graph.successors(a) == [b]
+        assert graph.predecessors(c) == [b]
+        assert graph.successors(c) == []
+
+    def test_degree_filtered_by_rel_type(self, graph):
+        a = graph.add_node()
+        b = graph.add_node()
+        graph.add_edge(a.node_id, b.node_id, CYCLE)
+        assert graph.out_degree(a.node_id, rel_types=(PREFERS,)) == 0
+        assert graph.out_degree(a.node_id, rel_types=(CYCLE,)) == 1
+
+
+class TestTraversal:
+    def test_path_exists_forward_only(self, chain_graph):
+        graph, (a, b, c, d) = chain_graph
+        assert graph.path_exists(a, c)
+        assert not graph.path_exists(c, a)
+        assert not graph.path_exists(a, d)
+
+    def test_path_exists_trivially_to_self(self, chain_graph):
+        graph, (a, _, _, _) = chain_graph
+        assert graph.path_exists(a, a)
+
+    def test_path_exists_respects_rel_types(self, graph):
+        a = graph.add_node()
+        b = graph.add_node()
+        graph.add_edge(a.node_id, b.node_id, CYCLE)
+        assert not graph.path_exists(a.node_id, b.node_id, rel_types=(PREFERS,))
+        assert graph.path_exists(a.node_id, b.node_id, rel_types=(CYCLE,))
+
+    def test_shortest_path(self, chain_graph):
+        graph, (a, b, c, _) = chain_graph
+        assert graph.shortest_path(a, c) == [a, b, c]
+        assert graph.shortest_path(c, a) is None
+        assert graph.shortest_path(a, a) == [a]
+
+    def test_bfs_reaches_descendants_only(self, chain_graph):
+        graph, (a, b, c, d) = chain_graph
+        assert set(graph.bfs(a)) == {a, b, c}
+        assert set(graph.bfs(d)) == {d}
+
+    def test_connected_component_is_undirected(self, chain_graph):
+        graph, (a, b, c, d) = chain_graph
+        assert graph.connected_component(c) == {a, b, c}
+        assert graph.connected_component(d) == {d}
+
+    def test_topological_order(self, chain_graph):
+        graph, (a, b, c, d) = chain_graph
+        order = graph.topological_order()
+        assert order.index(a) < order.index(b) < order.index(c)
+        assert d in order
+
+    def test_topological_order_detects_cycles(self, graph):
+        a = graph.add_node()
+        b = graph.add_node()
+        graph.add_edge(a.node_id, b.node_id, PREFERS)
+        graph.add_edge(b.node_id, a.node_id, PREFERS)
+        with pytest.raises(ValueError):
+            graph.topological_order()
+
+
+class TestIndexes:
+    def test_index_lookup(self, graph):
+        graph.create_index("uidIndex", "uid")
+        for uid in (1, 1, 2):
+            graph.add_node({"uid": uid}, labels=("uidIndex",))
+        assert len(graph.find_by_index("uidIndex", "uid", 1)) == 2
+        assert len(graph.find_by_index("uidIndex", "uid", 2)) == 1
+        assert graph.find_by_index("uidIndex", "uid", 3) == []
+
+    def test_index_created_after_nodes_is_backfilled(self, graph):
+        graph.add_node({"uid": 5}, labels=("uidIndex",))
+        graph.create_index("uidIndex", "uid")
+        assert len(graph.find_by_index("uidIndex", "uid", 5)) == 1
+
+    def test_index_tracks_updates(self, graph):
+        graph.create_index("uidIndex", "uid")
+        node = graph.add_node({"uid": 1}, labels=("uidIndex",))
+        graph.update_node(node.node_id, {"uid": 2})
+        assert graph.find_by_index("uidIndex", "uid", 1) == []
+        assert len(graph.find_by_index("uidIndex", "uid", 2)) == 1
+
+    def test_index_tracks_removal(self, graph):
+        graph.create_index("uidIndex", "uid")
+        node = graph.add_node({"uid": 1}, labels=("uidIndex",))
+        graph.remove_node(node.node_id)
+        assert graph.find_by_index("uidIndex", "uid", 1) == []
+
+    def test_duplicate_index_rejected(self, graph):
+        graph.create_index("uidIndex", "uid")
+        with pytest.raises(DuplicateIndexError):
+            graph.create_index("uidIndex", "uid")
+
+    def test_missing_index_lookup_raises(self, graph):
+        with pytest.raises(IndexNotFoundError):
+            graph.find_by_index("uidIndex", "uid", 1)
+
+    def test_unlabelled_nodes_not_indexed(self, graph):
+        graph.create_index("uidIndex", "uid")
+        graph.add_node({"uid": 1})
+        assert graph.find_by_index("uidIndex", "uid", 1) == []
+
+    def test_find_nodes_uses_filters(self, graph):
+        graph.create_index("uidIndex", "uid")
+        graph.add_node({"uid": 1, "intensity": 0.5}, labels=("uidIndex",))
+        graph.add_node({"uid": 1, "intensity": -0.5}, labels=("uidIndex",))
+        graph.add_node({"uid": 2, "intensity": 0.9}, labels=("uidIndex",))
+        positive = graph.find_nodes(label="uidIndex", uid=1,
+                                    predicate=lambda node: node["intensity"] > 0)
+        assert len(positive) == 1
+
+
+class TestStatsAndSerialisation:
+    def test_stats_counts_edge_types(self, chain_graph):
+        graph, _ = chain_graph
+        stats = graph.stats()
+        assert stats["nodes"] == 4
+        assert stats["edges"] == 2
+        assert stats[f"edges[{PREFERS}]"] == 2
+
+    def test_roundtrip_to_dict(self, chain_graph):
+        graph, (a, b, c, d) = chain_graph
+        graph.create_index("names", "name")
+        restored = PropertyGraph.from_dict(graph.to_dict())
+        assert restored.node_count() == graph.node_count()
+        assert restored.edge_count() == graph.edge_count()
+        assert restored.path_exists(a, c)
+        assert restored.has_index("names", "name")
+        # New nodes keep getting fresh ids after a round trip.
+        new_node = restored.add_node({"name": "e"})
+        assert new_node.node_id not in (a, b, c, d)

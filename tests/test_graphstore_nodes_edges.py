@@ -1,0 +1,96 @@
+"""Unit tests for graph store node and edge records."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graphstore.edge import CYCLE, DISCARD, HYPRE_EDGE_TYPES, PREFERS, Edge
+from repro.graphstore.node import Node, make_node, node_sort_key
+
+
+class TestNode:
+    def test_basic_construction(self):
+        node = make_node(1, {"uid": 2, "intensity": 0.5}, labels=("uidIndex",))
+        assert node.node_id == 1
+        assert node["uid"] == 2
+        assert node.get("intensity") == 0.5
+        assert node.has_label("uidIndex")
+
+    def test_labels_are_frozenset(self):
+        node = Node(node_id=0, properties={}, labels={"a", "b"})
+        assert isinstance(node.labels, frozenset)
+        assert node.labels == frozenset({"a", "b"})
+
+    def test_get_missing_returns_default(self):
+        node = make_node(0)
+        assert node.get("missing") is None
+        assert node.get("missing", 7) == 7
+
+    def test_contains_checks_properties(self):
+        node = make_node(0, {"uid": 1})
+        assert "uid" in node
+        assert "intensity" not in node
+
+    def test_getitem_raises_on_missing(self):
+        node = make_node(0, {"uid": 1})
+        with pytest.raises(KeyError):
+            node["nope"]
+
+    def test_with_updates_returns_new_node(self):
+        node = make_node(3, {"uid": 1, "intensity": 0.2})
+        updated = node.with_updates({"intensity": 0.9, "extra": "x"})
+        assert updated.node_id == 3
+        assert updated["intensity"] == 0.9
+        assert updated["extra"] == "x"
+        assert node["intensity"] == 0.2  # original untouched
+
+    def test_with_labels_adds_labels(self):
+        node = make_node(0, labels=("a",))
+        updated = node.with_labels(["b", "c"])
+        assert updated.labels == frozenset({"a", "b", "c"})
+        assert node.labels == frozenset({"a"})
+
+    def test_roundtrip_dict(self):
+        node = make_node(5, {"predicate": "venue = 'VLDB'", "uid": 9}, labels=("uidIndex",))
+        restored = Node.from_dict(node.to_dict())
+        assert restored.node_id == node.node_id
+        assert restored.properties == node.properties
+        assert restored.labels == node.labels
+
+    def test_sort_key_places_missing_last(self):
+        with_value = make_node(0, {"intensity": 0.5})
+        without = make_node(1, {})
+        keys = sorted([node_sort_key(without, "intensity"),
+                       node_sort_key(with_value, "intensity")])
+        assert keys[0][0] is False  # node with a value sorts first
+
+    def test_sort_key_descending_negates_numbers(self):
+        low = make_node(0, {"intensity": 0.1})
+        high = make_node(1, {"intensity": 0.9})
+        assert node_sort_key(high, "intensity", descending=True) < node_sort_key(
+            low, "intensity", descending=True)
+
+
+class TestEdge:
+    def test_basic_construction(self):
+        edge = Edge(edge_id=0, source=1, target=2, rel_type=PREFERS,
+                    properties={"intensity": 0.3})
+        assert edge["intensity"] == 0.3
+        assert edge.get("missing") is None
+        assert not edge.is_self_loop()
+
+    def test_self_loop_detection(self):
+        edge = Edge(edge_id=0, source=4, target=4, rel_type=PREFERS)
+        assert edge.is_self_loop()
+
+    def test_roundtrip_dict(self):
+        edge = Edge(edge_id=7, source=1, target=2, rel_type=DISCARD,
+                    properties={"intensity": 0.25})
+        restored = Edge.from_dict(edge.to_dict())
+        assert restored == edge
+
+    def test_hypre_edge_types_are_distinct(self):
+        assert len(set(HYPRE_EDGE_TYPES)) == 3
+        assert PREFERS in HYPRE_EDGE_TYPES
+        assert CYCLE in HYPRE_EDGE_TYPES
+        assert DISCARD in HYPRE_EDGE_TYPES

@@ -1,0 +1,165 @@
+"""Unit tests for the graph query layer and JSON persistence."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import GraphPersistenceError, GraphQueryError
+from repro.graphstore import (
+    CYCLE,
+    PREFERS,
+    ExpandQuery,
+    GraphStore,
+    NodeQuery,
+    PropertyGraph,
+    load_graph,
+    save_graph,
+)
+
+
+@pytest.fixture()
+def preference_graph():
+    """A small HYPRE-flavoured graph: 4 nodes for uid=2, 1 node for uid=3."""
+    graph = PropertyGraph()
+    graph.create_index("uidIndex", "uid")
+    payload = [
+        {"uid": 2, "predicate": "venue = 'INFOCOM'", "intensity": 0.23},
+        {"uid": 2, "predicate": "venue = 'PODS'", "intensity": 0.14},
+        {"uid": 2, "predicate": "aid = 128", "intensity": 0.19},
+        {"uid": 2, "predicate": "aid = 116", "intensity": -0.4},
+        {"uid": 3, "predicate": "venue = 'VLDB'", "intensity": 0.9},
+    ]
+    nodes = graph.add_nodes_batch(payload, labels=("uidIndex",))
+    graph.add_edge(nodes[0].node_id, nodes[1].node_id, PREFERS, {"intensity": 0.1})
+    graph.add_edge(nodes[2].node_id, nodes[3].node_id, CYCLE, {"intensity": 0.2})
+    return graph, nodes
+
+
+class TestNodeQuery:
+    def test_filter_by_uid(self, preference_graph):
+        graph, _ = preference_graph
+        rows = NodeQuery(graph).with_label("uidIndex").where("uid", "=", 2).run()
+        assert len(rows) == 4
+
+    def test_order_by_intensity_descending(self, preference_graph):
+        graph, _ = preference_graph
+        rows = (NodeQuery(graph)
+                .with_label("uidIndex")
+                .where("uid", "=", 2)
+                .order_by("intensity", descending=True)
+                .returning("predicate", "intensity")
+                .run())
+        intensities = [row["intensity"] for row in rows]
+        assert intensities == sorted(intensities, reverse=True)
+
+    def test_positive_intensity_filter(self, preference_graph):
+        graph, _ = preference_graph
+        count = (NodeQuery(graph)
+                 .with_label("uidIndex")
+                 .where("uid", "=", 2)
+                 .where("intensity", ">", 0.0)
+                 .count())
+        assert count == 3
+
+    def test_limit_and_skip(self, preference_graph):
+        graph, _ = preference_graph
+        query = (NodeQuery(graph).with_label("uidIndex").where("uid", "=", 2)
+                 .order_by("intensity", descending=True))
+        top = query.limit(2).nodes()
+        assert len(top) == 2
+        rest = (NodeQuery(graph).with_label("uidIndex").where("uid", "=", 2)
+                .order_by("intensity", descending=True).skip(2).nodes())
+        assert len(rest) == 2
+        assert {node.node_id for node in top}.isdisjoint(
+            {node.node_id for node in rest})
+
+    def test_in_operator(self, preference_graph):
+        graph, _ = preference_graph
+        rows = (NodeQuery(graph).with_label("uidIndex")
+                .where("uid", "in", [2, 3]).run())
+        assert len(rows) == 5
+
+    def test_unsupported_operator_raises(self, preference_graph):
+        graph, _ = preference_graph
+        with pytest.raises(GraphQueryError):
+            NodeQuery(graph).where("uid", "~", 2)
+
+    def test_negative_limit_raises(self, preference_graph):
+        graph, _ = preference_graph
+        with pytest.raises(GraphQueryError):
+            NodeQuery(graph).limit(-1)
+
+    def test_projection_returns_requested_keys_only(self, preference_graph):
+        graph, _ = preference_graph
+        rows = (NodeQuery(graph).with_label("uidIndex").where("uid", "=", 3)
+                .returning("predicate").run())
+        assert rows == [{"predicate": "venue = 'VLDB'"}]
+
+
+class TestExpandQuery:
+    def test_expand_prefers_only(self, preference_graph):
+        graph, nodes = preference_graph
+        expander = ExpandQuery(graph, rel_types=(PREFERS,))
+        pairs = expander.expand(nodes[0].node_id)
+        assert len(pairs) == 1
+        edge, target = pairs[0]
+        assert edge.rel_type == PREFERS
+        assert target.node_id == nodes[1].node_id
+
+    def test_expand_incoming(self, preference_graph):
+        graph, nodes = preference_graph
+        expander = ExpandQuery(graph, rel_types=(PREFERS,))
+        pairs = expander.expand_incoming(nodes[1].node_id)
+        assert [source.node_id for _, source in pairs] == [nodes[0].node_id]
+
+    def test_pairs_lists_all_edges_of_type(self, preference_graph):
+        graph, nodes = preference_graph
+        assert ExpandQuery(graph, rel_types=(PREFERS,)).pairs() == [
+            (nodes[0].node_id, nodes[1].node_id)]
+        assert ExpandQuery(graph, rel_types=(CYCLE,)).pairs() == [
+            (nodes[2].node_id, nodes[3].node_id)]
+        assert len(ExpandQuery(graph).pairs()) == 2
+
+
+class TestPersistence:
+    def test_save_and_load_roundtrip(self, preference_graph, tmp_path):
+        graph, nodes = preference_graph
+        path = tmp_path / "prefs.json"
+        save_graph(graph, path)
+        restored = load_graph(path)
+        assert restored.node_count() == graph.node_count()
+        assert restored.edge_count() == graph.edge_count()
+        assert restored.find_by_index("uidIndex", "uid", 2)
+
+    def test_load_missing_file_raises(self, tmp_path):
+        with pytest.raises(GraphPersistenceError):
+            load_graph(tmp_path / "missing.json")
+
+    def test_load_corrupt_file_raises(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        with pytest.raises(GraphPersistenceError):
+            load_graph(path)
+
+    def test_graph_store_catalogue(self, preference_graph, tmp_path):
+        graph, _ = preference_graph
+        store = GraphStore(tmp_path / "graphs")
+        store.save("profiles", graph)
+        assert store.exists("profiles")
+        assert store.list() == ["profiles"]
+        assert len(store) == 1
+        restored = store.load("profiles")
+        assert restored.node_count() == graph.node_count()
+        assert store.sizes()["profiles"] > 0
+        store.delete("profiles")
+        assert store.list() == []
+
+    def test_graph_store_rejects_bad_names(self, tmp_path):
+        store = GraphStore(tmp_path)
+        with pytest.raises(GraphPersistenceError):
+            store.save("../escape", PropertyGraph())
+
+    def test_graph_store_load_missing_raises(self, tmp_path):
+        store = GraphStore(tmp_path)
+        with pytest.raises(GraphPersistenceError):
+            store.load("nothing")

@@ -1,0 +1,221 @@
+"""Property-based tests (hypothesis) for the core invariants of the model.
+
+The generators stay inside the legal intensity domains and exercise the
+algebraic properties the paper's propositions rely on, plus structural
+invariants of the predicate tree and the HYPRE graph builder.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.intensity import (
+    combine_and,
+    combine_or,
+    f_and,
+    f_or,
+    intensity_left,
+    intensity_right,
+    min_preferences_to_beat,
+)
+from repro.core.metrics import overlap, similarity
+from repro.core.predicate import (
+    Condition,
+    conjunction,
+    disjunction,
+    equals,
+    parse_predicate,
+)
+from repro.core.preference import UserProfile
+from repro.core.hypre import HypreGraphBuilder
+from repro.graphstore import PREFERS
+
+# -- strategies --------------------------------------------------------------
+
+quantitative = st.floats(min_value=-1.0, max_value=1.0,
+                         allow_nan=False, allow_infinity=False)
+positive_quant = st.floats(min_value=0.0, max_value=1.0,
+                           allow_nan=False, allow_infinity=False)
+qualitative = st.floats(min_value=0.0, max_value=1.0,
+                        allow_nan=False, allow_infinity=False)
+attribute_names = st.sampled_from(["dblp.venue", "dblp.year", "dblp_author.aid", "price"])
+simple_values = st.one_of(st.integers(min_value=-1000, max_value=3000),
+                          st.sampled_from(["VLDB", "SIGMOD", "PODS", "Honda"]))
+
+
+@st.composite
+def conditions(draw):
+    attribute = draw(attribute_names)
+    op = draw(st.sampled_from(["=", "!=", "<", "<=", ">", ">="]))
+    value = draw(simple_values)
+    return Condition(attribute, op, value)
+
+
+# -- intensity algebra --------------------------------------------------------
+
+
+@given(qualitative, quantitative)
+def test_left_right_preserve_order(ql, qt):
+    """Eq. 4.1/4.2: derived left value >= qt >= derived right value."""
+    assert intensity_left(ql, qt) >= qt - 1e-12
+    assert intensity_right(ql, qt) <= qt + 1e-12
+
+
+@given(qualitative, quantitative)
+def test_left_right_stay_in_domain(ql, qt):
+    assert -1.0 <= intensity_left(ql, qt) <= 1.0
+    assert -1.0 <= intensity_right(ql, qt) <= 1.0
+
+
+@given(positive_quant, positive_quant)
+def test_f_and_bounds(a, b):
+    """f_and is inflationary for non-negative scores and stays within [0, 1]."""
+    combined = f_and(a, b)
+    assert combined >= max(a, b) - 1e-12
+    assert combined <= 1.0 + 1e-12
+
+
+@given(positive_quant, positive_quant)
+def test_f_or_bounds(a, b):
+    """f_or is reserved: the result lies between the two inputs."""
+    combined = f_or(a, b)
+    assert min(a, b) - 1e-12 <= combined <= max(a, b) + 1e-12
+
+
+@given(st.lists(positive_quant, min_size=1, max_size=8))
+def test_combine_and_permutation_invariant(values):
+    """Proposition 1: the AND fold does not depend on the order."""
+    assert combine_and(values) == pytest.approx(
+        combine_and(list(reversed(values))), abs=1e-9)
+
+
+@given(st.lists(positive_quant, min_size=1, max_size=8))
+def test_combine_and_dominates_every_member(values):
+    assert combine_and(values) >= max(values) - 1e-12
+
+
+@given(st.lists(positive_quant, min_size=1, max_size=8))
+def test_combine_or_within_bounds(values):
+    combined = combine_or(values)
+    assert min(values) - 1e-9 <= combined <= max(values) + 1e-9
+
+
+@given(st.floats(min_value=0.01, max_value=0.99),
+       st.floats(min_value=0.01, max_value=0.99))
+def test_proposition6_bound_is_sufficient(target, base):
+    """Combining ceil(K) preferences of intensity `base` reaches `target`."""
+    needed = min_preferences_to_beat(target, base)
+    if math.isinf(needed):
+        return
+    count = max(1, math.ceil(needed))
+    if count > 10_000:
+        return
+    assert combine_and([base] * count) >= target - 1e-9
+
+
+# -- metrics -------------------------------------------------------------------
+
+
+@given(st.lists(st.integers(min_value=0, max_value=50), max_size=30, unique=True))
+def test_similarity_and_overlap_identity(ids):
+    """A list compared with itself is fully similar and fully ordered."""
+    assert similarity(ids, ids) == 1.0
+    if ids:
+        assert overlap(ids, ids) == 1.0
+
+
+@given(st.lists(st.integers(min_value=0, max_value=50), max_size=30, unique=True),
+       st.lists(st.integers(min_value=51, max_value=99), max_size=30, unique=True))
+def test_similarity_disjoint_is_zero(first, second):
+    if first and second:
+        assert similarity(first, second) == 0.0
+
+
+@given(st.lists(st.integers(min_value=0, max_value=30), min_size=2, max_size=20,
+                unique=True))
+def test_overlap_of_reversed_list_is_zero(ids):
+    assert overlap(ids, list(reversed(ids))) == 0.0
+
+
+# -- predicates ----------------------------------------------------------------
+
+
+@given(conditions())
+def test_condition_sql_roundtrips_through_parser(condition):
+    """to_sql() output is always re-parseable to an equal expression."""
+    assert parse_predicate(condition.to_sql()) == condition
+
+
+@given(st.lists(conditions(), min_size=1, max_size=5))
+def test_conjunction_roundtrips_through_parser(parts):
+    expr = conjunction(parts)
+    assert parse_predicate(expr.to_sql()) == expr
+
+
+@given(st.lists(conditions(), min_size=1, max_size=5))
+def test_disjunction_evaluation_matches_any(parts):
+    expr = disjunction(parts)
+    row = {"dblp.venue": "VLDB", "dblp.year": 2010, "dblp_author.aid": 5, "price": 100}
+    assert expr.evaluate(row) == any(part.evaluate(row) for part in parts)
+
+
+@given(st.lists(conditions(), min_size=1, max_size=5))
+def test_conjunction_evaluation_matches_all(parts):
+    expr = conjunction(parts)
+    row = {"dblp.venue": "VLDB", "dblp.year": 2010, "dblp_author.aid": 5, "price": 100}
+    assert expr.evaluate(row) == all(part.evaluate(row) for part in parts)
+
+
+# -- HYPRE builder invariant ------------------------------------------------------
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(st.tuples(st.integers(min_value=0, max_value=5),
+                          st.integers(min_value=0, max_value=5),
+                          qualitative),
+                min_size=1, max_size=12))
+def test_builder_prefers_edges_never_violate_order(pairs):
+    """After building, every PREFERS edge satisfies left intensity >= right."""
+    profile = UserProfile(uid=1)
+    for left, right, strength in pairs:
+        if left == right:
+            continue
+        profile.add_qualitative(f"dblp_author.aid = {left}",
+                                f"dblp_author.aid = {right}", strength)
+    if not profile.qualitative:
+        return
+    builder = HypreGraphBuilder()
+    builder.build_profile(profile)
+    graph = builder.hypre.graph
+    for edge in graph.edges():
+        if edge.rel_type != PREFERS or edge.is_self_loop():
+            continue
+        left_value = graph.get_node(edge.source).get("intensity")
+        right_value = graph.get_node(edge.target).get("intensity")
+        assert left_value is not None and right_value is not None
+        assert left_value >= right_value - 1e-9
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(st.tuples(st.integers(min_value=0, max_value=5),
+                          st.integers(min_value=0, max_value=5),
+                          qualitative),
+                min_size=1, max_size=12))
+def test_builder_prefers_subgraph_is_acyclic(pairs):
+    """The PREFERS subgraph never contains a directed cycle."""
+    profile = UserProfile(uid=1)
+    for left, right, strength in pairs:
+        if left == right:
+            continue
+        profile.add_qualitative(f"dblp_author.aid = {left}",
+                                f"dblp_author.aid = {right}", strength)
+    if not profile.qualitative:
+        return
+    builder = HypreGraphBuilder()
+    builder.build_profile(profile)
+    graph = builder.hypre.graph
+    # topological_order raises ValueError when a PREFERS cycle exists.
+    graph.topological_order(rel_types=(PREFERS,))

@@ -1,0 +1,84 @@
+"""Tests for the top-level package surface and cross-module integration."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro
+from repro import (
+    Database,
+    PEPSAlgorithm,
+    PreferenceQueryRunner,
+    UserProfile,
+    build_hypre_graph,
+    preferences_from_graph,
+)
+from repro.exceptions import ReproError, IntensityRangeError, TopKError
+from repro.workload import DblpConfig, generate_dblp, load_dataset
+
+
+class TestPackageSurface:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), f"repro.{name} missing"
+
+    def test_subpackage_all_names_resolve(self):
+        import repro.algorithms as algorithms
+        import repro.core as core
+        import repro.extensions as extensions
+        import repro.graphstore as graphstore
+        import repro.sqldb as sqldb
+        import repro.workload as workload
+
+        for module in (algorithms, core, extensions, graphstore, sqldb, workload):
+            for name in module.__all__:
+                assert hasattr(module, name), f"{module.__name__}.{name} missing"
+
+    def test_exception_hierarchy(self):
+        assert issubclass(IntensityRangeError, ReproError)
+        assert issubclass(TopKError, ReproError)
+        with pytest.raises(ReproError):
+            raise IntensityRangeError(2.0, -1.0, 1.0)
+
+
+class TestReadmeQuickstart:
+    """The README quickstart must stay runnable end to end."""
+
+    def test_quickstart_flow(self):
+        profile = UserProfile(uid=1)
+        profile.add_quantitative("dblp.year >= 2009", 0.8)
+        profile.add_quantitative("dblp.venue = 'INFOCOM'", -1.0)
+        profile.add_qualitative("dblp.venue = 'VLDB'", "dblp.venue = 'SIGMOD'", 0.3)
+
+        hypre, report = build_hypre_graph(profile)
+        assert report.qualitative_edges == 1
+
+        db = Database(":memory:")
+        load_dataset(db, generate_dblp(DblpConfig(n_papers=200, n_authors=80,
+                                                  n_venues=8, seed=1)))
+        runner = PreferenceQueryRunner(db)
+        peps = PEPSAlgorithm(runner, preferences_from_graph(hypre, 1))
+        ranking = peps.top_k(10)
+        assert len(ranking) == 10
+        scores = [score for _, score in ranking]
+        assert scores == sorted(scores, reverse=True)
+        db.close()
+
+
+class TestDatabaseOnDisk:
+    def test_file_backed_database_persists(self, tmp_path, tiny_dataset):
+        path = tmp_path / "workload.sqlite"
+        with Database(path) as db:
+            load_dataset(db, tiny_dataset)
+            papers = db.total_papers()
+        # Re-open the file and verify the data survived the connection.
+        with Database(path) as db:
+            assert db.total_papers() == papers
+
+    def test_create_false_skips_schema(self, tmp_path):
+        path = tmp_path / "raw.sqlite"
+        with Database(path, create=False) as db:
+            assert db.query("SELECT name FROM sqlite_master WHERE type='table'") == []

@@ -1,0 +1,164 @@
+"""Unit and integration tests for the SQLite relational substrate."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.predicate import equals, parse_predicate
+from repro.exceptions import QueryBuildError, RelationalError, SchemaError
+from repro.sqldb import (
+    BASE_FROM,
+    Database,
+    SelectQuery,
+    count_matching_papers,
+    count_query,
+    create_schema,
+    drop_schema,
+    existing_tables,
+    matching_paper_ids,
+    paper_ids_query,
+    verify_schema,
+)
+from repro.sqldb import schema as schema_module
+from repro.workload.loader import load_dataset
+
+
+class TestSchema:
+    def test_fresh_database_has_all_tables(self):
+        with Database(":memory:") as db:
+            assert existing_tables(db.connection) == sorted(schema_module.TABLES)
+            verify_schema(db.connection)
+
+    def test_drop_then_verify_fails(self):
+        with Database(":memory:") as db:
+            drop_schema(db.connection)
+            with pytest.raises(SchemaError):
+                verify_schema(db.connection)
+
+    def test_create_schema_idempotent(self):
+        with Database(":memory:") as db:
+            create_schema(db.connection)
+            create_schema(db.connection)
+            verify_schema(db.connection)
+
+    def test_table_counts_empty(self):
+        with Database(":memory:") as db:
+            counts = db.table_counts()
+            assert set(counts) == set(schema_module.TABLES)
+            assert all(count == 0 for count in counts.values())
+
+
+class TestDatabase:
+    def test_query_returns_dict_rows(self, tiny_db):
+        rows = tiny_db.query("SELECT pid, venue FROM dblp LIMIT 3")
+        assert len(rows) == 3
+        assert set(rows[0]) == {"pid", "venue"}
+
+    def test_query_one_and_scalar(self, tiny_db):
+        row = tiny_db.query_one("SELECT COUNT(*) AS n FROM dblp")
+        assert row["n"] > 0
+        assert tiny_db.scalar("SELECT COUNT(*) FROM dblp") == row["n"]
+
+    def test_query_one_none_when_empty(self, tiny_db):
+        assert tiny_db.query_one("SELECT pid FROM dblp WHERE pid = -1") is None
+
+    def test_count_handles_missing(self, tiny_db):
+        assert tiny_db.count("SELECT COUNT(*) FROM dblp WHERE pid = -5") == 0
+
+    def test_invalid_sql_raises_relational_error(self, tiny_db):
+        with pytest.raises(RelationalError):
+            tiny_db.query("SELECT nonsense FROM nowhere")
+
+    def test_distinct_count_validates_table(self, tiny_db):
+        assert tiny_db.distinct_count("dblp", "venue") > 1
+        with pytest.raises(RelationalError):
+            tiny_db.distinct_count("not_a_table", "x")
+
+    def test_total_papers_matches_dataset(self, tiny_db, tiny_dataset):
+        assert tiny_db.total_papers() == len(tiny_dataset.papers)
+
+    def test_load_dataset_counts(self, tiny_dataset):
+        with Database(":memory:") as db:
+            counts = load_dataset(db, tiny_dataset)
+            assert counts["dblp"] == len(tiny_dataset.papers)
+            assert counts["author"] == len(tiny_dataset.authors)
+            assert counts["citation"] == len(tiny_dataset.citations)
+            assert counts["dblp_author"] == len(tiny_dataset.paper_authors)
+
+
+class TestSelectQuery:
+    def test_default_shape(self):
+        sql = SelectQuery().to_sql()
+        assert sql == f"SELECT * FROM {BASE_FROM}"
+
+    def test_where_accepts_predicate_and_string(self):
+        query = SelectQuery(columns=["dblp.pid"]).where(equals("dblp.venue", "VLDB"))
+        query.where("dblp.year >= 2010")
+        sql = query.to_sql()
+        assert "(dblp.venue = 'VLDB')" in sql
+        assert "AND (dblp.year >= 2010)" in sql
+
+    def test_empty_condition_rejected(self):
+        with pytest.raises(QueryBuildError):
+            SelectQuery().where("   ")
+
+    def test_order_and_limit(self):
+        sql = (SelectQuery(columns=["dblp.pid"], distinct=True)
+               .order_by("dblp.year DESC").limit(5).to_sql())
+        assert sql.endswith("ORDER BY dblp.year DESC LIMIT 5")
+        assert sql.startswith("SELECT DISTINCT")
+
+    def test_negative_limit_rejected(self):
+        with pytest.raises(QueryBuildError):
+            SelectQuery().limit(-1)
+
+    def test_no_columns_rejected(self):
+        with pytest.raises(QueryBuildError):
+            SelectQuery(columns=[]).to_sql()
+
+    def test_count_query_wrapper(self):
+        sql = count_query("dblp.venue = 'VLDB'")
+        assert sql.startswith("SELECT COUNT(DISTINCT dblp.pid)")
+        assert "dblp.venue = 'VLDB'" in sql
+
+    def test_paper_ids_query_wrapper(self):
+        sql = paper_ids_query("dblp.venue = 'VLDB'", limit=10)
+        assert "ORDER BY dblp.pid" in sql
+        assert sql.endswith("LIMIT 10")
+
+
+class TestQueryExecution:
+    def test_count_matches_ids(self, tiny_db):
+        predicate = parse_predicate("dblp.venue = 'VLDB'")
+        count = count_matching_papers(tiny_db, predicate)
+        ids = matching_paper_ids(tiny_db, predicate)
+        assert count == len(ids)
+        assert count > 0
+
+    def test_count_whole_table(self, tiny_db):
+        assert count_matching_papers(tiny_db) == tiny_db.total_papers()
+
+    def test_author_join_predicate(self, tiny_db):
+        aid = tiny_db.scalar("SELECT aid FROM dblp_author LIMIT 1")
+        ids = matching_paper_ids(tiny_db, f"dblp_author.aid = {aid}")
+        assert ids
+        expected = {row["pid"] for row in tiny_db.query(
+            "SELECT pid FROM dblp_author WHERE aid = ?", (aid,))}
+        assert set(ids) == expected
+
+    def test_impossible_conjunction_returns_zero(self, tiny_db):
+        predicate = parse_predicate("dblp.venue = 'VLDB' AND dblp.venue = 'PODS'")
+        assert count_matching_papers(tiny_db, predicate) == 0
+
+    def test_ids_ordered_and_limited(self, tiny_db):
+        ids = matching_paper_ids(tiny_db, "dblp.year >= 2000", limit=5)
+        assert ids == sorted(ids)
+        assert len(ids) <= 5
+
+    def test_sql_matches_inmemory_evaluation(self, tiny_db, tiny_dataset):
+        """The SQL path and the predicate evaluator agree on matching papers."""
+        predicate = parse_predicate("dblp.venue = 'SIGMOD' AND dblp.year >= 2005")
+        sql_ids = set(matching_paper_ids(tiny_db, predicate))
+        memory_ids = {paper.pid for paper in tiny_dataset.papers
+                      if predicate.evaluate({"venue": paper.venue, "year": paper.year})}
+        assert sql_ids == memory_ids
