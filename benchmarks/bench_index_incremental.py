@@ -1,0 +1,150 @@
+"""Incremental pair-index maintenance vs full rebuild (ISSUE 1 tentpole).
+
+The Fig 13 / Table 11 scenarios insert preferences into an existing profile;
+the seed implementation then rebuilt the whole pairwise combination index —
+O(n²) count queries — before the next PEPS run.  This benchmark grows a
+50+-preference profile, inserts one more preference, and compares:
+
+* **full rebuild** — a fresh :class:`PairwiseCombinationIndex` over the
+  updated profile (batched counts, emptiness pre-filter);
+* **incremental** — :meth:`IncrementalPairIndex.refresh` after the graph
+  mutation event, which re-counts only the pairs involving the new
+  predicate.
+
+The printed table records pair-count volumes and SQL round-trips so the
+speedup is attributable: the incremental path must issue strictly fewer
+count queries and finish faster.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.algorithms.base import preferences_from_graph
+from repro.core.hypre import HypreGraphBuilder
+from repro.core.preference import QuantitativePreference
+from repro.index import CountCache, IncrementalPairIndex, PairwiseCombinationIndex
+from repro.experiments import reporting
+
+from bench_utils import run_once
+
+UID = 7001
+
+
+def profile_entries(ctx, minimum: int = 50):
+    """At least ``minimum`` deterministic preferences over the workload."""
+    entries = []
+    venues = ctx.dataset.venues()
+    years = sorted({paper.year for paper in ctx.dataset.papers})
+    lo, hi = years[0], years[-1]
+    for position, venue in enumerate(venues):
+        quoted = venue.replace("'", "''")
+        entries.append((f"dblp.venue = '{quoted}'",
+                        0.95 - 0.01 * position))
+    position = 0
+    for width in range(1, max(2, hi - lo)):
+        for start in range(lo, hi - width + 1):
+            if len(entries) > minimum + 5:
+                break
+            entries.append(
+                (f"dblp.year >= {start} AND dblp.year <= {start + width}",
+                 0.90 - 0.005 * position))
+            position += 1
+    assert len(entries) > minimum, "profile generator must exceed the minimum"
+    return entries
+
+
+def build_profile(entries):
+    builder = HypreGraphBuilder()
+    for sql, intensity in entries:
+        builder.add_quantitative(QuantitativePreference(UID, sql, intensity))
+    return builder
+
+
+def test_incremental_update_beats_full_rebuild(benchmark, ctx):
+    """One node insertion: incremental refresh vs from-scratch index build."""
+    entries = profile_entries(ctx)
+    new_sql, new_intensity = entries[-1]
+    builder = build_profile(entries[:-1])
+
+    incremental_cache = CountCache(ctx.db)
+    index = IncrementalPairIndex(incremental_cache)
+    index.attach(builder.hypre, UID,
+                 loader=lambda: preferences_from_graph(builder.hypre, UID))
+    build_counts = index.pairs_counted
+
+    builder.add_quantitative(QuantitativePreference(UID, new_sql, new_intensity))
+
+    statements_before = ctx.db.statements_executed
+    incremental_seconds = run_once(benchmark, lambda: time_refresh(index))
+    incremental_statements = ctx.db.statements_executed - statements_before
+    incremental_counts = index.last_refresh_pair_counts
+
+    preferences = preferences_from_graph(builder.hypre, UID)
+    statements_before = ctx.db.statements_executed
+    start = time.perf_counter()
+    rebuild = PairwiseCombinationIndex(CountCache(ctx.db), preferences)
+    rebuild_seconds = time.perf_counter() - start
+    rebuild_statements = ctx.db.statements_executed - statements_before
+
+    reporting.print_report(
+        "Incremental pair index vs full rebuild "
+        f"({len(preferences)} preferences)",
+        reporting.format_table([
+            {"path": "initial build", "pair_counts": build_counts,
+             "sql_statements": "-", "seconds": "-"},
+            {"path": "incremental refresh", "pair_counts": incremental_counts,
+             "sql_statements": incremental_statements,
+             "seconds": f"{incremental_seconds:.5f}"},
+            {"path": "full rebuild", "pair_counts": rebuild.pairs_counted,
+             "sql_statements": rebuild_statements,
+             "seconds": f"{rebuild_seconds:.5f}"},
+        ]))
+
+    assert len(preferences) > 50
+    # The acceptance criterion: strictly fewer count queries, and faster.
+    assert incremental_counts < rebuild.pairs_counted
+    assert incremental_counts <= len(preferences) - 1
+    assert incremental_seconds < rebuild_seconds
+    # Same answers either way.
+    assert len(index) == len(rebuild)
+    for i in range(len(preferences)):
+        for j in range(i + 1, len(preferences)):
+            assert index.pair(i, j).tuple_count == rebuild.pair(i, j).tuple_count
+
+
+def time_refresh(index):
+    start = time.perf_counter()
+    index.refresh()
+    return time.perf_counter() - start
+
+
+def test_repeated_insertions_amortise(benchmark, ctx):
+    """Ten successive insertions: cumulative incremental counts stay linear."""
+    entries = profile_entries(ctx, minimum=60)
+    builder = build_profile(entries[:50])
+    index = IncrementalPairIndex(CountCache(ctx.db))
+    index.attach(builder.hypre, UID,
+                 loader=lambda: preferences_from_graph(builder.hypre, UID))
+    counted_after_build = index.pairs_counted
+
+    def insert_ten():
+        for sql, intensity in entries[50:60]:
+            builder.add_quantitative(QuantitativePreference(UID, sql, intensity))
+            index.refresh()
+        return index
+
+    run_once(benchmark, insert_ten)
+    incremental_total = index.pairs_counted - counted_after_build
+
+    rebuild = PairwiseCombinationIndex(
+        CountCache(ctx.db), preferences_from_graph(builder.hypre, UID))
+    reporting.print_report(
+        "Ten insertions — cumulative pair counts",
+        reporting.format_mapping({
+            "incremental_total_pair_counts": incremental_total,
+            "single_full_rebuild_pair_counts": rebuild.pairs_counted,
+        }))
+    # Ten incremental refreshes together still count fewer pairs than ONE
+    # full rebuild of the final profile.
+    assert incremental_total < rebuild.pairs_counted

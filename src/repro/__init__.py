@@ -17,7 +17,56 @@ Typical usage::
     profile.add_qualitative("dblp.venue = 'VLDB'", "dblp.venue = 'SIGMOD'", 0.3)
     graph, report = build_hypre_graph(profile)
 
-See ``examples/quickstart.py`` for an end-to-end walk-through.
+See ``README.md`` and ``examples/quickstart.py`` for end-to-end
+walk-throughs and ``docs/ARCHITECTURE.md`` for the layer diagram.
+
+Public API
+----------
+Model and graph construction
+    :class:`UserProfile` — one user's quantitative + qualitative preferences.
+    :class:`QuantitativePreference` — a predicate scored in ``[-1, 1]``.
+    :class:`QualitativePreference` — *left over right* with a strength.
+    :class:`ProfileRegistry` — a collection of user profiles.
+    :class:`HypreGraph` — the unified preference graph (Definition 14).
+    :class:`HypreGraphBuilder` — Algorithm 1: profiles → graph.
+    :func:`build_hypre_graph` — one-shot builder for a profile/registry.
+    :class:`BuildReport` — counters and timings of a graph build.
+    :class:`DefaultValueStrategy` — DEFAULT_VALUE seeding policies.
+    :class:`PropertyGraph` — the embedded property-graph engine underneath.
+
+Predicates and intensity algebra
+    :func:`parse_predicate` — textual SQL predicate → expression tree.
+    :func:`equals` / :func:`in_set` — condition constructors.
+    :func:`f_and` / :func:`f_or` — pairwise intensity combination functions.
+    :func:`combine_and` / :func:`combine_or` — list folds (Eqs. 4.3/4.4).
+    :func:`intensity_left` / :func:`intensity_right` — Eqs. 4.1/4.2.
+    :func:`utility` — Eq. 5.2 combination utility.
+    :func:`similarity` / :func:`overlap` / :func:`coverage` — §7 metrics.
+
+Algorithms and Top-K
+    :class:`PreferenceQueryRunner` — memoised count/id query execution.
+    :func:`make_preferences` / :func:`preferences_from_graph` — build the
+    intensity-ordered :class:`ScoredPreference` list the algorithms consume.
+    :class:`CombineTwoAlgorithm` — §5.3.1 pairwise combination.
+    :class:`PartiallyCombineAllAlgorithm` — §5.3.2 mixed-clause combination.
+    :class:`BiasRandomSelectionAlgorithm` — §5.4 randomised selection.
+    :class:`PEPSAlgorithm` — §5.5 Top-K via the pairwise index.
+    :class:`ThresholdAlgorithm` / :class:`NaiveTopK` / :func:`ta_top_k` —
+    Fagin's TA baseline and the brute-force reference.
+
+Incremental index subsystem (:mod:`repro.index`)
+    :class:`CountCache` — shared, batched, invalidation-aware count store.
+    :class:`PairwiseCombinationIndex` — full-rebuild pairwise index.
+    :class:`IncrementalPairIndex` — graph-subscribed incremental index.
+    :class:`SelectivityEstimator` — emptiness-proving selectivity estimates.
+    :class:`GraphMutation` — the mutation event the HYPRE graph emits.
+
+Relational substrate and workload
+    :class:`Database` — SQLite connection wrapper with the DBLP schema.
+    :func:`enhance_query` / :func:`rank_tuples` — preference-enhanced SQL.
+    :class:`DblpConfig` / :func:`generate_dblp` — synthetic workload.
+    :func:`build_workload_database` — generate + load in one call.
+    :class:`PreferenceExtractor` — profiles mined from the citation graph.
 """
 
 from .core import (
@@ -58,6 +107,13 @@ from .algorithms import (
     ta_top_k,
 )
 from .graphstore import PropertyGraph
+from .index import (
+    CountCache,
+    GraphMutation,
+    IncrementalPairIndex,
+    PairwiseCombinationIndex,
+    SelectivityEstimator,
+)
 from .sqldb import Database, enhance_query, rank_tuples
 from .workload import (
     DblpConfig,
@@ -72,18 +128,23 @@ __all__ = [
     "BiasRandomSelectionAlgorithm",
     "BuildReport",
     "CombineTwoAlgorithm",
+    "CountCache",
     "Database",
     "DblpConfig",
     "DefaultValueStrategy",
+    "GraphMutation",
     "HypreGraph",
     "HypreGraphBuilder",
+    "IncrementalPairIndex",
     "NaiveTopK",
     "PEPSAlgorithm",
+    "PairwiseCombinationIndex",
     "PartiallyCombineAllAlgorithm",
     "PreferenceExtractor",
     "PreferenceQueryRunner",
     "ProfileRegistry",
     "PropertyGraph",
+    "SelectivityEstimator",
     "QualitativePreference",
     "QuantitativePreference",
     "ScoredPreference",

@@ -25,8 +25,10 @@ from ..core.predicate import (
     ensure_predicate,
 )
 from ..exceptions import EmptyPreferenceListError
+from ..index.count_cache import CountCache
+from ..index.pair_index import preference_sort_key
 from ..sqldb.database import Database
-from ..sqldb.query_builder import count_matching_papers, matching_paper_ids
+from ..sqldb.query_builder import matching_paper_ids
 
 
 @dataclass(frozen=True)
@@ -94,7 +96,7 @@ def make_preferences(pairs: Iterable[Tuple[Union[str, PredicateExpr], float]],
     if positive_only:
         preferences = [pref for pref in preferences if pref.intensity > 0.0]
     if ordered:
-        preferences.sort(key=lambda pref: (-pref.intensity, pref.sql))
+        preferences.sort(key=preference_sort_key)
     return preferences
 
 
@@ -114,23 +116,39 @@ class PreferenceQueryRunner:
     """Executes preference-enhanced count/id queries with memoisation.
 
     The combination algorithms issue the same sub-combination queries over and
-    over (every applicability check is a count query); caching by predicate
-    SQL keeps the experiments tractable without changing any result.
+    over (every applicability check is a count query).  Counts are delegated
+    to a :class:`~repro.index.count_cache.CountCache` — pass one in to share
+    a single count store between PEPS, Combine-Two, Partially-Combine-All,
+    the TA baseline and the pair indexes; by default each runner owns one.
+    Id lists stay memoised per runner.
     """
 
-    def __init__(self, db: Database) -> None:
+    def __init__(self, db: Database,
+                 count_cache: Optional[CountCache] = None) -> None:
         self.db = db
-        self._count_cache: Dict[str, int] = {}
+        self._owns_cache = count_cache is None
+        self.count_cache = count_cache if count_cache is not None else CountCache(db)
         self._ids_cache: Dict[str, Tuple[int, ...]] = {}
         self.queries_executed = 0
 
     def count(self, predicate: PredicateExpr) -> int:
         """Number of distinct papers matching ``predicate`` (cached)."""
-        key = predicate.to_sql()
-        if key not in self._count_cache:
-            self._count_cache[key] = count_matching_papers(self.db, predicate)
-            self.queries_executed += 1
-        return self._count_cache[key]
+        misses_before = self.count_cache.misses
+        value = self.count_cache.count(predicate)
+        self.queries_executed += self.count_cache.misses - misses_before
+        return value
+
+    def count_many(self, predicates: Sequence[PredicateExpr]) -> List[int]:
+        """Counts for many predicates at once, batching every cache miss.
+
+        Misses are resolved with one compound statement per cache chunk —
+        this is what keeps a pair-index build at O(1) round-trips instead of
+        O(n²).
+        """
+        misses_before = self.count_cache.misses
+        values = self.count_cache.count_many(predicates)
+        self.queries_executed += self.count_cache.misses - misses_before
+        return values
 
     def ids(self, predicate: PredicateExpr) -> Tuple[int, ...]:
         """Distinct paper ids matching ``predicate`` (cached)."""
@@ -145,8 +163,15 @@ class PreferenceQueryRunner:
         return self.count(predicate) > 0
 
     def clear(self) -> None:
-        """Drop all cached results (used between benchmark repetitions)."""
-        self._count_cache.clear()
+        """Drop this runner's cached results (used between benchmark reps).
+
+        The count cache is cleared only when this runner created it; a
+        *shared* cache (passed into the constructor) holds counts other
+        runners and pair indexes rely on — clear that explicitly through
+        the cache itself when that is really what you want.
+        """
+        if self._owns_cache:
+            self.count_cache.clear()
         self._ids_cache.clear()
         self.queries_executed = 0
 
@@ -201,5 +226,9 @@ def pairwise_compatible(first: ScoredPreference, second: ScoredPreference) -> bo
 
 
 def ordered_by_intensity(preferences: Iterable[ScoredPreference]) -> List[ScoredPreference]:
-    """Return preferences sorted descending by intensity (stable on SQL text)."""
-    return sorted(preferences, key=lambda pref: (-pref.intensity, pref.sql))
+    """Return preferences sorted descending by intensity (stable on SQL text).
+
+    Uses the same :func:`~repro.index.pair_index.preference_sort_key` as the
+    pair indexes — PEPS's positional lookups rely on the two orders agreeing.
+    """
+    return sorted(preferences, key=preference_sort_key)

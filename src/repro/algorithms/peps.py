@@ -9,6 +9,15 @@ exploration), pruning extensions whose pairwise sub-combinations are known to
 be empty, and emits combinations ordered by combined intensity.  Tuples are
 then retrieved combination-by-combination until ``k`` are collected.
 
+The pair index lives in :mod:`repro.index`:
+:class:`~repro.index.PairwiseCombinationIndex` is the full-rebuild variant
+(batched counts, emptiness pre-filter) and
+:class:`~repro.index.IncrementalPairIndex` keeps the table refreshed whenever
+the preference graph changes by subscribing to
+:class:`~repro.core.hypre.graph.HypreGraph` mutation events and re-counting
+only the affected pair rows — use :meth:`PEPSAlgorithm.for_graph_user` to get
+a PEPS instance wired to a live graph that way.
+
 Two variants exist (Sections 5.5.1 / 5.5.2):
 
 * **Complete PEPS** keeps every pair that could still beat the current best
@@ -19,86 +28,24 @@ Two variants exist (Sections 5.5.1 / 5.5.2):
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
 
 from ..core.intensity import combine_and, min_preferences_to_beat
 from ..core.predicate import conjunction
 from ..exceptions import EmptyPreferenceListError, TopKError
+from ..index.pair_index import (
+    IncrementalPairIndex,
+    PairCombination,
+    PairIndexBase,
+    PairwiseCombinationIndex,
+)
 from .base import (
     CombinationRecord,
     PreferenceQueryRunner,
     ScoredPreference,
-    and_combine,
     ordered_by_intensity,
-    pairwise_compatible,
+    preferences_from_graph,
 )
-
-
-@dataclass(frozen=True)
-class PairCombination:
-    """One entry of the pre-computed list of combinations of two predicates."""
-
-    first: int
-    second: int
-    intensity: float
-    tuple_count: int
-
-    @property
-    def is_applicable(self) -> bool:
-        return self.tuple_count > 0
-
-
-class PairwiseCombinationIndex:
-    """Pre-computed applicable combinations of two predicates.
-
-    The index is refreshed whenever the preference graph changes (the paper
-    updates it alongside the HYPRE graph); every algorithm run then answers
-    "is ``{i, j}`` applicable?" without touching the database.
-    """
-
-    def __init__(self, runner: PreferenceQueryRunner,
-                 preferences: Sequence[ScoredPreference]) -> None:
-        self.preferences = list(preferences)
-        self.runner = runner
-        self._pairs: Dict[Tuple[int, int], PairCombination] = {}
-        self._build()
-
-    def _build(self) -> None:
-        for i in range(len(self.preferences)):
-            for j in range(i + 1, len(self.preferences)):
-                first, second = self.preferences[i], self.preferences[j]
-                if not pairwise_compatible(first, second):
-                    self._pairs[(i, j)] = PairCombination(i, j, 0.0, 0)
-                    continue
-                predicate, intensity = and_combine([first, second])
-                count = self.runner.count(predicate)
-                self._pairs[(i, j)] = PairCombination(i, j, intensity, count)
-
-    def pair(self, i: int, j: int) -> PairCombination:
-        """Return the stored pair record for indexes ``i`` and ``j``."""
-        key = (i, j) if i < j else (j, i)
-        return self._pairs[key]
-
-    def is_applicable(self, i: int, j: int) -> bool:
-        """``True`` when the AND of preferences ``i`` and ``j`` returns tuples."""
-        if i == j:
-            return True
-        return self.pair(i, j).is_applicable
-
-    def applicable_pairs_from(self, i: int) -> List[PairCombination]:
-        """All applicable pairs whose lower index is ``i``, best intensity first."""
-        pairs = [pair for (a, _), pair in self._pairs.items()
-                 if a == i and pair.is_applicable]
-        return sorted(pairs, key=lambda pair: -pair.intensity)
-
-    def all_applicable(self) -> List[PairCombination]:
-        """Every applicable pair, best intensity first."""
-        pairs = [pair for pair in self._pairs.values() if pair.is_applicable]
-        return sorted(pairs, key=lambda pair: -pair.intensity)
-
-    def __len__(self) -> int:
-        return len(self._pairs)
 
 
 class PEPSAlgorithm:
@@ -109,7 +56,7 @@ class PEPSAlgorithm:
                  approximate: bool = False,
                  max_combination_size: int = 6,
                  max_combinations: int = 2000,
-                 pair_index: Optional[PairwiseCombinationIndex] = None) -> None:
+                 pair_index: Optional[PairIndexBase] = None) -> None:
         self.runner = runner
         self.preferences = ordered_by_intensity(preferences)
         if not self.preferences:
@@ -119,6 +66,27 @@ class PEPSAlgorithm:
         self.max_combinations = max(1, max_combinations)
         self.pair_index = (pair_index if pair_index is not None
                            else PairwiseCombinationIndex(runner, self.preferences))
+
+    @classmethod
+    def for_graph_user(cls, runner: PreferenceQueryRunner, hypre, uid: int,
+                       pair_index: Optional[IncrementalPairIndex] = None,
+                       **kwargs) -> "PEPSAlgorithm":
+        """PEPS wired to a live graph through an incremental pair index.
+
+        The returned algorithm's pair index subscribes to ``hypre``'s
+        mutation events, so later graph changes only re-count the affected
+        pair rows; pass the same ``pair_index`` back in to reuse its count
+        table across PEPS instances (e.g. one per request for the same user).
+        """
+        if pair_index is None:
+            pair_index = IncrementalPairIndex(runner)
+        if pair_index.hypre is not hypre or pair_index.uid != uid:
+            pair_index.attach(
+                hypre, uid,
+                loader=lambda: preferences_from_graph(hypre, uid))
+        else:
+            pair_index.refresh()
+        return cls(runner, pair_index.preferences, pair_index=pair_index, **kwargs)
 
     # ------------------------------------------------------------------
     # Combination ordering

@@ -6,10 +6,13 @@ Usage::
     python -m repro.cli experiment table10 --scale tiny
     python -m repro.cli experiment fig28 --scale small --uid 1
     python -m repro.cli topk --scale tiny --k 10
+    python -m repro.cli topk --scale tiny --k 10 --reuse-index
 
 ``list`` prints every available experiment; ``experiment`` regenerates one
 table/figure and prints the same rows the benchmark harness reports; ``topk``
-runs a personalised Top-K query for one user of the synthetic workload.
+runs a personalised Top-K query for one user of the synthetic workload
+(``--reuse-index`` serves it from the incremental pairwise-combination index
+of :mod:`repro.index` and prints the index maintenance statistics).
 """
 
 from __future__ import annotations
@@ -117,20 +120,39 @@ def run_experiment(name: str, scale: str = "tiny", uid: Optional[int] = None) ->
         ctx.close()
 
 
-def run_topk(scale: str, k: int, uid: Optional[int] = None) -> str:
-    """Run a personalised Top-K query on the synthetic workload."""
+def run_topk(scale: str, k: int, uid: Optional[int] = None,
+             reuse_index: bool = False) -> str:
+    """Run a personalised Top-K query on the synthetic workload.
+
+    With ``reuse_index`` the pairwise combination index is the *incremental*
+    one attached to the context's HYPRE graph: it is built once, kept fresh
+    by graph mutation events, and its maintenance statistics are reported
+    alongside the ranking.
+    """
     ctx = ExperimentContext.create(scale=scale, profile_users=25)
     try:
         user = _resolve_uid(ctx, uid)
-        peps = PEPSAlgorithm(ctx.runner, ctx.preferences(user))
+        if reuse_index:
+            peps = PEPSAlgorithm.for_graph_user(ctx.runner, ctx.hypre, user,
+                                                pair_index=ctx.pair_index(user))
+            index = peps.pair_index
+        else:
+            index = None
+            peps = PEPSAlgorithm(ctx.runner, ctx.preferences(user))
         papers = {paper.pid: paper for paper in ctx.dataset.papers}
         rows = []
         for pid, intensity in peps.top_k(k):
             paper = papers[pid]
             rows.append({"intensity": intensity, "venue": paper.venue,
                          "year": paper.year, "title": paper.title})
-        return (f"Top-{k} papers for uid={user}\n"
-                + reporting.format_table(rows))
+        report = (f"Top-{k} papers for uid={user}\n"
+                  + reporting.format_table(rows))
+        if index is not None:
+            report += (f"\npair index: {len(index)} pairs, "
+                       f"{index.pairs_counted} counted, "
+                       f"{index.pairs_prefiltered} pre-filtered, "
+                       f"{index.refreshes} refreshes")
+        return report
     finally:
         ctx.close()
 
@@ -160,6 +182,10 @@ def build_parser() -> argparse.ArgumentParser:
     topk.add_argument("--scale", default="tiny", choices=sorted(SCALES))
     topk.add_argument("--k", type=int, default=10)
     topk.add_argument("--uid", type=int, default=None)
+    topk.add_argument("--reuse-index", action="store_true",
+                      help="serve the query from the incremental pair index "
+                           "(kept fresh by graph mutation events) and report "
+                           "its maintenance statistics")
 
     return parser
 
@@ -174,7 +200,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         elif args.command == "experiment":
             print(run_experiment(args.name, scale=args.scale, uid=args.uid))
         elif args.command == "topk":
-            print(run_topk(args.scale, args.k, uid=args.uid))
+            print(run_topk(args.scale, args.k, uid=args.uid,
+                           reuse_index=args.reuse_index))
     except Exception as exc:  # pragma: no cover - defensive top-level handler
         print(f"error: {exc}", file=sys.stderr)
         return 1

@@ -1,4 +1,43 @@
-"""Core HYPRE model: predicates, intensity algebra, preferences, metrics, graph."""
+"""Core HYPRE model: predicates, intensity algebra, preferences, metrics, graph.
+
+Public API
+----------
+Intensity algebra (:mod:`repro.core.intensity`)
+    :func:`f_and` / :func:`f_or` / :func:`f_dominant` — pairwise combination
+    functions (inflationary / reserved / dominant).
+    :func:`combine_and` / :func:`combine_or` — list folds (Eqs. 4.3/4.4).
+    :func:`compute_intensity` / :func:`intensity_left` /
+    :func:`intensity_right` — qualitative → quantitative (Eqs. 4.1/4.2);
+    ``LEFT`` / ``RIGHT`` select the endpoint.
+    :func:`min_preferences_to_beat` — Proposition 6 bound used by PEPS.
+    ``MIN_INTENSITY`` / ``MAX_INTENSITY`` / ``INDIFFERENT`` — domain bounds.
+
+Predicates (:mod:`repro.core.predicate`)
+    :class:`PredicateExpr` / :class:`Condition` / :class:`And` / :class:`Or`
+    — the expression tree.
+    :func:`parse_predicate` / :func:`ensure_predicate` / :func:`predicate_key`
+    — parsing and canonical identity.
+    :func:`equals` / :func:`not_equals` / :func:`in_set` / :func:`between` /
+    :func:`conjunction` / :func:`disjunction` — constructors.
+    :func:`are_and_compatible` / :func:`same_attribute` /
+    :func:`shared_attributes` — compatibility analysis.
+
+Preferences (:mod:`repro.core.preference`)
+    :class:`QuantitativePreference` / :class:`QualitativePreference` — the
+    two preference kinds.
+    :class:`UserProfile` / :class:`ProfileRegistry` — per-user collections.
+
+Metrics (:mod:`repro.core.metrics`)
+    :func:`preference_selectivity` / :func:`utility` — Eqs. 5.1/5.2.
+    :func:`similarity` / :func:`overlap` / :func:`kendall_tau_distance` —
+    ranking comparison (§7.6).
+    :func:`coverage` / :class:`CoverageReport` — dataset coverage (§7.4).
+
+Graph (:mod:`repro.core.hypre`)
+    :class:`HypreGraph` / :class:`HypreGraphBuilder` /
+    :func:`build_hypre_graph` / :class:`BuildReport` /
+    :class:`DefaultValueStrategy` — see :mod:`repro.core.hypre`.
+"""
 
 from .intensity import (
     INDIFFERENT,

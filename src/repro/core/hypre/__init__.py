@@ -1,4 +1,23 @@
-"""HYPRE preference graph: model, conflict handling and construction."""
+"""HYPRE preference graph: model, conflict handling and construction.
+
+Public API
+----------
+:class:`HypreGraph`
+    The unified preference graph (Definition 14); emits
+    :class:`~repro.core.hypre.events.GraphMutation` events consumed by the
+    incremental index.  ``UID_INDEX_LABEL`` names the indexed node label;
+    ``SOURCE_USER`` / ``SOURCE_COMPUTED`` / ``SOURCE_DEFAULT`` record
+    intensity provenance.
+:class:`HypreGraphBuilder` / :func:`build_hypre_graph`
+    Algorithm 1 — turn profiles into graph nodes and edges.
+:class:`BuildReport`
+    Counters and timings collected while building (Table 11 / Fig. 13).
+:class:`DefaultValueStrategy` / :func:`default_value_table`
+    DEFAULT_VALUE seeding policies and their Table 12 comparison.
+:class:`ConflictKind` / :class:`ConflictReport` / :func:`check_conflict` /
+:func:`classify_edge`
+    §6.2.3 conflict detection for qualitative edge insertion.
+"""
 
 from .builder import BuildReport, HypreGraphBuilder, build_hypre_graph
 from .conflict import ConflictKind, ConflictReport, check_conflict, classify_edge

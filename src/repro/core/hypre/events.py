@@ -1,0 +1,54 @@
+"""Mutation events emitted by the HYPRE preference graph.
+
+The incremental pair index (:mod:`repro.index`) must know *which* preference
+changed when the graph is mutated so it can update only the affected pair
+rows instead of rebuilding.  :class:`HypreGraph` therefore notifies its
+subscribers with a :class:`GraphMutation` whenever a preference node is
+inserted, two duplicate quantitative preferences are merged, a qualitative
+edge is inserted, or a node intensity is (re)computed.
+
+The events are deliberately small and value-typed: a subscriber receives the
+user id, the predicate SQL identifying the node, and (where applicable) the
+new intensity — exactly the key the pair index uses for its dirty set.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+#: A preference node was inserted (with or without an intensity).
+NODE_INSERTED = "node_inserted"
+#: A duplicate quantitative preference was merged into an existing node.
+NODES_MERGED = "nodes_merged"
+#: A qualitative (PREFERS/CYCLE/DISCARD) edge was inserted.
+EDGE_INSERTED = "edge_inserted"
+#: A node intensity was assigned or recomputed.
+INTENSITY_CHANGED = "intensity_changed"
+
+#: All event kinds, in emission-frequency order.
+MUTATION_KINDS = (NODE_INSERTED, NODES_MERGED, EDGE_INSERTED, INTENSITY_CHANGED)
+
+
+@dataclass(frozen=True)
+class GraphMutation:
+    """One observable change to a user's preference subgraph.
+
+    ``predicate`` is the canonical SQL text of the affected node's predicate
+    (the same key :meth:`HypreGraph.find_node_id` uses); ``other_predicate``
+    is set for edge insertions and names the edge target.  ``intensity``
+    carries the new node intensity when the event kind implies one.
+    """
+
+    kind: str
+    uid: int
+    predicate: str
+    other_predicate: Optional[str] = None
+    intensity: Optional[float] = None
+    edge_type: Optional[str] = None
+
+    def predicates(self):
+        """The predicate SQL keys this mutation touches (one or two)."""
+        if self.other_predicate is not None:
+            return (self.predicate, self.other_predicate)
+        return (self.predicate,)

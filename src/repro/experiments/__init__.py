@@ -1,4 +1,35 @@
-"""Experiment harness: one function per table/figure of the paper."""
+"""Experiment harness: one function per table/figure of the paper.
+
+Public API
+----------
+Context (:mod:`repro.experiments.context`)
+    :class:`ExperimentContext` — workload + profiles + graph + shared
+    count cache, built once per scale.
+    ``SCALES`` — named workload sizes (tiny/small/default/large).
+    :func:`get_context` / :func:`clear_cache` — per-scale context cache.
+
+Tables and figures (:mod:`repro.experiments.figures`)
+    :func:`table10_statistics` — workload statistics.
+    :func:`table11_insertion_time` — preference insertion timings.
+    :func:`table12_default_values` — DEFAULT_VALUE strategy comparison.
+    :func:`fig13_node_insertion` — node insertion time per batch.
+    :func:`fig17_preference_distribution` — preferences-per-user histogram.
+    :func:`fig18_25_utility_and_tuples` — utility/tuples/intensity by size.
+    :func:`fig26_27_preference_growth` — quantitative preference growth.
+    :func:`fig28_coverage` — coverage of QT / QL / QT+QL / HYPRE.
+    :func:`fig29_31_combine_two` — Combine-Two intensity series.
+    :func:`fig32_34_partially_combine_all` — Partially-Combine-All series.
+    :func:`fig35_36_bias_random` — valid vs invalid random combinations.
+    :func:`fig37_38_peps_vs_ta` — PEPS vs Fagin's TA.
+    :func:`fig39_40_peps_time` — PEPS time while K grows.
+    :func:`prop3_4_counting` — combination-count bounds.
+    :func:`ablation_combination_functions` /
+    :func:`ablation_default_strategies` — ablations beyond the paper.
+
+Reporting (:mod:`repro.experiments.reporting`)
+    :func:`format_table` / :func:`format_mapping` / :func:`format_series` /
+    :func:`print_report` — plain-text rendering of experiment output.
+"""
 
 from .context import SCALES, ExperimentContext, clear_cache, get_context
 from .figures import (

@@ -16,6 +16,7 @@ from typing import Dict, List, Optional
 from ..algorithms.base import PreferenceQueryRunner, ScoredPreference, preferences_from_graph
 from ..core.hypre import BuildReport, HypreGraph, HypreGraphBuilder
 from ..core.preference import ProfileRegistry
+from ..index import CountCache, IncrementalPairIndex
 from ..sqldb.database import Database
 from ..workload.dblp import DblpConfig, DblpDataset, generate_dblp
 from ..workload.extraction import ExtractionConfig, PreferenceExtractor, richest_users
@@ -42,10 +43,16 @@ class ExperimentContext:
     hypre: HypreGraph
     build_report: BuildReport
     focus_users: List[int]
+    count_cache: CountCache = field(init=False)
     runner: PreferenceQueryRunner = field(init=False)
 
     def __post_init__(self) -> None:
-        self.runner = PreferenceQueryRunner(self.db)
+        # One count store shared by every algorithm and pair index built on
+        # this context — PEPS, Combine-Two, Partially-Combine-All and TA all
+        # reuse each other's predicate counts.
+        self.count_cache = CountCache(self.db)
+        self.runner = PreferenceQueryRunner(self.db, count_cache=self.count_cache)
+        self._pair_indexes: Dict[int, IncrementalPairIndex] = {}
 
     # -- factory ----------------------------------------------------------------
 
@@ -96,6 +103,21 @@ class ExperimentContext:
     def preferences(self, uid: int, positive_only: bool = True) -> List[ScoredPreference]:
         """Ordered algorithm-ready preference list for ``uid`` from the graph."""
         return preferences_from_graph(self.hypre, uid, positive_only=positive_only)
+
+    def pair_index(self, uid: int) -> IncrementalPairIndex:
+        """The incremental pair index for ``uid`` (created and attached once).
+
+        The index subscribes to the context's HYPRE graph, so profile updates
+        after this call only re-count the affected pairs on the next refresh.
+        """
+        if uid not in self._pair_indexes:
+            index = IncrementalPairIndex(self.runner)
+            index.attach(self.hypre, uid,
+                         loader=lambda: self.preferences(uid))
+            self._pair_indexes[uid] = index
+        # Fold in any mutations since the last hand-out, so the caller's
+        # positional view and the index agree (no-op when not stale).
+        return self._pair_indexes[uid].refresh()
 
     def profile(self, uid: int):
         """The raw extracted profile for ``uid``."""

@@ -6,6 +6,26 @@
   per-context profile materialisation, Section 8.2.
 * :mod:`repro.extensions.groups` — group profiles merging several users'
   preferences, Section 8.2.
+
+Public API
+----------
+Skyline (:mod:`repro.extensions.skyline`)
+    :class:`AttributePreference` — min/max wish over one attribute;
+    ``MIN`` / ``MAX`` name the direction.
+    :func:`dominates` — Pareto dominance between two tuples.
+    :func:`skyline` / :func:`prioritized_skyline` — Pareto-optimal subsets.
+    :func:`rank_by_weighted_score` — scalarised ranking alternative.
+    :func:`order_by_clause` — render preferences as SQL ORDER BY.
+
+Context-aware profiles (:mod:`repro.extensions.context`)
+    :class:`ContextState` — the active context dimensions; ``ALL`` matches
+    any value.
+    :class:`ContextualPreference` / :class:`ContextualProfile` — preferences
+    gated on contexts and their per-context materialisation.
+
+Group profiles (:mod:`repro.extensions.groups`)
+    :class:`GroupProfile` / :func:`merge_profiles` — merge several users'
+    preferences; ``AGGREGATIONS`` names the merge policies.
 """
 
 from .context import ALL, ContextState, ContextualPreference, ContextualProfile

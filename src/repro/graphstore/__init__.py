@@ -10,7 +10,11 @@ Public API
     Declarative query layer (the Cypher substitute).
 :class:`GraphStore`, :func:`save_graph`, :func:`load_graph`
     JSON persistence.
-``PREFERS``, ``CYCLE``, ``DISCARD``
+:class:`IndexRegistry`, :class:`PropertyIndex`
+    Exact-match property indexes restricted to a label.
+:func:`make_node`
+    Node construction helper used by the graph and its deserialiser.
+``PREFERS``, ``CYCLE``, ``DISCARD``, ``HYPRE_EDGE_TYPES``
     Relationship types used by the HYPRE preference graph.
 """
 

@@ -1,0 +1,72 @@
+"""Incremental pairwise-combination index with a shared count cache.
+
+This subsystem replaces the throwaway per-run pair index of the seed
+implementation: counts are memoised in one shared store, executed in batched
+SQL round-trips, and maintained *incrementally* under preference-graph
+mutations instead of rebuilt from scratch (see ``docs/ARCHITECTURE.md`` for
+the layer diagram and the invalidation contract).
+
+Public API
+----------
+:class:`CountCache`
+    Memoizing, invalidation-aware predicate-count store shared by all
+    combination algorithms; batches cache misses into compound statements.
+:class:`PairwiseCombinationIndex`
+    Full-rebuild pairwise index with batched counts and an emptiness
+    pre-filter (the drop-in successor of the seed class of the same name).
+:class:`IncrementalPairIndex`
+    Pair index that subscribes to :class:`~repro.core.hypre.graph.HypreGraph`
+    mutations and updates only the affected pair rows on refresh.
+:class:`PairCombination`
+    One ``<first, second, intensity, tuple count>`` row of a pair index.
+:class:`IndexedPreference`
+    Lightweight scored preference record used by the index layer.
+:class:`SelectivityEstimator`
+    Pair-level selectivity estimates; proves emptiness soundly before any
+    database work.
+:func:`estimate_selectivity`
+    Heuristic per-predicate selectivity in ``(0, 1]``.
+:func:`pair_provably_empty`
+    Syntactic unsatisfiability check for an AND pair.
+:class:`GraphMutation`
+    The mutation event record emitted by the HYPRE graph (re-exported from
+    :mod:`repro.core.hypre.events`).
+``NODE_INSERTED``, ``NODES_MERGED``, ``EDGE_INSERTED``, ``INTENSITY_CHANGED``
+    Event kinds carried by :class:`GraphMutation`.
+"""
+
+from ..core.hypre.events import (
+    EDGE_INSERTED,
+    INTENSITY_CHANGED,
+    NODE_INSERTED,
+    NODES_MERGED,
+    GraphMutation,
+)
+from .count_cache import CountCache
+from .pair_index import (
+    IncrementalPairIndex,
+    IndexedPreference,
+    PairCombination,
+    PairwiseCombinationIndex,
+)
+from .selectivity import (
+    SelectivityEstimator,
+    estimate_selectivity,
+    pair_provably_empty,
+)
+
+__all__ = [
+    "CountCache",
+    "EDGE_INSERTED",
+    "GraphMutation",
+    "INTENSITY_CHANGED",
+    "IncrementalPairIndex",
+    "IndexedPreference",
+    "NODES_MERGED",
+    "NODE_INSERTED",
+    "PairCombination",
+    "PairwiseCombinationIndex",
+    "SelectivityEstimator",
+    "estimate_selectivity",
+    "pair_provably_empty",
+]

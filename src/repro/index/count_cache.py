@@ -1,0 +1,141 @@
+"""Shared, invalidation-aware predicate-count store.
+
+Every combination algorithm (PEPS, Combine-Two, Partially-Combine-All, the TA
+baseline) keeps asking the same question — *how many distinct papers match
+this predicate?* — and the pairwise combination index asks it O(n²) times per
+build.  :class:`CountCache` centralises the answers:
+
+* counts are memoised by canonical predicate SQL, so any number of algorithm
+  instances sharing one cache never repeat a count query;
+* :meth:`CountCache.count_many` resolves a whole batch of predicates with one
+  SQL round-trip per ~200 misses (a compound ``UNION ALL`` statement) instead
+  of one statement per predicate;
+* the cache is invalidation-aware: :meth:`invalidate` / :meth:`clear` drop
+  entries when the underlying relation changes (the preference *graph*
+  changing never invalidates counts — counts depend only on predicates and
+  data, which is what makes the incremental pair index correct).
+
+Statistics (``hits``, ``misses``, ``statements``) are tracked so tests and
+benchmarks can assert the batching and reuse actually happen.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Union
+
+from ..core.predicate import PredicateExpr, ensure_predicate
+from ..sqldb.database import Database
+from ..sqldb.query_builder import (
+    BATCH_COUNT_CHUNK,
+    count_matching_papers,
+    count_matching_papers_many,
+)
+
+PredicateLike = Union[str, PredicateExpr]
+
+
+class CountCache:
+    """Memoising predicate-count store over one workload database."""
+
+    def __init__(self, db: Database, chunk_size: int = BATCH_COUNT_CHUNK) -> None:
+        self.db = db
+        self.chunk_size = max(1, chunk_size)
+        self._counts: Dict[str, int] = {}
+        #: Cache lookups answered without touching the database.
+        self.hits = 0
+        #: Predicates that had to be counted against the database.
+        self.misses = 0
+        #: SQL statements issued (``misses`` collapses into fewer of these).
+        self.statements = 0
+
+    # -- lookups ----------------------------------------------------------------
+
+    @staticmethod
+    def key(predicate: PredicateLike) -> str:
+        """Canonical cache key: the predicate's SQL rendering."""
+        return ensure_predicate(predicate).to_sql()
+
+    def peek(self, predicate: PredicateLike) -> Optional[int]:
+        """The cached count, or ``None`` — never executes a query."""
+        return self._counts.get(self.key(predicate))
+
+    def count(self, predicate: PredicateLike) -> int:
+        """The number of distinct papers matching ``predicate`` (cached)."""
+        key = self.key(predicate)
+        if key in self._counts:
+            self.hits += 1
+            return self._counts[key]
+        self.misses += 1
+        self.statements += 1
+        value = count_matching_papers(self.db, ensure_predicate(predicate))
+        self._counts[key] = value
+        return value
+
+    def count_many(self, predicates: Sequence[PredicateLike]) -> List[int]:
+        """Counts for ``predicates`` in order, batching every miss.
+
+        Cached entries are served from memory; the remaining predicates are
+        resolved with one compound statement per :attr:`chunk_size` misses.
+        """
+        keys = [self.key(predicate) for predicate in predicates]
+        missing: List[int] = []
+        seen_keys = set()
+        for position, key in enumerate(keys):
+            if key in self._counts or key in seen_keys:
+                # Cached already, or resolved by an earlier occurrence in
+                # this same batch — either way served without a query, and
+                # hits + misses stays equal to the number of lookups.
+                self.hits += 1
+            else:
+                seen_keys.add(key)
+                missing.append(position)
+        if missing:
+            to_count = [ensure_predicate(predicates[position]) for position in missing]
+            self.misses += len(missing)
+            self.statements += (len(missing) + self.chunk_size - 1) // self.chunk_size
+            values = count_matching_papers_many(self.db, to_count,
+                                                chunk_size=self.chunk_size)
+            for position, value in zip(missing, values):
+                self._counts[keys[position]] = value
+        return [self._counts[key] for key in keys]
+
+    def is_applicable(self, predicate: PredicateLike) -> bool:
+        """Definition 15 — the predicate matches at least one tuple."""
+        return self.count(predicate) > 0
+
+    # -- priming / invalidation ---------------------------------------------------
+
+    def seed(self, predicate: PredicateLike, count: int) -> None:
+        """Prime the cache with an externally known count."""
+        self._counts[self.key(predicate)] = int(count)
+
+    def invalidate(self, predicate: PredicateLike) -> None:
+        """Drop one entry (call when the relation changed under it)."""
+        self._counts.pop(self.key(predicate), None)
+
+    def invalidate_attribute(self, attribute: str) -> int:
+        """Drop every cached count whose predicate references ``attribute``.
+
+        Returns the number of entries dropped.  This is the coarse hook for
+        relation updates: after e.g. new rows land in ``dblp``, counts for
+        predicates over its columns are stale while all others stay valid.
+        """
+        stale = [key for key in self._counts
+                 if attribute in ensure_predicate(key).attributes()]
+        for key in stale:
+            del self._counts[key]
+        return len(stale)
+
+    def clear(self) -> None:
+        """Drop every cached count and reset the statistics."""
+        self._counts.clear()
+        self.hits = 0
+        self.misses = 0
+        self.statements = 0
+
+    def __len__(self) -> int:
+        return len(self._counts)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (f"CountCache(entries={len(self._counts)}, hits={self.hits}, "
+                f"misses={self.misses}, statements={self.statements})")

@@ -1,4 +1,35 @@
-"""SQLite relational substrate: schema, connection, query building, enhancement."""
+"""SQLite relational substrate: schema, connection, query building, enhancement.
+
+Public API
+----------
+Connection (:mod:`repro.sqldb.database`)
+    :class:`Database` — SQLite wrapper owning one connection, with
+    execute/query helpers and a statement counter.
+
+Schema (:mod:`repro.sqldb.schema`)
+    ``TABLES`` — table name → DDL for the DBLP workload.
+    ``BASE_FROM`` / ``BASE_COUNT_QUERY`` / ``BASE_SELECT_QUERY`` — the
+    canonical join and base queries every enhanced query starts from.
+    :func:`create_schema` / :func:`drop_schema` — (idempotent) DDL execution.
+    :func:`existing_tables` / :func:`verify_schema` — presence checks.
+    :func:`table_counts` — row counts per table (Table 10).
+
+Query building (:mod:`repro.sqldb.query_builder`)
+    :class:`SelectQuery` — small fluent SELECT builder.
+    :func:`count_query` / :func:`count_matching_papers` — single-predicate
+    counting.
+    :func:`batched_count_query` / :func:`count_matching_papers_many` — many
+    predicate counts in one compound statement (used by the count cache).
+    :func:`paper_ids_query` / :func:`matching_paper_ids` — id-list queries.
+
+Query enhancement (:mod:`repro.sqldb.enhancer`)
+    :class:`EnhancedQuery` — a base query enhanced with preferences.
+    :func:`enhance_query` — build the mixed-clause enhanced query (§4.6).
+    :func:`conjunctive_clause` / :func:`disjunctive_clause` /
+    :func:`mixed_clause` — the three clause-combination policies.
+    :func:`group_by_attribute` — group preferences per attribute set.
+    :func:`covered_paper_ids` / :func:`rank_tuples` — execute and rank.
+"""
 
 from .database import Database
 from .enhancer import (
@@ -13,7 +44,9 @@ from .enhancer import (
 )
 from .query_builder import (
     SelectQuery,
+    batched_count_query,
     count_matching_papers,
+    count_matching_papers_many,
     count_query,
     matching_paper_ids,
     paper_ids_query,
@@ -38,8 +71,10 @@ __all__ = [
     "EnhancedQuery",
     "SelectQuery",
     "TABLES",
+    "batched_count_query",
     "conjunctive_clause",
     "count_matching_papers",
+    "count_matching_papers_many",
     "count_query",
     "covered_paper_ids",
     "create_schema",

@@ -35,6 +35,10 @@ class Database:
         except sqlite3.Error as exc:
             raise RelationalError(f"could not open database {self.path!r}: {exc}") from exc
         self._connection.row_factory = sqlite3.Row
+        #: Number of SQL statements executed through this wrapper; the count
+        #: cache and the benchmarks use it to verify batching actually
+        #: collapses many logical counts into few round-trips.
+        self.statements_executed = 0
         if create:
             schema.create_schema(self._connection)
 
@@ -61,6 +65,7 @@ class Database:
     def execute(self, sql: str, parameters: Sequence[Any] = ()) -> sqlite3.Cursor:
         """Execute a statement and return the cursor (errors wrapped)."""
         try:
+            self.statements_executed += 1
             return self._connection.execute(sql, tuple(parameters))
         except sqlite3.Error as exc:
             raise RelationalError(f"SQL error in {sql!r}: {exc}") from exc
@@ -68,6 +73,7 @@ class Database:
     def executemany(self, sql: str, rows: Iterable[Sequence[Any]]) -> None:
         """Execute a parametrised statement for every row in ``rows``."""
         try:
+            self.statements_executed += 1
             self._connection.executemany(sql, rows)
         except sqlite3.Error as exc:
             raise RelationalError(f"SQL error in {sql!r}: {exc}") from exc
@@ -99,6 +105,15 @@ class Database:
         cursor = self.execute(sql, parameters)
         row = cursor.fetchone()
         return row[0] if row is not None else None
+
+    def query_scalars(self, sql: str, parameters: Sequence[Any] = ()) -> List[Any]:
+        """Run a SELECT and return the first column of every row.
+
+        This is the shape the batched counting queries use: one statement,
+        one value per batched predicate, in statement order.
+        """
+        cursor = self.execute(sql, parameters)
+        return [row[0] for row in cursor.fetchall()]
 
     def count(self, sql: str, parameters: Sequence[Any] = ()) -> int:
         """Run a counting SELECT and return an int (0 when no rows)."""

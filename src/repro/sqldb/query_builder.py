@@ -108,6 +108,49 @@ def count_matching_papers(db: Database,
     return db.count(count_query(predicate))
 
 
+#: SQLite's default SQLITE_MAX_COMPOUND_SELECT is 500; staying well below it
+#: keeps the batched statement valid on stock builds.
+BATCH_COUNT_CHUNK = 200
+
+
+def batched_count_query(predicates: Sequence[Union[str, PredicateExpr]]) -> str:
+    """One UNION ALL statement counting every predicate in ``predicates``.
+
+    Each arm of the compound SELECT carries its position so the caller can
+    map the returned rows back to the input order::
+
+        SELECT 0 AS ord, COUNT(DISTINCT dblp.pid) FROM ... WHERE (p0)
+        UNION ALL SELECT 1, COUNT(DISTINCT dblp.pid) FROM ... WHERE (p1) ...
+
+    This is the round-trip collapse the shared count cache relies on: many
+    logical ``count()`` calls become a single statement.
+    """
+    if not predicates:
+        raise QueryBuildError("batched count requires at least one predicate")
+    arms = []
+    for position, predicate in enumerate(predicates):
+        query = SelectQuery(columns=[f"{position} AS ord", "COUNT(DISTINCT dblp.pid) AS n"])
+        query.where(ensure_predicate(predicate))
+        arms.append(query.to_sql())
+    return " UNION ALL ".join(arms)
+
+
+def count_matching_papers_many(db: Database,
+                               predicates: Sequence[Union[str, PredicateExpr]],
+                               chunk_size: int = BATCH_COUNT_CHUNK) -> List[int]:
+    """Counts for many predicates using one statement per ``chunk_size`` arms.
+
+    Returns one count per input predicate, in input order.
+    """
+    counts: List[int] = [0] * len(predicates)
+    for offset in range(0, len(predicates), chunk_size):
+        chunk = predicates[offset:offset + chunk_size]
+        rows = db.query_tuples(batched_count_query(chunk))
+        for position, value in rows:
+            counts[offset + int(position)] = int(value)
+    return counts
+
+
 def matching_paper_ids(db: Database,
                        predicate: Union[str, PredicateExpr, None] = None,
                        limit: Optional[int] = None) -> List[int]:

@@ -1,4 +1,26 @@
-"""Synthetic DBLP workload: generation, loading and preference extraction."""
+"""Synthetic DBLP workload: generation, loading and preference extraction.
+
+Public API
+----------
+Generation (:mod:`repro.workload.dblp`)
+    :class:`DblpConfig` — generator knobs (paper/author/venue counts, seed).
+    :class:`DblpDataset` / :class:`Paper` / :class:`Author` — the generated
+    citation network.
+    :func:`generate_dblp` — deterministic synthetic DBLP generator (§6.1).
+    :func:`default_dataset` / :func:`small_dataset` — preset scales.
+
+Loading (:mod:`repro.workload.loader`)
+    :func:`load_dataset` — dataset → SQLite workload tables.
+    :func:`load_profiles` / :func:`read_profiles` — preference staging
+    tables round-trip.
+    :func:`build_workload_database` — generate + load in one call.
+
+Extraction (:mod:`repro.workload.extraction`)
+    :class:`ExtractionConfig` — thresholds for mining preferences.
+    :class:`PreferenceExtractor` — citation behaviour → user profiles (§6.2).
+    :func:`venue_predicate` / :func:`author_predicate` — predicate shapes.
+    :func:`richest_users` — users ordered by preference count (Fig. 17).
+"""
 
 from .dblp import (
     Author,

@@ -27,6 +27,11 @@ class TestParser:
         args = build_parser().parse_args(["topk", "--k", "5", "--scale", "tiny"])
         assert args.command == "topk"
         assert args.k == 5
+        assert args.reuse_index is False
+
+    def test_topk_reuse_index_flag(self):
+        args = build_parser().parse_args(["topk", "--reuse-index"])
+        assert args.reuse_index is True
 
     def test_missing_command_errors(self):
         with pytest.raises(SystemExit):
@@ -59,6 +64,13 @@ class TestListAndDispatch:
         text = run_topk("tiny", k=5)
         assert "Top-5" in text
         assert "intensity" in text
+        assert "pair index" not in text
+
+    def test_run_topk_reuse_index_reports_stats(self):
+        text = run_topk("tiny", k=5, reuse_index=True)
+        assert "Top-5" in text
+        assert "pair index" in text
+        assert "pre-filtered" in text
 
 
 class TestMainEntryPoint:

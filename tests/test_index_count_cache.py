@@ -1,0 +1,161 @@
+"""Tests for the shared count cache and the batched counting SQL."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms.base import PreferenceQueryRunner
+from repro.core.predicate import parse_predicate
+from repro.index import CountCache
+from repro.sqldb.query_builder import (
+    batched_count_query,
+    count_matching_papers,
+    count_matching_papers_many,
+)
+from repro.exceptions import QueryBuildError
+
+
+PREDICATES = [
+    "dblp.year >= 2005",
+    "dblp.year < 2000",
+    "dblp.venue = 'VLDB'",
+    "dblp.venue = 'SIGMOD'",
+    "dblp.year >= 2005 AND dblp.venue = 'VLDB'",
+]
+
+
+class TestBatchedCountQuery:
+    def test_batched_matches_individual_counts(self, tiny_db):
+        expected = [count_matching_papers(tiny_db, parse_predicate(sql))
+                    for sql in PREDICATES]
+        got = count_matching_papers_many(
+            tiny_db, [parse_predicate(sql) for sql in PREDICATES])
+        assert got == expected
+
+    def test_one_statement_per_chunk(self, tiny_db):
+        before = tiny_db.statements_executed
+        count_matching_papers_many(
+            tiny_db, [parse_predicate(sql) for sql in PREDICATES], chunk_size=2)
+        # 5 predicates at chunk size 2 -> ceil(5/2) = 3 statements.
+        assert tiny_db.statements_executed - before == 3
+
+    def test_union_all_shape(self):
+        sql = batched_count_query(["dblp.year >= 2005", "dblp.venue = 'VLDB'"])
+        assert sql.count("UNION ALL") == 1
+        assert "0 AS ord" in sql and "1 AS ord" in sql
+
+    def test_empty_batch_rejected(self):
+        with pytest.raises(QueryBuildError):
+            batched_count_query([])
+
+
+class TestCountCache:
+    def test_count_is_memoised(self, tiny_db):
+        cache = CountCache(tiny_db)
+        predicate = parse_predicate("dblp.year >= 2005")
+        first = cache.count(predicate)
+        assert cache.misses == 1
+        assert cache.count(predicate) == first
+        assert cache.misses == 1
+        assert cache.hits == 1
+
+    def test_count_many_single_round_trip(self, tiny_db):
+        cache = CountCache(tiny_db)
+        before = tiny_db.statements_executed
+        values = cache.count_many([parse_predicate(sql) for sql in PREDICATES])
+        assert tiny_db.statements_executed - before == 1
+        assert cache.statements == 1
+        assert values == [count_matching_papers(tiny_db, parse_predicate(sql))
+                          for sql in PREDICATES]
+
+    def test_count_many_serves_cached_entries(self, tiny_db):
+        cache = CountCache(tiny_db)
+        cache.count(parse_predicate(PREDICATES[0]))
+        misses_before = cache.misses
+        cache.count_many([parse_predicate(sql) for sql in PREDICATES])
+        # Only the four uncached predicates were counted.
+        assert cache.misses - misses_before == len(PREDICATES) - 1
+
+    def test_count_many_deduplicates_batch(self, tiny_db):
+        cache = CountCache(tiny_db)
+        predicate = parse_predicate("dblp.venue = 'VLDB'")
+        values = cache.count_many([predicate, predicate, predicate])
+        assert len(set(values)) == 1
+        assert cache.misses == 1
+        # Duplicate occurrences are hits: hits + misses == lookups.
+        assert cache.hits == 2
+
+    def test_seed_and_peek(self, tiny_db):
+        cache = CountCache(tiny_db)
+        predicate = parse_predicate("dblp.venue = 'NOWHERE'")
+        assert cache.peek(predicate) is None
+        cache.seed(predicate, 0)
+        assert cache.peek(predicate) == 0
+        assert cache.count(predicate) == 0
+        assert cache.misses == 0
+
+    def test_invalidate_forces_recount(self, tiny_db):
+        cache = CountCache(tiny_db)
+        predicate = parse_predicate("dblp.year >= 2005")
+        cache.count(predicate)
+        cache.invalidate(predicate)
+        cache.count(predicate)
+        assert cache.misses == 2
+
+    def test_invalidate_attribute_targets_only_its_predicates(self, tiny_db):
+        cache = CountCache(tiny_db)
+        year = parse_predicate("dblp.year >= 2005")
+        venue = parse_predicate("dblp.venue = 'VLDB'")
+        cache.count(year)
+        cache.count(venue)
+        dropped = cache.invalidate_attribute("dblp.year")
+        assert dropped == 1
+        assert cache.peek(year) is None
+        assert cache.peek(venue) is not None
+
+    def test_clear_resets_statistics(self, tiny_db):
+        cache = CountCache(tiny_db)
+        cache.count(parse_predicate("dblp.year >= 2005"))
+        cache.clear()
+        assert len(cache) == 0
+        assert (cache.hits, cache.misses, cache.statements) == (0, 0, 0)
+
+
+class TestSharedCache:
+    def test_runners_share_one_cache(self, tiny_db):
+        cache = CountCache(tiny_db)
+        first = PreferenceQueryRunner(tiny_db, count_cache=cache)
+        second = PreferenceQueryRunner(tiny_db, count_cache=cache)
+        predicate = parse_predicate("dblp.venue = 'VLDB'")
+        first.count(predicate)
+        misses = cache.misses
+        # The second runner is served from the shared store.
+        second.count(predicate)
+        assert cache.misses == misses
+        assert second.queries_executed == 0
+
+    def test_runner_clear_spares_shared_cache(self, tiny_db):
+        cache = CountCache(tiny_db)
+        runner = PreferenceQueryRunner(tiny_db, count_cache=cache)
+        predicate = parse_predicate("dblp.venue = 'VLDB'")
+        runner.count(predicate)
+        runner.clear()
+        # A shared cache holds state other consumers rely on — the runner
+        # only drops what it owns.
+        assert cache.peek(predicate) is not None
+        assert runner.queries_executed == 0
+
+    def test_runner_clear_drops_owned_cache(self, tiny_db):
+        runner = PreferenceQueryRunner(tiny_db)
+        predicate = parse_predicate("dblp.venue = 'VLDB'")
+        runner.count(predicate)
+        runner.clear()
+        assert runner.count_cache.peek(predicate) is None
+
+    def test_runner_count_many_batches(self, tiny_db):
+        runner = PreferenceQueryRunner(tiny_db)
+        before = tiny_db.statements_executed
+        values = runner.count_many([parse_predicate(sql) for sql in PREDICATES])
+        assert len(values) == len(PREDICATES)
+        assert tiny_db.statements_executed - before == 1
+        assert runner.queries_executed == len(PREDICATES)

@@ -30,12 +30,31 @@ class TestPackageSurface:
         import repro.core as core
         import repro.extensions as extensions
         import repro.graphstore as graphstore
+        import repro.index as index
         import repro.sqldb as sqldb
         import repro.workload as workload
 
-        for module in (algorithms, core, extensions, graphstore, sqldb, workload):
+        for module in (algorithms, core, extensions, graphstore, index,
+                       sqldb, workload):
             for name in module.__all__:
                 assert hasattr(module, name), f"{module.__name__}.{name} missing"
+
+    def test_subpackage_all_names_documented(self):
+        """Every ``__all__`` symbol appears in its package docstring's API list."""
+        import repro.algorithms as algorithms
+        import repro.core as core
+        import repro.core.hypre as hypre
+        import repro.extensions as extensions
+        import repro.graphstore as graphstore
+        import repro.index as index
+        import repro.sqldb as sqldb
+        import repro.workload as workload
+
+        for module in (repro, algorithms, core, hypre, extensions, graphstore,
+                       index, sqldb, workload):
+            for name in module.__all__:
+                assert name in module.__doc__, (
+                    f"{name} undocumented in {module.__name__}")
 
     def test_exception_hierarchy(self):
         assert issubclass(IntensityRangeError, ReproError)
