@@ -61,11 +61,24 @@ Incremental index subsystem (:mod:`repro.index`)
     :class:`SelectivityEstimator` — emptiness-proving selectivity estimates.
     :class:`GraphMutation` — the mutation event the HYPRE graph emits.
 
+Serving engine (:mod:`repro.serving`)
+    :class:`TopKServer` — thread-safe multi-user Top-K front door with an
+    update-aware result cache and per-request metrics.
+    :class:`SessionRegistry` — LRU of resident user sessions sharing one
+    count cache.
+    :class:`ResultCache` — materialised Top-K answers, invalidated by
+    profile events and selectively by data-insert events.
+    :class:`ReplayDriver` / :class:`ReplayConfig` — deterministic Zipf
+    multi-user replays with a no-cache baseline arm.
+    :func:`fresh_top_k` — from-scratch recomputation (the serving oracle).
+
 Relational substrate and workload
-    :class:`Database` — SQLite connection wrapper with the DBLP schema.
+    :class:`Database` — SQLite connection wrapper with the DBLP schema,
+    emitting :class:`DataMutation` events on tuple appends.
     :func:`enhance_query` / :func:`rank_tuples` — preference-enhanced SQL.
     :class:`DblpConfig` / :func:`generate_dblp` — synthetic workload.
     :func:`build_workload_database` — generate + load in one call.
+    :func:`append_papers` — append workload tuples with notifications.
     :class:`PreferenceExtractor` — profiles mined from the citation graph.
 """
 
@@ -114,10 +127,19 @@ from .index import (
     PairwiseCombinationIndex,
     SelectivityEstimator,
 )
-from .sqldb import Database, enhance_query, rank_tuples
+from .serving import (
+    ReplayConfig,
+    ReplayDriver,
+    ResultCache,
+    SessionRegistry,
+    TopKServer,
+    fresh_top_k,
+)
+from .sqldb import Database, DataMutation, enhance_query, rank_tuples
 from .workload import (
     DblpConfig,
     PreferenceExtractor,
+    append_papers,
     build_workload_database,
     generate_dblp,
 )
@@ -130,6 +152,7 @@ __all__ = [
     "CombineTwoAlgorithm",
     "CountCache",
     "Database",
+    "DataMutation",
     "DblpConfig",
     "DefaultValueStrategy",
     "GraphMutation",
@@ -144,14 +167,21 @@ __all__ = [
     "PreferenceQueryRunner",
     "ProfileRegistry",
     "PropertyGraph",
+    "ReplayConfig",
+    "ReplayDriver",
+    "ResultCache",
     "SelectivityEstimator",
+    "SessionRegistry",
     "QualitativePreference",
     "QuantitativePreference",
     "ScoredPreference",
     "ThresholdAlgorithm",
+    "TopKServer",
     "UserProfile",
+    "append_papers",
     "build_hypre_graph",
     "build_workload_database",
+    "fresh_top_k",
     "combine_and",
     "combine_or",
     "coverage",

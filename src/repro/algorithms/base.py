@@ -12,7 +12,7 @@ that extracts an algorithm-ready preference list from a HYPRE graph.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple, Union
+from typing import Any, Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence, Set, Tuple, Union
 
 from ..core.hypre import HypreGraph
 from ..core.intensity import combine_and, combine_or
@@ -27,6 +27,7 @@ from ..core.predicate import (
 from ..exceptions import EmptyPreferenceListError
 from ..index.count_cache import CountCache
 from ..index.pair_index import preference_sort_key
+from ..index.selectivity import may_match_row
 from ..sqldb.database import Database
 from ..sqldb.query_builder import matching_paper_ids
 
@@ -161,6 +162,26 @@ class PreferenceQueryRunner:
     def is_applicable(self, predicate: PredicateExpr) -> bool:
         """Definition 15 — the enhanced query returns at least one tuple."""
         return self.count(predicate) > 0
+
+    def invalidate_matching(self, rows: Sequence[Mapping[str, Any]]) -> int:
+        """Selectively invalidate after new tuples landed in the relation.
+
+        Drops the memoised id lists *and* the shared count-cache entries
+        whose predicate may match one of the inserted joined-view rows (see
+        :meth:`CountCache.invalidate_matching`); everything provably
+        unaffected stays cached.  The serving layer calls this from its
+        :class:`~repro.sqldb.events.DataMutation` handler.  Returns the
+        number of entries dropped across both caches.
+        """
+        rows = list(rows)
+        stale_ids = []
+        for key in self._ids_cache:
+            predicate = ensure_predicate(key)  # parse once, not per row
+            if any(may_match_row(predicate, row) for row in rows):
+                stale_ids.append(key)
+        for key in stale_ids:
+            del self._ids_cache[key]
+        return len(stale_ids) + self.count_cache.invalidate_matching(rows)
 
     def clear(self) -> None:
         """Drop this runner's cached results (used between benchmark reps).

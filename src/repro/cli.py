@@ -6,24 +6,31 @@ Usage::
     python -m repro.cli experiment table10 --scale tiny
     python -m repro.cli experiment fig28 --scale small --uid 1
     python -m repro.cli topk --scale tiny --k 10
-    python -m repro.cli topk --scale tiny --k 10 --reuse-index
+    python -m repro.cli topk --scale tiny --k 10 --reuse-index --json
+    python -m repro.cli serve-replay --scale tiny --users 50 --requests 300
 
 ``list`` prints every available experiment; ``experiment`` regenerates one
 table/figure and prints the same rows the benchmark harness reports; ``topk``
 runs a personalised Top-K query for one user of the synthetic workload
 (``--reuse-index`` serves it from the incremental pairwise-combination index
-of :mod:`repro.index` and prints the index maintenance statistics).
+of :mod:`repro.index` and prints the index maintenance statistics);
+``serve-replay`` drives the multi-user serving engine of :mod:`repro.serving`
+with a deterministic Zipf-skewed request mix and compares it against the
+no-cache baseline.  ``--json`` on ``topk``/``serve-replay`` switches the
+output to machine-readable JSON.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Any, Callable, Dict, List, Optional, Sequence
 
 from .algorithms import PEPSAlgorithm
 from .experiments import figures, reporting
 from .experiments.context import SCALES, ExperimentContext
+from .serving import ReplayConfig, ReplayDriver, TopKServer
 
 #: Experiment name -> (description, needs a uid argument).
 EXPERIMENTS: Dict[str, tuple] = {
@@ -121,13 +128,14 @@ def run_experiment(name: str, scale: str = "tiny", uid: Optional[int] = None) ->
 
 
 def run_topk(scale: str, k: int, uid: Optional[int] = None,
-             reuse_index: bool = False) -> str:
+             reuse_index: bool = False, as_json: bool = False) -> str:
     """Run a personalised Top-K query on the synthetic workload.
 
     With ``reuse_index`` the pairwise combination index is the *incremental*
     one attached to the context's HYPRE graph: it is built once, kept fresh
     by graph mutation events, and its maintenance statistics are reported
-    alongside the ranking.
+    alongside the ranking.  ``as_json`` renders the ranking and statistics
+    as one machine-readable JSON object instead of the text table.
     """
     ctx = ExperimentContext.create(scale=scale, profile_users=25)
     try:
@@ -143,18 +151,102 @@ def run_topk(scale: str, k: int, uid: Optional[int] = None,
         rows = []
         for pid, intensity in peps.top_k(k):
             paper = papers[pid]
-            rows.append({"intensity": intensity, "venue": paper.venue,
-                         "year": paper.year, "title": paper.title})
-        report = (f"Top-{k} papers for uid={user}\n"
-                  + reporting.format_table(rows))
+            rows.append({"pid": pid, "intensity": intensity,
+                         "venue": paper.venue, "year": paper.year,
+                         "title": paper.title})
+        index_stats = None
         if index is not None:
-            report += (f"\npair index: {len(index)} pairs, "
-                       f"{index.pairs_counted} counted, "
-                       f"{index.pairs_prefiltered} pre-filtered, "
-                       f"{index.refreshes} refreshes")
+            index_stats = {"pairs": len(index),
+                           "pairs_counted": index.pairs_counted,
+                           "pairs_prefiltered": index.pairs_prefiltered,
+                           "refreshes": index.refreshes}
+        if as_json:
+            return json.dumps({"uid": user, "k": k, "scale": scale,
+                               "results": rows, "index": index_stats},
+                              indent=2, sort_keys=True)
+        report = (f"Top-{k} papers for uid={user}\n"
+                  + reporting.format_table(
+                      rows, columns=["intensity", "venue", "year", "title"]))
+        if index_stats is not None:
+            report += (f"\npair index: {index_stats['pairs']} pairs, "
+                       f"{index_stats['pairs_counted']} counted, "
+                       f"{index_stats['pairs_prefiltered']} pre-filtered, "
+                       f"{index_stats['refreshes']} refreshes")
         return report
     finally:
         ctx.close()
+
+
+def run_serve_replay(scale: str = "tiny",
+                     users: int = 50,
+                     requests: int = 300,
+                     k: int = 5,
+                     seed: int = 17,
+                     capacity: int = 16,
+                     baseline: bool = True,
+                     as_json: bool = False) -> str:
+    """Replay a deterministic multi-user workload through the serving engine.
+
+    Builds one world per arm (identical datasets and schedules), runs the
+    :class:`~repro.serving.TopKServer` arm and — unless ``baseline`` is
+    disabled — the no-cache baseline arm, and reports request counters, SQL
+    statements and cache behaviour side by side.
+    """
+    if scale not in SCALES:
+        raise ValueError(f"unknown scale {scale!r}; pick one of {sorted(SCALES)}")
+    driver = ReplayDriver(ReplayConfig(users=users, requests=requests,
+                                       k=k, seed=seed))
+    serving_db = driver.build_world(SCALES[scale])
+    server = TopKServer(serving_db, capacity=capacity)
+    try:
+        serving_report = driver.run(server, driver.schedule(serving_db))
+        stats = server.stats()
+    finally:
+        server.close()
+        serving_db.close()
+
+    baseline_report = None
+    if baseline:
+        baseline_db = driver.build_world(SCALES[scale])
+        try:
+            baseline_report = driver.run_baseline(baseline_db,
+                                                  driver.schedule(baseline_db))
+        finally:
+            baseline_db.close()
+
+    if as_json:
+        payload: Dict[str, Any] = {
+            "config": {"scale": scale, "users": users, "requests": requests,
+                       "k": k, "seed": seed, "capacity": capacity},
+            "serving": serving_report.as_dict(),
+            "baseline": baseline_report.as_dict() if baseline_report else None,
+            "server": stats,
+        }
+        return json.dumps(payload, indent=2, sort_keys=True)
+
+    arms = [serving_report] + ([baseline_report] if baseline_report else [])
+    table = reporting.format_table([
+        {"arm": arm.label, "ops": arm.ops, "reads": arm.reads,
+         "read_hits": arm.read_hits, "zero_sql_reads": arm.zero_sql_reads,
+         "updates": arm.updates, "inserts": arm.inserts,
+         "sql_statements": arm.sql_statements,
+         "seconds": f"{arm.seconds:.3f}"}
+        for arm in arms])
+    lines = [f"Serve-replay ({users} users, {requests} requests, "
+             f"k={k}, scale={scale})", table]
+    sessions = stats["sessions"]
+    results = stats["results"]
+    lines.append(
+        f"sessions: {sessions['resident']}/{sessions['capacity']} resident, "
+        f"{sessions['evictions']} evictions; result cache: "
+        f"{results['hits']} hits, {results['data_invalidations']} "
+        f"data-invalidated, {results['data_spared']} spared")
+    if baseline_report is not None:
+        saved = baseline_report.sql_statements - serving_report.sql_statements
+        lines.append(f"SQL statements saved vs no-cache baseline: {saved} "
+                     f"({baseline_report.sql_statements} -> "
+                     f"{serving_report.sql_statements})")
+    return "\n".join(lines)
 
 
 def list_experiments() -> str:
@@ -186,6 +278,25 @@ def build_parser() -> argparse.ArgumentParser:
                       help="serve the query from the incremental pair index "
                            "(kept fresh by graph mutation events) and report "
                            "its maintenance statistics")
+    topk.add_argument("--json", action="store_true", dest="as_json",
+                      help="emit the ranking and statistics as JSON")
+
+    replay = subparsers.add_parser(
+        "serve-replay",
+        help="replay a Zipf multi-user workload through the serving engine")
+    replay.add_argument("--scale", default="tiny", choices=sorted(SCALES))
+    replay.add_argument("--users", type=int, default=50,
+                        help="size of the synthetic user population")
+    replay.add_argument("--requests", type=int, default=300,
+                        help="number of operations in the replay schedule")
+    replay.add_argument("--k", type=int, default=5)
+    replay.add_argument("--seed", type=int, default=17)
+    replay.add_argument("--capacity", type=int, default=16,
+                        help="maximum number of resident user sessions")
+    replay.add_argument("--no-baseline", action="store_true",
+                        help="skip the no-cache baseline arm")
+    replay.add_argument("--json", action="store_true", dest="as_json",
+                        help="emit the replay reports as JSON")
 
     return parser
 
@@ -201,7 +312,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             print(run_experiment(args.name, scale=args.scale, uid=args.uid))
         elif args.command == "topk":
             print(run_topk(args.scale, args.k, uid=args.uid,
-                           reuse_index=args.reuse_index))
+                           reuse_index=args.reuse_index,
+                           as_json=args.as_json))
+        elif args.command == "serve-replay":
+            print(run_serve_replay(scale=args.scale, users=args.users,
+                                   requests=args.requests, k=args.k,
+                                   seed=args.seed, capacity=args.capacity,
+                                   baseline=not args.no_baseline,
+                                   as_json=args.as_json))
     except Exception as exc:  # pragma: no cover - defensive top-level handler
         print(f"error: {exc}", file=sys.stderr)
         return 1

@@ -29,6 +29,12 @@ INTENSITY_CHANGED = "intensity_changed"
 #: All event kinds, in emission-frequency order.
 MUTATION_KINDS = (NODE_INSERTED, NODES_MERGED, EDGE_INSERTED, INTENSITY_CHANGED)
 
+#: Event kinds that can change a user's *served Top-K answer*.  An edge
+#: insertion by itself changes neither the quantitative preference list nor
+#: any intensity (its consequences arrive as separate ``INTENSITY_CHANGED``
+#: events), so result caches may ignore it — everything else must invalidate.
+RESULT_AFFECTING_KINDS = (NODE_INSERTED, NODES_MERGED, INTENSITY_CHANGED)
+
 
 @dataclass(frozen=True)
 class GraphMutation:

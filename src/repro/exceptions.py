@@ -139,6 +139,23 @@ class TopKError(AlgorithmError):
 
 
 # ---------------------------------------------------------------------------
+# Serving layer
+# ---------------------------------------------------------------------------
+
+
+class ServingError(ReproError):
+    """Base class for multi-user Top-K serving-engine errors."""
+
+
+class UnknownUserError(ServingError):
+    """A request referenced a user with no stored profile."""
+
+    def __init__(self, uid: int) -> None:
+        super().__init__(f"no stored profile for uid={uid}")
+        self.uid = uid
+
+
+# ---------------------------------------------------------------------------
 # Workload generation
 # ---------------------------------------------------------------------------
 

@@ -28,6 +28,10 @@ Public API
     Heuristic per-predicate selectivity in ``(0, 1]``.
 :func:`pair_provably_empty`
     Syntactic unsatisfiability check for an AND pair.
+:func:`may_match_row` / :func:`any_may_match`
+    Sound tuple-relevance checks used by data-update invalidation: ``False``
+    proves an inserted tuple cannot satisfy a predicate, so the cached entry
+    keyed by it may survive the insert.
 :class:`GraphMutation`
     The mutation event record emitted by the HYPRE graph (re-exported from
     :mod:`repro.core.hypre.events`).
@@ -51,7 +55,9 @@ from .pair_index import (
 )
 from .selectivity import (
     SelectivityEstimator,
+    any_may_match,
     estimate_selectivity,
+    may_match_row,
     pair_provably_empty,
 )
 
@@ -67,6 +73,8 @@ __all__ = [
     "PairCombination",
     "PairwiseCombinationIndex",
     "SelectivityEstimator",
+    "any_may_match",
     "estimate_selectivity",
+    "may_match_row",
     "pair_provably_empty",
 ]

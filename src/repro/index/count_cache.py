@@ -17,11 +17,18 @@ build.  :class:`CountCache` centralises the answers:
 
 Statistics (``hits``, ``misses``, ``statements``) are tracked so tests and
 benchmarks can assert the batching and reuse actually happen.
+
+The cache is **thread-safe**: the serving layer shares one instance across
+every resident user session and serves requests from worker threads, so all
+lookups and mutations hold an internal re-entrant lock.  Concurrent
+``count_many`` calls over the same predicates therefore never double-execute
+a query or corrupt the ``hits``/``misses``/``statements`` accounting.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence, Union
+import threading
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Union
 
 from ..core.predicate import PredicateExpr, ensure_predicate
 from ..sqldb.database import Database
@@ -30,6 +37,7 @@ from ..sqldb.query_builder import (
     count_matching_papers,
     count_matching_papers_many,
 )
+from .selectivity import may_match_row
 
 PredicateLike = Union[str, PredicateExpr]
 
@@ -41,6 +49,9 @@ class CountCache:
         self.db = db
         self.chunk_size = max(1, chunk_size)
         self._counts: Dict[str, int] = {}
+        # Serialises lookups, statistics and the underlying SQL round-trips
+        # when many sessions share one cache (see module docstring).
+        self._lock = threading.RLock()
         #: Cache lookups answered without touching the database.
         self.hits = 0
         #: Predicates that had to be counted against the database.
@@ -57,19 +68,21 @@ class CountCache:
 
     def peek(self, predicate: PredicateLike) -> Optional[int]:
         """The cached count, or ``None`` — never executes a query."""
-        return self._counts.get(self.key(predicate))
+        with self._lock:
+            return self._counts.get(self.key(predicate))
 
     def count(self, predicate: PredicateLike) -> int:
         """The number of distinct papers matching ``predicate`` (cached)."""
         key = self.key(predicate)
-        if key in self._counts:
-            self.hits += 1
-            return self._counts[key]
-        self.misses += 1
-        self.statements += 1
-        value = count_matching_papers(self.db, ensure_predicate(predicate))
-        self._counts[key] = value
-        return value
+        with self._lock:
+            if key in self._counts:
+                self.hits += 1
+                return self._counts[key]
+            self.misses += 1
+            self.statements += 1
+            value = count_matching_papers(self.db, ensure_predicate(predicate))
+            self._counts[key] = value
+            return value
 
     def count_many(self, predicates: Sequence[PredicateLike]) -> List[int]:
         """Counts for ``predicates`` in order, batching every miss.
@@ -78,26 +91,27 @@ class CountCache:
         resolved with one compound statement per :attr:`chunk_size` misses.
         """
         keys = [self.key(predicate) for predicate in predicates]
-        missing: List[int] = []
-        seen_keys = set()
-        for position, key in enumerate(keys):
-            if key in self._counts or key in seen_keys:
-                # Cached already, or resolved by an earlier occurrence in
-                # this same batch — either way served without a query, and
-                # hits + misses stays equal to the number of lookups.
-                self.hits += 1
-            else:
-                seen_keys.add(key)
-                missing.append(position)
-        if missing:
-            to_count = [ensure_predicate(predicates[position]) for position in missing]
-            self.misses += len(missing)
-            self.statements += (len(missing) + self.chunk_size - 1) // self.chunk_size
-            values = count_matching_papers_many(self.db, to_count,
-                                                chunk_size=self.chunk_size)
-            for position, value in zip(missing, values):
-                self._counts[keys[position]] = value
-        return [self._counts[key] for key in keys]
+        with self._lock:
+            missing: List[int] = []
+            seen_keys = set()
+            for position, key in enumerate(keys):
+                if key in self._counts or key in seen_keys:
+                    # Cached already, or resolved by an earlier occurrence in
+                    # this same batch — either way served without a query, and
+                    # hits + misses stays equal to the number of lookups.
+                    self.hits += 1
+                else:
+                    seen_keys.add(key)
+                    missing.append(position)
+            if missing:
+                to_count = [ensure_predicate(predicates[position]) for position in missing]
+                self.misses += len(missing)
+                self.statements += (len(missing) + self.chunk_size - 1) // self.chunk_size
+                values = count_matching_papers_many(self.db, to_count,
+                                                    chunk_size=self.chunk_size)
+                for position, value in zip(missing, values):
+                    self._counts[keys[position]] = value
+            return [self._counts[key] for key in keys]
 
     def is_applicable(self, predicate: PredicateLike) -> bool:
         """Definition 15 — the predicate matches at least one tuple."""
@@ -107,11 +121,13 @@ class CountCache:
 
     def seed(self, predicate: PredicateLike, count: int) -> None:
         """Prime the cache with an externally known count."""
-        self._counts[self.key(predicate)] = int(count)
+        with self._lock:
+            self._counts[self.key(predicate)] = int(count)
 
     def invalidate(self, predicate: PredicateLike) -> None:
         """Drop one entry (call when the relation changed under it)."""
-        self._counts.pop(self.key(predicate), None)
+        with self._lock:
+            self._counts.pop(self.key(predicate), None)
 
     def invalidate_attribute(self, attribute: str) -> int:
         """Drop every cached count whose predicate references ``attribute``.
@@ -120,21 +136,46 @@ class CountCache:
         relation updates: after e.g. new rows land in ``dblp``, counts for
         predicates over its columns are stale while all others stay valid.
         """
-        stale = [key for key in self._counts
-                 if attribute in ensure_predicate(key).attributes()]
-        for key in stale:
-            del self._counts[key]
-        return len(stale)
+        with self._lock:
+            stale = [key for key in self._counts
+                     if attribute in ensure_predicate(key).attributes()]
+            for key in stale:
+                del self._counts[key]
+            return len(stale)
+
+    def invalidate_matching(self, rows: Sequence[Mapping[str, Any]]) -> int:
+        """Drop every cached count whose predicate may match an inserted row.
+
+        The *selective* hook for tuple inserts (the serving layer calls it
+        from the :class:`~repro.sqldb.events.DataMutation` handler): a count
+        can only have changed if its predicate can be satisfied by one of the
+        new joined-view rows — everything else stays cached.  Soundness comes
+        from :func:`~repro.index.selectivity.may_match_row`, which only
+        answers ``False`` when the row provably cannot satisfy the predicate.
+        Returns the number of entries dropped.
+        """
+        rows = list(rows)
+        with self._lock:
+            stale = []
+            for key in self._counts:
+                predicate = ensure_predicate(key)  # parse once, not per row
+                if any(may_match_row(predicate, row) for row in rows):
+                    stale.append(key)
+            for key in stale:
+                del self._counts[key]
+            return len(stale)
 
     def clear(self) -> None:
         """Drop every cached count and reset the statistics."""
-        self._counts.clear()
-        self.hits = 0
-        self.misses = 0
-        self.statements = 0
+        with self._lock:
+            self._counts.clear()
+            self.hits = 0
+            self.misses = 0
+            self.statements = 0
 
     def __len__(self) -> int:
-        return len(self._counts)
+        with self._lock:
+            return len(self._counts)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging helper
         return (f"CountCache(entries={len(self._counts)}, hits={self.hits}, "

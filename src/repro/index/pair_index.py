@@ -51,7 +51,7 @@ from ..core.predicate import (
     ensure_predicate,
 )
 from .count_cache import CountCache
-from .selectivity import SelectivityEstimator
+from .selectivity import SelectivityEstimator, may_match_row
 
 
 def _backing_cache(counter) -> Optional[CountCache]:
@@ -352,6 +352,29 @@ class IncrementalPairIndex(PairIndexBase):
         stale_keys = [key for key in self._counts
                       if any(attribute in ensure_predicate(sql).attributes()
                              for sql in key)]
+        for key in stale_keys:
+            del self._counts[key]
+        if stale_keys:
+            self._stale = True
+        return len(stale_keys)
+
+    def invalidate_matching(self, rows) -> int:
+        """Drop pair counts whose conjunction may match an inserted tuple.
+
+        The selective analogue of :meth:`invalidate_attribute` for data-side
+        updates (see :meth:`CountCache.invalidate_matching`): a pair count is
+        stale only if **both** predicates of the pair can be satisfied by the
+        same new joined-view row — i.e. the conjunction may match it.
+        Returns the number of pairs dropped and marks the index stale so the
+        next refresh re-counts them.
+        """
+        rows = list(rows)
+        stale_keys = []
+        for key in self._counts:
+            predicates = [ensure_predicate(sql) for sql in key]  # parse once
+            if any(all(may_match_row(predicate, row) for predicate in predicates)
+                   for row in rows):
+                stale_keys.append(key)
         for key in stale_keys:
             del self._counts[key]
         if stale_keys:

@@ -22,7 +22,7 @@ rebuild.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Any, Iterable, Mapping, Optional, Union
 
 from ..core.predicate import (
     And,
@@ -85,6 +85,42 @@ def pair_provably_empty(first: PredicateExpr, second: PredicateExpr) -> bool:
     return not are_and_compatible(first, second)
 
 
+def _row_has_attribute(row: Mapping[str, Any], attribute: str) -> bool:
+    """Whether ``row`` carries a value for ``attribute`` (qualified or bare)."""
+    if attribute in row:
+        return True
+    if "." in attribute:
+        return attribute.split(".", 1)[1] in row
+    return any("." in key and key.split(".", 1)[1] == attribute for key in row)
+
+
+def may_match_row(predicate: Union[str, PredicateExpr],
+                  row: Mapping[str, Any]) -> bool:
+    """Sound check: can the tuple ``row`` satisfy ``predicate``?
+
+    This is the relevance test data-update invalidation runs for every newly
+    inserted joined-view row: a cached count or materialised Top-K answer can
+    only change if one of its predicates *may* match the new tuple.  The
+    check is exact when the row carries every attribute the predicate
+    references (plain in-memory evaluation) and falls back to ``True`` —
+    conservative, never unsound — when some referenced attribute is absent
+    from the row, so a ``False`` always proves the tuple irrelevant.
+    """
+    predicate = ensure_predicate(predicate)
+    if not all(_row_has_attribute(row, attribute)
+               for attribute in predicate.attributes()):
+        return True
+    return predicate.evaluate(row)
+
+
+def any_may_match(predicates: Iterable[Union[str, PredicateExpr]],
+                  rows: Iterable[Mapping[str, Any]]) -> bool:
+    """``True`` when any predicate may match any of the inserted rows."""
+    rows = list(rows)
+    return any(may_match_row(predicate, row)
+               for predicate in predicates for row in rows)
+
+
 class SelectivityEstimator:
     """Pair-level estimates, optionally sharpened by known exact counts.
 
@@ -126,3 +162,8 @@ class SelectivityEstimator:
     def proves_empty(self, first: PredicateExpr, second: PredicateExpr) -> bool:
         """Sound emptiness check: safe to record a zero count without a query."""
         return self.pair_estimate(first, second) == 0.0
+
+    def may_match_row(self, predicate: Union[str, PredicateExpr],
+                      row: Mapping[str, Any]) -> bool:
+        """Sound tuple-relevance check (see module-level :func:`may_match_row`)."""
+        return may_match_row(predicate, row)

@@ -1,0 +1,78 @@
+"""Multi-user Top-K serving engine with an update-aware result cache.
+
+This subsystem is the layer the ROADMAP's "heavy traffic from millions of
+users" target plugs into: instead of rebuilding one user's state per query
+(the seed behaviour), many users' HYPRE state stays **resident** behind an
+LRU, all sessions share one batched
+:class:`~repro.index.CountCache`, and finished Top-K answers are
+**materialised** and kept exactly as fresh as two event streams prove
+necessary — profile mutations from :mod:`repro.core.hypre.events` and tuple
+inserts from :mod:`repro.sqldb.events` (see ``docs/ARCHITECTURE.md`` for the
+event flow).
+
+Public API
+----------
+:class:`TopKServer`
+    Thread-safe front door: ``top_k(uid, k)`` / ``update_profile(uid,
+    profile)`` / ``insert_tuples(papers, ...)``, each returning per-request
+    metrics (cache hit, SQL statements, latency).
+:class:`ServeResult` / :class:`UpdateReport` / :class:`InsertReport`
+    The per-request metrics records.
+:class:`SessionRegistry`
+    Capacity-bounded LRU of resident user sessions sharing one count cache,
+    with hit/miss/eviction statistics.
+:class:`UserSession`
+    One user's resident state: HYPRE builder + incremental pair index +
+    PEPS instance.
+:class:`ResultCache`
+    Materialised ``(uid, k) -> ranking`` answers, invalidated per-user by
+    profile events and *selectively* by data-insert events.
+:class:`CachedResult`
+    One materialised answer plus the predicates it depends on.
+:class:`ReplayDriver` / :class:`ReplayConfig` / :class:`ReplayOp` /
+:class:`ReplayReport`
+    Deterministic Zipf-skewed multi-user workload replay (reads / profile
+    updates / data inserts) with a no-cache baseline arm and an equivalence
+    verifier — the engine behind ``benchmarks/bench_serving.py`` and
+    ``python -m repro.cli serve-replay``.
+:func:`fresh_top_k`
+    From-scratch recomputation of one user's Top-K — the serving oracle.
+"""
+
+from .driver import (
+    INSERT,
+    READ,
+    UPDATE,
+    ReplayConfig,
+    ReplayDriver,
+    ReplayOp,
+    ReplayReport,
+)
+from .results import CachedResult, ResultCache
+from .server import (
+    InsertReport,
+    ServeResult,
+    TopKServer,
+    UpdateReport,
+    fresh_top_k,
+)
+from .sessions import SessionRegistry, UserSession
+
+__all__ = [
+    "CachedResult",
+    "INSERT",
+    "InsertReport",
+    "READ",
+    "ReplayConfig",
+    "ReplayDriver",
+    "ReplayOp",
+    "ReplayReport",
+    "ResultCache",
+    "ServeResult",
+    "SessionRegistry",
+    "TopKServer",
+    "UPDATE",
+    "UpdateReport",
+    "UserSession",
+    "fresh_top_k",
+]

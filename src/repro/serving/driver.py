@@ -1,0 +1,318 @@
+"""Deterministic multi-user replay workloads for the serving engine.
+
+The driver turns a seed into a reproducible serving trace: a population of
+synthetic user profiles over the workload's venues/years, and a Zipf-skewed
+request mix of Top-K **reads**, **profile updates** and **data inserts**
+(most traffic concentrates on a few hot users, as the ROADMAP's
+"millions of users" target implies).  The same schedule can be replayed
+
+* against a :class:`~repro.serving.server.TopKServer` (:meth:`ReplayDriver.run`),
+  optionally verifying after *every* mutation that each cached answer equals
+  a from-scratch recomputation (:func:`~repro.serving.server.fresh_top_k`);
+* against a **no-cache baseline** (:meth:`ReplayDriver.run_baseline`) that
+  rebuilds sessions ad hoc and recomputes every read — the seed behaviour
+  the serving layer replaces.
+
+Because both paths consume the identical operation list, SQL-statement and
+wall-clock comparisons are attributable: the only difference is the serving
+engine's resident state and caches.  ``benchmarks/bench_serving.py`` and the
+``serve-replay`` CLI command are thin wrappers around this module.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..core.preference import ProfileRegistry, UserProfile
+from ..exceptions import ServingError
+from ..sqldb.database import Database
+from ..workload.dblp import DblpConfig, Paper, generate_dblp
+from ..workload.loader import append_papers, load_dataset, load_profiles
+from .server import TopKServer, fresh_top_k
+
+#: Operation kinds in a replay schedule.
+READ = "read"
+UPDATE = "update"
+INSERT = "insert"
+
+
+@dataclass(frozen=True)
+class ReplayConfig:
+    """Shape of a deterministic serving replay."""
+
+    users: int = 50
+    requests: int = 300
+    k: int = 5
+    seed: int = 17
+    #: First synthetic uid (kept clear of extractor-mined profiles).
+    uid_base: int = 10_001
+    #: Zipf exponent of the per-user request skew.
+    zipf_exponent: float = 1.1
+    #: Relative op-mix weights (normalised internally).
+    read_weight: float = 8.0
+    update_weight: float = 1.0
+    insert_weight: float = 1.0
+
+    def uids(self) -> List[int]:
+        """The replay population's user ids."""
+        return [self.uid_base + index for index in range(self.users)]
+
+
+@dataclass(frozen=True)
+class ReplayOp:
+    """One scheduled operation (payloads pre-generated, fully deterministic)."""
+
+    kind: str
+    uid: int = 0
+    k: int = 0
+    profile: Optional[UserProfile] = None
+    papers: Tuple[Paper, ...] = ()
+    paper_authors: Tuple[Tuple[int, int], ...] = ()
+
+
+@dataclass
+class ReplayReport:
+    """Aggregated outcome of one replay run."""
+
+    label: str
+    ops: int = 0
+    reads: int = 0
+    read_hits: int = 0
+    zero_sql_reads: int = 0
+    updates: int = 0
+    inserts: int = 0
+    sql_statements: int = 0
+    seconds: float = 0.0
+    verified_results: int = 0
+    #: One record per insert op: how selectively the result cache reacted.
+    insert_events: List[Dict[str, int]] = field(default_factory=list)
+
+    def as_dict(self) -> Dict[str, Any]:
+        """Plain-dict rendering (for JSON reports)."""
+        return {
+            "label": self.label, "ops": self.ops, "reads": self.reads,
+            "read_hits": self.read_hits, "zero_sql_reads": self.zero_sql_reads,
+            "updates": self.updates, "inserts": self.inserts,
+            "sql_statements": self.sql_statements, "seconds": self.seconds,
+            "verified_results": self.verified_results,
+            "insert_events": list(self.insert_events),
+        }
+
+
+class ReplayDriver:
+    """Builds and replays one deterministic multi-user serving workload."""
+
+    def __init__(self, config: ReplayConfig = ReplayConfig()) -> None:
+        if config.users < 1 or config.requests < 1:
+            raise ServingError("replay needs at least one user and one request")
+        self.config = config
+
+    # -- world construction -------------------------------------------------------
+
+    def build_world(self, dblp_config: DblpConfig,
+                    path: str = ":memory:") -> Database:
+        """A fresh workload database with the replay population's profiles.
+
+        Called once per replay *arm*: the server run and the baseline run
+        each get their own identical world, so their statement counts are
+        comparable.
+        """
+        db = Database(path)
+        load_dataset(db, generate_dblp(dblp_config))
+        self.prepare(db)
+        return db
+
+    def prepare(self, db: Database) -> ProfileRegistry:
+        """Persist every synthetic user profile into ``db``'s staging tables."""
+        venues, lo, hi = self._workload_shape(db)
+        registry = ProfileRegistry()
+        for uid in self.config.uids():
+            registry.add(self._initial_profile(uid, venues, lo, hi))
+        load_profiles(db, registry)
+        return registry
+
+    @staticmethod
+    def _workload_shape(db: Database) -> Tuple[List[str], int, int]:
+        venues = [str(value) for value in db.query_scalars(
+            "SELECT DISTINCT venue FROM dblp ORDER BY venue")]
+        lo = int(db.scalar("SELECT MIN(year) FROM dblp"))
+        hi = int(db.scalar("SELECT MAX(year) FROM dblp"))
+        if not venues:
+            raise ServingError("replay world has no papers loaded")
+        return venues, lo, hi
+
+    def _initial_profile(self, uid: int, venues: Sequence[str],
+                         lo: int, hi: int) -> UserProfile:
+        """A small per-user profile: two venue likes plus a narrow year band.
+
+        Venue choices rotate with the uid so a single inserted paper's venue
+        touches only a slice of the population — that is what makes the
+        result cache's data-side invalidation measurably selective.
+        """
+        profile = UserProfile(uid=uid)
+        first = venues[uid % len(venues)]
+        second = venues[(uid * 5 + 2) % len(venues)]
+        profile.add_quantitative(self._venue_sql(first), 0.9)
+        if second != first:
+            profile.add_quantitative(self._venue_sql(second), 0.7)
+        span = max(1, hi - lo - 1)
+        start = lo + (uid % span)
+        profile.add_quantitative(
+            f"dblp.year >= {start} AND dblp.year <= {start + 1}", 0.5)
+        return profile
+
+    @staticmethod
+    def _venue_sql(venue: str) -> str:
+        quoted = venue.replace("'", "''")
+        return f"dblp.venue = '{quoted}'"
+
+    # -- schedule -----------------------------------------------------------------
+
+    def schedule(self, db: Database) -> List[ReplayOp]:
+        """The deterministic operation list for one replay arm.
+
+        Requires a prepared world (for venues/years and the next free pid);
+        two identical worlds produce the identical schedule, which is what
+        makes server-vs-baseline comparisons fair.
+        """
+        config = self.config
+        venues, lo, hi = self._workload_shape(db)
+        next_pid = int(db.scalar("SELECT MAX(pid) FROM dblp")) + 1
+        max_aid = int(db.scalar("SELECT MAX(aid) FROM dblp_author"))
+        uids = config.uids()
+        zipf = [1.0 / ((rank + 1) ** config.zipf_exponent)
+                for rank in range(len(uids))]
+        rng = random.Random(config.seed)
+        kinds = [READ, UPDATE, INSERT]
+        weights = [config.read_weight, config.update_weight, config.insert_weight]
+        update_counts: Dict[int, int] = {}
+        ops: List[ReplayOp] = []
+        for step in range(config.requests):
+            kind = rng.choices(kinds, weights=weights, k=1)[0]
+            uid = rng.choices(uids, weights=zipf, k=1)[0]
+            if kind == READ:
+                ops.append(ReplayOp(READ, uid=uid, k=config.k))
+            elif kind == UPDATE:
+                serial = update_counts.get(uid, 0)
+                update_counts[uid] = serial + 1
+                profile = UserProfile(uid=uid)
+                venue = venues[(uid + 7 * serial + 3) % len(venues)]
+                profile.add_quantitative(self._venue_sql(venue),
+                                         0.3 + 0.05 * (serial % 5))
+                ops.append(ReplayOp(UPDATE, uid=uid, profile=profile))
+            else:
+                paper = Paper(
+                    pid=next_pid,
+                    title=f"Replayed Paper {next_pid}",
+                    venue=venues[(step * 3 + 1) % len(venues)],
+                    year=hi - (step % 4),
+                    abstract="")
+                authors = ((paper.pid, 1 + (step % max_aid)),)
+                next_pid += 1
+                ops.append(ReplayOp(INSERT, papers=(paper,),
+                                    paper_authors=authors))
+        return ops
+
+    # -- execution ----------------------------------------------------------------
+
+    def run(self, server: TopKServer,
+            ops: Optional[Sequence[ReplayOp]] = None,
+            verify: bool = False) -> ReplayReport:
+        """Replay the schedule against ``server``; optionally verify answers.
+
+        With ``verify`` every mutation is followed by an equivalence sweep:
+        each answer still materialised in the result cache — including the
+        entries the selective invalidation *spared* — must equal a
+        from-scratch recomputation.  A mismatch raises
+        :class:`~repro.exceptions.ServingError` naming the user.
+        """
+        if ops is None:
+            ops = self.schedule(server.db)
+        report = ReplayReport(label="serving")
+        start = time.perf_counter()
+        for op in ops:
+            report.ops += 1
+            # Per-op statement deltas, so a verification sweep (which runs
+            # from-scratch recomputations on the same database) never
+            # pollutes the replay's own SQL accounting.
+            statements_before = server.db.statements_executed
+            if op.kind == READ:
+                result = server.top_k(op.uid, op.k)
+                report.reads += 1
+                if result.cache_hit:
+                    report.read_hits += 1
+                    if result.sql_statements == 0:
+                        report.zero_sql_reads += 1
+            elif op.kind == UPDATE:
+                server.update_profile(op.uid, op.profile)
+                report.updates += 1
+            else:
+                cached_before = len(server.results)
+                insert = server.insert_tuples(op.papers, op.paper_authors)
+                report.inserts += 1
+                report.insert_events.append({
+                    "cached_before": cached_before,
+                    "results_invalidated": insert.results_invalidated,
+                    "results_spared": insert.results_spared,
+                    "index_entries_dropped": insert.index_entries_dropped,
+                })
+            report.sql_statements += server.db.statements_executed - statements_before
+            if verify:
+                if op.kind == READ:
+                    self._verify(server, [(op.uid, op.k)], report)
+                else:
+                    self._verify_cached(server, report)
+        report.seconds = time.perf_counter() - start
+        return report
+
+    def _verify_cached(self, server: TopKServer, report: ReplayReport) -> None:
+        keys = [(uid, self.config.k) for uid in server.results.cached_users()
+                if server.results.peek(uid, self.config.k) is not None]
+        self._verify(server, keys, report)
+
+    @staticmethod
+    def _verify(server: TopKServer, keys: Sequence[Tuple[int, int]],
+                report: ReplayReport) -> None:
+        for uid, k in keys:
+            entry = server.results.peek(uid, k)
+            served = (list(entry.ranking) if entry is not None
+                      else list(server.top_k(uid, k).ranking))
+            fresh = fresh_top_k(server.db, uid, k)
+            if served != fresh:
+                raise ServingError(
+                    f"served Top-{k} for uid={uid} diverged from a fresh "
+                    f"recomputation: {served!r} != {fresh!r}")
+            report.verified_results += 1
+
+    def run_baseline(self, db: Database,
+                     ops: Optional[Sequence[ReplayOp]] = None) -> ReplayReport:
+        """Replay the same schedule with no serving layer at all.
+
+        Every read rebuilds the user's graph, pair index and caches from
+        scratch (the seed's ad-hoc behaviour); updates and inserts only
+        persist rows.  Run it on a *separate but identical* world.
+        """
+        if ops is None:
+            ops = self.schedule(db)
+        report = ReplayReport(label="baseline")
+        statements_before = db.statements_executed
+        start = time.perf_counter()
+        for op in ops:
+            report.ops += 1
+            if op.kind == READ:
+                fresh_top_k(db, op.uid, op.k)
+                report.reads += 1
+            elif op.kind == UPDATE:
+                registry = ProfileRegistry()
+                registry.add(op.profile)
+                load_profiles(db, registry)
+                report.updates += 1
+            else:
+                append_papers(db, list(op.papers), list(op.paper_authors))
+                report.inserts += 1
+        report.seconds = time.perf_counter() - start
+        report.sql_statements = db.statements_executed - statements_before
+        return report

@@ -1,0 +1,159 @@
+"""Materialised Top-K answers, invalidated selectively under updates.
+
+:class:`ResultCache` keeps finished ``(uid, k) -> ranking`` answers so a
+repeated request costs zero SQL statements.  Its correctness rests on two
+event streams, in the spirit of incremental query answering under updates
+(Berkholz, Keppeler & Schweikardt — the materialised answer is the view, the
+events are the deltas):
+
+* **profile events** — :class:`~repro.core.hypre.events.GraphMutation`
+  notifications from each session's HYPRE graph.  Any mutation that can
+  change the user's preference list or intensities
+  (:data:`~repro.core.hypre.events.RESULT_AFFECTING_KINDS`) drops every
+  cached answer *of that user only*; edge insertions alone are ignored
+  because their intensity consequences arrive as separate events.
+* **data events** — :class:`~repro.sqldb.events.DataMutation` notifications
+  from the workload database.  A tuple insert drops a cached answer **iff**
+  one of the predicates it was computed from may match one of the new
+  joined-view rows (:func:`~repro.index.selectivity.may_match_row`); every
+  other user's answer provably cannot change and survives.
+
+Every entry therefore remembers the predicate list it was computed from —
+the same positive-intensity predicates PEPS scored with.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..core.hypre.events import RESULT_AFFECTING_KINDS, GraphMutation
+from ..core.predicate import PredicateExpr
+from ..index.selectivity import may_match_row
+from ..sqldb.events import DataMutation
+
+ResultKey = Tuple[int, int]
+
+
+@dataclass(frozen=True)
+class CachedResult:
+    """One materialised Top-K answer plus the predicates it depends on."""
+
+    uid: int
+    k: int
+    ranking: Tuple[Tuple[int, float], ...]
+    predicates: Tuple[PredicateExpr, ...]
+
+    def may_be_affected_by(self, rows: Sequence[Mapping[str, Any]]) -> bool:
+        """Can inserting ``rows`` change this answer?
+
+        A new tuple enters the user's ranking only if it matches at least one
+        of the user's scored predicates (a tuple matching none scores zero
+        and is never discovered), and existing tuples' scores depend only on
+        their own predicate membership — so "no predicate may match any new
+        row" proves the answer still fresh.
+        """
+        return any(may_match_row(predicate, row)
+                   for predicate in self.predicates for row in rows)
+
+
+class ResultCache:
+    """Update-aware cache of materialised Top-K answers keyed by (uid, k)."""
+
+    def __init__(self) -> None:
+        self._entries: Dict[ResultKey, CachedResult] = {}
+        #: Warm requests answered from memory / requests that had to compute.
+        self.hits = 0
+        self.misses = 0
+        #: Entries dropped by profile mutations / by data inserts.
+        self.profile_invalidations = 0
+        self.data_invalidations = 0
+        #: Entries a data insert examined but proved unaffected (kept).
+        self.data_spared = 0
+
+    # -- lookups ----------------------------------------------------------------
+
+    def get(self, uid: int, k: int) -> Optional[CachedResult]:
+        """The cached answer for ``(uid, k)``, counting hit/miss."""
+        entry = self._entries.get((uid, k))
+        if entry is None:
+            self.misses += 1
+        else:
+            self.hits += 1
+        return entry
+
+    def peek(self, uid: int, k: int) -> Optional[CachedResult]:
+        """The cached answer without touching the statistics."""
+        return self._entries.get((uid, k))
+
+    def put(self, uid: int, k: int,
+            ranking: Sequence[Tuple[int, float]],
+            predicates: Sequence[PredicateExpr]) -> CachedResult:
+        """Materialise a freshly computed answer."""
+        entry = CachedResult(uid=uid, k=k, ranking=tuple(ranking),
+                             predicates=tuple(predicates))
+        self._entries[(uid, k)] = entry
+        return entry
+
+    # -- invalidation -------------------------------------------------------------
+
+    def invalidate_user(self, uid: int) -> int:
+        """Drop every cached answer of one user (profile changed)."""
+        stale = [key for key in self._entries if key[0] == uid]
+        for key in stale:
+            del self._entries[key]
+        self.profile_invalidations += len(stale)
+        return len(stale)
+
+    def on_profile_mutation(self, mutation: GraphMutation) -> None:
+        """Graph-event handler: a profile mutation stales its user's answers."""
+        if mutation.kind in RESULT_AFFECTING_KINDS:
+            self.invalidate_user(mutation.uid)
+
+    def on_data_mutation(self, mutation: DataMutation) -> int:
+        """Data-event handler: drop exactly the answers the insert may affect.
+
+        Returns the number of entries dropped; unaffected entries are counted
+        in :attr:`data_spared` — the benchmark asserts this stays positive,
+        i.e. an insert never blindly flushes the cache.
+        """
+        rows = list(mutation.rows)
+        stale = [key for key, entry in self._entries.items()
+                 if entry.may_be_affected_by(rows)]
+        for key in stale:
+            del self._entries[key]
+        self.data_invalidations += len(stale)
+        self.data_spared += len(self._entries)
+        return len(stale)
+
+    def clear(self) -> None:
+        """Drop every entry and reset the statistics."""
+        self._entries.clear()
+        self.hits = 0
+        self.misses = 0
+        self.profile_invalidations = 0
+        self.data_invalidations = 0
+        self.data_spared = 0
+
+    # -- introspection ------------------------------------------------------------
+
+    def cached_users(self) -> List[int]:
+        """Distinct user ids with at least one cached answer."""
+        return sorted({uid for uid, _ in self._entries})
+
+    def stats(self) -> Dict[str, int]:
+        """Cache counters for reports and benchmarks."""
+        return {
+            "entries": len(self._entries),
+            "hits": self.hits,
+            "misses": self.misses,
+            "profile_invalidations": self.profile_invalidations,
+            "data_invalidations": self.data_invalidations,
+            "data_spared": self.data_spared,
+        }
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: ResultKey) -> bool:
+        return key in self._entries

@@ -4,7 +4,13 @@ Public API
 ----------
 Connection (:mod:`repro.sqldb.database`)
     :class:`Database` — SQLite wrapper owning one connection, with
-    execute/query helpers and a statement counter.
+    execute/query helpers, a statement counter and data-mutation
+    subscriptions.
+
+Data-update events (:mod:`repro.sqldb.events`)
+    :class:`DataMutation` — the tuple-insert notification carrying the
+    joined-view rows an append added (consumed by :mod:`repro.serving`).
+    ``TUPLES_INSERTED`` — the event kind emitted by the append API.
 
 Schema (:mod:`repro.sqldb.schema`)
     ``TABLES`` — table name → DDL for the DBLP workload.
@@ -32,6 +38,7 @@ Query enhancement (:mod:`repro.sqldb.enhancer`)
 """
 
 from .database import Database
+from .events import TUPLES_INSERTED, DataMutation
 from .enhancer import (
     EnhancedQuery,
     conjunctive_clause,
@@ -68,9 +75,11 @@ __all__ = [
     "BASE_FROM",
     "BASE_SELECT_QUERY",
     "Database",
+    "DataMutation",
     "EnhancedQuery",
     "SelectQuery",
     "TABLES",
+    "TUPLES_INSERTED",
     "batched_count_query",
     "conjunctive_clause",
     "count_matching_papers",

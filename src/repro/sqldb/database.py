@@ -7,7 +7,11 @@
 * exposes ``execute`` / ``query`` / ``query_one`` / ``executemany`` helpers
   returning plain tuples or dict rows,
 * supports use as a context manager so tests and examples always close the
-  connection.
+  connection; after :meth:`Database.close` every statement raises a clear
+  :class:`~repro.exceptions.RelationalError` instead of a raw sqlite3 error,
+* notifies subscribers with a :class:`~repro.sqldb.events.DataMutation`
+  whenever the loader's append API inserts new workload tuples — the signal
+  the serving layer's caches invalidate on.
 
 It replaces the MySQL + JDBC stack of the paper's prototype with an embedded
 engine while keeping the exact SQL surface used by the algorithms.
@@ -17,10 +21,11 @@ from __future__ import annotations
 
 import sqlite3
 from pathlib import Path
-from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple, Union
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from ..exceptions import RelationalError
 from . import schema
+from .events import DataMutation
 
 PathLike = Union[str, Path]
 
@@ -31,7 +36,11 @@ class Database:
     def __init__(self, path: PathLike = ":memory:", create: bool = True) -> None:
         self.path = str(path)
         try:
-            self._connection = sqlite3.connect(self.path)
+            # The serving layer (repro.serving.TopKServer) issues statements
+            # from worker threads behind its own lock, so the connection must
+            # not be pinned to the creating thread.
+            self._connection: Optional[sqlite3.Connection] = sqlite3.connect(
+                self.path, check_same_thread=False)
         except sqlite3.Error as exc:
             raise RelationalError(f"could not open database {self.path!r}: {exc}") from exc
         self._connection.row_factory = sqlite3.Row
@@ -39,6 +48,8 @@ class Database:
         #: cache and the benchmarks use it to verify batching actually
         #: collapses many logical counts into few round-trips.
         self.statements_executed = 0
+        # Data-mutation subscribers (see repro.sqldb.events / repro.serving).
+        self._listeners: List[Callable[[DataMutation], None]] = []
         if create:
             schema.create_schema(self._connection)
 
@@ -46,13 +57,29 @@ class Database:
 
     @property
     def connection(self) -> sqlite3.Connection:
-        """The underlying :class:`sqlite3.Connection`."""
+        """The underlying :class:`sqlite3.Connection` (raises once closed)."""
+        return self._require_connection()
+
+    @property
+    def is_closed(self) -> bool:
+        """``True`` after :meth:`close` has been called."""
+        return self._connection is None
+
+    def _require_connection(self) -> sqlite3.Connection:
+        if self._connection is None:
+            raise RelationalError("database is closed")
         return self._connection
 
     def close(self) -> None:
-        """Close the connection (safe to call twice)."""
+        """Close the connection (safe to call twice).
+
+        After closing, every ``execute``/``query`` raises
+        :class:`~repro.exceptions.RelationalError` with a clear message
+        instead of the raw :class:`sqlite3.ProgrammingError`.
+        """
         if self._connection is not None:
             self._connection.close()
+            self._connection = None
 
     def __enter__(self) -> "Database":
         return self
@@ -60,27 +87,64 @@ class Database:
     def __exit__(self, *exc_info: object) -> None:
         self.close()
 
+    # -- data-mutation events -----------------------------------------------------
+
+    def subscribe(self, listener: Callable[[DataMutation], None]) -> Callable[[DataMutation], None]:
+        """Register ``listener`` for every :class:`DataMutation` notification.
+
+        Returns the listener so callers can keep the handle for
+        :meth:`unsubscribe`.  Listeners run synchronously, in registration
+        order, after the rows have been committed.
+        """
+        self._listeners.append(listener)
+        return listener
+
+    def unsubscribe(self, listener: Callable[[DataMutation], None]) -> None:
+        """Remove a previously registered data-mutation listener (idempotent)."""
+        if listener in self._listeners:
+            self._listeners.remove(listener)
+
+    @property
+    def has_subscribers(self) -> bool:
+        """``True`` when at least one data-mutation listener is registered.
+
+        Bulk loaders consult this to skip building notification row payloads
+        nobody would consume.
+        """
+        return bool(self._listeners)
+
+    def notify(self, mutation: DataMutation) -> None:
+        """Deliver ``mutation`` to every subscriber.
+
+        Public so the loader (which alone knows the joined-row view of an
+        insertion) can emit the event after committing.
+        """
+        for listener in tuple(self._listeners):
+            listener(mutation)
+
     # -- execution ---------------------------------------------------------------
 
     def execute(self, sql: str, parameters: Sequence[Any] = ()) -> sqlite3.Cursor:
         """Execute a statement and return the cursor (errors wrapped)."""
+        connection = self._require_connection()
         try:
             self.statements_executed += 1
-            return self._connection.execute(sql, tuple(parameters))
+            return connection.execute(sql, tuple(parameters))
         except sqlite3.Error as exc:
             raise RelationalError(f"SQL error in {sql!r}: {exc}") from exc
 
     def executemany(self, sql: str, rows: Iterable[Sequence[Any]]) -> None:
         """Execute a parametrised statement for every row in ``rows``."""
+        connection = self._require_connection()
         try:
             self.statements_executed += 1
-            self._connection.executemany(sql, rows)
+            connection.executemany(sql, rows)
         except sqlite3.Error as exc:
             raise RelationalError(f"SQL error in {sql!r}: {exc}") from exc
 
     def commit(self) -> None:
         """Commit the current transaction."""
-        self._connection.commit()
+        self._require_connection().commit()
 
     # -- querying -----------------------------------------------------------------
 
@@ -124,7 +188,7 @@ class Database:
 
     def table_counts(self) -> Dict[str, int]:
         """Row counts for every workload table (Table 10 statistics)."""
-        return schema.table_counts(self._connection)
+        return schema.table_counts(self._require_connection())
 
     def total_papers(self) -> int:
         """Number of rows in the ``dblp`` table."""

@@ -1,0 +1,55 @@
+"""Data-update events emitted by the relational substrate.
+
+The serving layer (:mod:`repro.serving`) keeps materialised Top-K answers and
+persistent predicate counts alive across requests, so it must learn about the
+one change the preference graph can never signal: **new tuples landing in the
+workload relation**.  :class:`~repro.sqldb.database.Database` therefore
+notifies its subscribers with a :class:`DataMutation` whenever rows are
+appended through the loader's append API.
+
+The rows carried by the event are *joined-view* dictionaries — one per
+``dblp JOIN dblp_author`` result row the insertion adds (the FROM clause every
+preference-enhanced query runs over).  That makes the selective-invalidation
+check exact: a cached count or Top-K answer is stale **iff** one of its
+predicates can match one of those rows, which
+:func:`repro.index.selectivity.may_match_row` decides without touching the
+database.  This mirrors the incremental view-maintenance framing of
+Berkholz/Keppeler/Schweikardt ("Answering FO+MOD queries under updates"):
+the update is the delta, the syntactic match is the relevance test.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping, Tuple
+
+#: Rows were appended to the workload relation.
+TUPLES_INSERTED = "tuples_inserted"
+
+#: All data-event kinds (deletes/updates are future work — the paper's
+#: workload only ever grows).
+DATA_MUTATION_KINDS = (TUPLES_INSERTED,)
+
+
+@dataclass(frozen=True)
+class DataMutation:
+    """One observable change to the workload relation.
+
+    ``rows`` are joined-view tuple dictionaries (``pid``, ``title``,
+    ``venue``, ``year``, ``abstract``, ``aid``) — the unit every enhanced
+    query's FROM clause produces, so predicate evaluation over them answers
+    "can this insertion affect that cached result?" exactly.  ``pids`` lists
+    the inserted paper ids for cheap logging/metrics.
+    """
+
+    kind: str
+    table: str
+    rows: Tuple[Mapping[str, Any], ...] = field(default_factory=tuple)
+    pids: Tuple[int, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "rows", tuple(self.rows))
+        object.__setattr__(self, "pids", tuple(self.pids))
+
+    def __len__(self) -> int:
+        return len(self.rows)

@@ -11,6 +11,9 @@ Generation (:mod:`repro.workload.dblp`)
 
 Loading (:mod:`repro.workload.loader`)
     :func:`load_dataset` — dataset → SQLite workload tables.
+    :func:`append_papers` — append new papers/links and notify the
+    database's :class:`~repro.sqldb.events.DataMutation` subscribers (the
+    serving layer's data-side update path).
     :func:`load_profiles` / :func:`read_profiles` — preference staging
     tables round-trip.
     :func:`build_workload_database` — generate + load in one call.
@@ -38,7 +41,13 @@ from .extraction import (
     richest_users,
     venue_predicate,
 )
-from .loader import build_workload_database, load_dataset, load_profiles, read_profiles
+from .loader import (
+    append_papers,
+    build_workload_database,
+    load_dataset,
+    load_profiles,
+    read_profiles,
+)
 
 __all__ = [
     "Author",
@@ -47,6 +56,7 @@ __all__ = [
     "ExtractionConfig",
     "Paper",
     "PreferenceExtractor",
+    "append_papers",
     "author_predicate",
     "build_workload_database",
     "default_dataset",

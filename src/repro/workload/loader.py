@@ -2,16 +2,42 @@
 
 The paper parses the DBLP citation dump into four relational tables plus two
 staging tables for extracted preferences (Section 6.1).  This module performs
-the equivalent bulk loading for the synthetic workload.
+the equivalent bulk loading for the synthetic workload, and provides the
+**append API** (:func:`append_papers`) the serving layer uses for data-side
+updates: an append commits the new rows and then notifies the database's
+:class:`~repro.sqldb.events.DataMutation` subscribers with the *joined-view*
+rows the insertion adds, so result/count caches can invalidate selectively.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Tuple
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 from ..core.preference import ProfileRegistry, QualitativePreference, QuantitativePreference
 from ..sqldb.database import Database
-from .dblp import DblpConfig, DblpDataset, generate_dblp
+from ..sqldb.events import TUPLES_INSERTED, DataMutation
+from .dblp import DblpConfig, DblpDataset, Paper, generate_dblp
+
+
+def _joined_rows(papers: Sequence[Paper],
+                 paper_authors: Iterable[Tuple[int, int]]) -> List[Mapping[str, Any]]:
+    """The ``dblp JOIN dblp_author`` view rows an insertion adds.
+
+    One dictionary per (paper, author) pair — the unit every enhanced query's
+    FROM clause produces.  A paper inserted without any author link yields one
+    row with ``aid=None``: such a paper never appears in join results, but the
+    conservative row keeps attribute-missing predicates on the safe side.
+    """
+    authors_of: Dict[int, List[int]] = {}
+    for pid, aid in paper_authors:
+        authors_of.setdefault(pid, []).append(aid)
+    rows: List[Mapping[str, Any]] = []
+    for paper in papers:
+        base = {"pid": paper.pid, "title": paper.title, "venue": paper.venue,
+                "year": paper.year, "abstract": paper.abstract}
+        for aid in authors_of.get(paper.pid, [None]):
+            rows.append({**base, "aid": aid})
+    return rows
 
 
 def load_dataset(db: Database, dataset: DblpDataset) -> Dict[str, int]:
@@ -30,7 +56,81 @@ def load_dataset(db: Database, dataset: DblpDataset) -> Dict[str, int]:
         "INSERT OR REPLACE INTO citation (pid, cid) VALUES (?, ?)",
         dataset.citations)
     db.commit()
+    if db.has_subscribers:
+        # Bulk loads rarely have listeners (caches are built afterwards);
+        # the payload is only materialised when somebody will consume it.
+        db.notify(DataMutation(
+            TUPLES_INSERTED, "dblp",
+            rows=_joined_rows(dataset.papers, dataset.paper_authors),
+            pids=[paper.pid for paper in dataset.papers]))
     return db.table_counts()
+
+
+def append_papers(db: Database,
+                  papers: Sequence[Paper],
+                  paper_authors: Iterable[Tuple[int, int]] = (),
+                  citations: Iterable[Tuple[int, int]] = ()) -> Dict[str, int]:
+    """Append new papers (plus author/citation links) to a loaded workload.
+
+    This is the data-side update path of the serving layer: the rows are
+    committed and then every :meth:`Database.subscribe` listener receives one
+    :class:`~repro.sqldb.events.DataMutation` carrying the joined-view rows,
+    so caches can invalidate exactly the entries whose predicates can match
+    the new tuples.  Returns the number of rows inserted per table.
+    """
+    papers = list(papers)
+    paper_authors = list(paper_authors)
+    citations = list(citations)
+    # REPLACE semantics mutate old rows invisibly, so the *pre-image* of any
+    # replaced paper must ride along in the notification: a cached entry may
+    # only be spared when neither the old nor the new tuple values can match
+    # its predicates.  Captured before the insert overwrites them.
+    replaced_rows = (_existing_joined_rows(db, [paper.pid for paper in papers])
+                     if papers and db.has_subscribers else [])
+    if papers:
+        db.executemany(
+            "INSERT OR REPLACE INTO dblp (pid, title, venue, year, abstract)"
+            " VALUES (?, ?, ?, ?, ?)",
+            [(paper.pid, paper.title, paper.venue, paper.year, paper.abstract)
+             for paper in papers])
+    if paper_authors:
+        db.executemany(
+            "INSERT OR REPLACE INTO dblp_author (pid, aid) VALUES (?, ?)",
+            paper_authors)
+    if citations:
+        db.executemany(
+            "INSERT OR REPLACE INTO citation (pid, cid) VALUES (?, ?)",
+            citations)
+    db.commit()
+    if db.has_subscribers and (papers or paper_authors):
+        # Author links may target papers inserted earlier; fetch those so the
+        # notification still carries every joined row the append added.
+        known = {paper.pid for paper in papers}
+        missing = sorted({pid for pid, _ in paper_authors} - known)
+        placeholders = ", ".join("?" for _ in missing)
+        notified = papers + [
+            Paper(pid=row["pid"], title=row["title"], venue=row["venue"],
+                  year=row["year"], abstract=row["abstract"])
+            for row in (db.query(
+                f"SELECT * FROM dblp WHERE pid IN ({placeholders}) ORDER BY pid",
+                missing) if missing else [])
+        ]
+        db.notify(DataMutation(
+            TUPLES_INSERTED, "dblp",
+            rows=_joined_rows(notified, paper_authors) + replaced_rows,
+            pids=[paper.pid for paper in papers]))
+    return {"dblp": len(papers), "dblp_author": len(paper_authors),
+            "citation": len(citations)}
+
+
+def _existing_joined_rows(db: Database,
+                          pids: Sequence[int]) -> List[Mapping[str, Any]]:
+    """Current joined-view rows of ``pids`` (the pre-image of a REPLACE)."""
+    placeholders = ", ".join("?" for _ in pids)
+    return [dict(row) for row in db.query(
+        "SELECT dblp.pid AS pid, title, venue, year, abstract, aid"
+        " FROM dblp JOIN dblp_author ON dblp.pid = dblp_author.pid"
+        f" WHERE dblp.pid IN ({placeholders})", list(pids))]
 
 
 def load_profiles(db: Database, registry: ProfileRegistry) -> Dict[str, int]:
@@ -74,6 +174,10 @@ def read_profiles(db: Database, uids: Iterable[int] | None = None) -> ProfileReg
         placeholders = ", ".join("?" for _ in uid_list)
         uid_filter = f" WHERE uid IN ({placeholders})"
         params = tuple(uid_list)
+    # Insertion order (pfid) makes profile reconstruction deterministic: the
+    # builder's duplicate-merge averaging depends on the order preferences
+    # are replayed, and the serving layer rebuilds evicted sessions this way.
+    uid_filter += " ORDER BY pfid"
     for row in db.query(quant_sql + uid_filter, params):
         profile = registry.get_or_create(int(row["uid"]))
         profile.quantitative.append(QuantitativePreference(

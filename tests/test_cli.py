@@ -2,9 +2,19 @@
 
 from __future__ import annotations
 
+import json
+
 import pytest
 
-from repro.cli import EXPERIMENTS, build_parser, list_experiments, main, run_experiment, run_topk
+from repro.cli import (
+    EXPERIMENTS,
+    build_parser,
+    list_experiments,
+    main,
+    run_experiment,
+    run_serve_replay,
+    run_topk,
+)
 
 
 class TestParser:
@@ -32,6 +42,25 @@ class TestParser:
     def test_topk_reuse_index_flag(self):
         args = build_parser().parse_args(["topk", "--reuse-index"])
         assert args.reuse_index is True
+
+    def test_topk_json_flag(self):
+        args = build_parser().parse_args(["topk", "--json"])
+        assert args.as_json is True
+
+    def test_serve_replay_defaults(self):
+        args = build_parser().parse_args(["serve-replay"])
+        assert args.command == "serve-replay"
+        assert args.users == 50
+        assert args.requests == 300
+        assert args.as_json is False
+        assert args.no_baseline is False
+
+    def test_serve_replay_options(self):
+        args = build_parser().parse_args(
+            ["serve-replay", "--users", "20", "--requests", "80",
+             "--capacity", "8", "--no-baseline", "--json"])
+        assert (args.users, args.requests, args.capacity) == (20, 80, 8)
+        assert args.no_baseline and args.as_json
 
     def test_missing_command_errors(self):
         with pytest.raises(SystemExit):
@@ -73,6 +102,53 @@ class TestListAndDispatch:
         assert "pre-filtered" in text
 
 
+class TestJsonOutput:
+    def test_topk_json_is_machine_readable(self):
+        payload = json.loads(run_topk("tiny", k=3, as_json=True))
+        assert payload["k"] == 3
+        assert payload["scale"] == "tiny"
+        assert len(payload["results"]) == 3
+        first = payload["results"][0]
+        assert set(first) == {"pid", "intensity", "venue", "year", "title"}
+        assert payload["index"] is None
+
+    def test_topk_json_includes_index_stats_with_reuse(self):
+        payload = json.loads(run_topk("tiny", k=3, reuse_index=True,
+                                      as_json=True))
+        index = payload["index"]
+        assert index is not None
+        assert index["pairs"] > 0
+        assert index["refreshes"] >= 1
+
+    def test_serve_replay_json_reports_both_arms(self):
+        payload = json.loads(run_serve_replay(
+            scale="tiny", users=8, requests=30, k=3, capacity=4,
+            as_json=True))
+        assert payload["serving"]["ops"] == 30
+        assert payload["baseline"]["ops"] == 30
+        assert payload["serving"]["sql_statements"] < \
+            payload["baseline"]["sql_statements"]
+        assert "sessions" in payload["server"]
+
+    def test_serve_replay_json_without_baseline(self):
+        payload = json.loads(run_serve_replay(
+            scale="tiny", users=6, requests=20, k=3, capacity=4,
+            baseline=False, as_json=True))
+        assert payload["baseline"] is None
+
+
+class TestServeReplayText:
+    def test_text_report_mentions_both_arms(self):
+        text = run_serve_replay(scale="tiny", users=8, requests=30, k=3,
+                                capacity=4)
+        assert "serving" in text and "baseline" in text
+        assert "SQL statements saved" in text
+
+    def test_unknown_scale_rejected(self):
+        with pytest.raises(ValueError):
+            run_serve_replay(scale="galactic")
+
+
 class TestMainEntryPoint:
     def test_main_list(self, capsys):
         assert main(["list"]) == 0
@@ -86,3 +162,14 @@ class TestMainEntryPoint:
     def test_main_topk(self, capsys):
         assert main(["topk", "--scale", "tiny", "--k", "3"]) == 0
         assert "Top-3" in capsys.readouterr().out
+
+    def test_main_topk_json(self, capsys):
+        assert main(["topk", "--scale", "tiny", "--k", "3", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["k"] == 3
+
+    def test_main_serve_replay(self, capsys):
+        assert main(["serve-replay", "--scale", "tiny", "--users", "6",
+                     "--requests", "20", "--capacity", "4", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["config"]["users"] == 6

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import threading
+
 import pytest
 
 from repro.algorithms.base import PreferenceQueryRunner
@@ -119,6 +121,88 @@ class TestCountCache:
         cache.clear()
         assert len(cache) == 0
         assert (cache.hits, cache.misses, cache.statements) == (0, 0, 0)
+
+
+class TestInvalidateMatching:
+    def test_drops_only_entries_the_rows_may_match(self, tiny_db):
+        cache = CountCache(tiny_db)
+        vldb = parse_predicate("dblp.venue = 'VLDB'")
+        icde = parse_predicate("dblp.venue = 'ICDE'")
+        recent = parse_predicate("dblp.year >= 2010")
+        cache.count_many([vldb, icde, recent])
+        row = {"pid": 901, "title": "t", "venue": "VLDB", "year": 2003,
+               "abstract": "", "aid": 1}
+        dropped = cache.invalidate_matching([row])
+        assert dropped == 1
+        assert cache.peek(vldb) is None
+        assert cache.peek(icde) is not None
+        assert cache.peek(recent) is not None
+
+    def test_missing_attribute_invalidates_conservatively(self, tiny_db):
+        cache = CountCache(tiny_db)
+        author = parse_predicate("dblp_author.aid = 5")
+        cache.count(author)
+        row = {"pid": 902, "venue": "VLDB", "year": 2003}  # no aid column
+        assert cache.invalidate_matching([row]) == 1
+        assert cache.peek(author) is None
+
+
+class TestConcurrentAccess:
+    def test_concurrent_count_many_never_double_executes(self, tiny_db):
+        """Many sessions batch-counting the same predicates concurrently must
+        produce exact statistics: each unique predicate is a miss exactly
+        once, every other lookup is a hit, and the statement counters of the
+        cache and the database agree."""
+        cache = CountCache(tiny_db)
+        predicates = [parse_predicate(sql) for sql in PREDICATES]
+        expected = [count_matching_papers(tiny_db, predicate)
+                    for predicate in predicates]
+        statements_before = tiny_db.statements_executed
+        threads_n, rounds = 8, 5
+        errors = []
+        barrier = threading.Barrier(threads_n)
+
+        def worker() -> None:
+            try:
+                barrier.wait()
+                for _ in range(rounds):
+                    values = cache.count_many(predicates)
+                    if values != expected:
+                        raise AssertionError(f"wrong counts: {values}")
+            except Exception as exc:  # pragma: no cover - failure signal
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker) for _ in range(threads_n)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        assert not errors
+        lookups = threads_n * rounds * len(PREDICATES)
+        # Exactly one miss per unique predicate, one batched statement total,
+        # and hits + misses account for every lookup — no lost updates.
+        assert cache.misses == len(PREDICATES)
+        assert cache.statements == 1
+        assert cache.hits == lookups - len(PREDICATES)
+        assert tiny_db.statements_executed - statements_before == 1
+
+    def test_concurrent_single_counts_memoise_once(self, tiny_db):
+        cache = CountCache(tiny_db)
+        predicate = parse_predicate("dblp.venue = 'SIGMOD' AND dblp.year >= 2001")
+        results = []
+
+        def worker() -> None:
+            results.append(cache.count(predicate))
+
+        threads = [threading.Thread(target=worker) for _ in range(12)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert len(set(results)) == 1
+        assert cache.misses == 1
+        assert cache.hits == 11
 
 
 class TestSharedCache:

@@ -1,0 +1,117 @@
+"""Tests for the deterministic multi-user replay driver."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ServingError
+from repro.serving import (
+    INSERT,
+    READ,
+    UPDATE,
+    ReplayConfig,
+    ReplayDriver,
+    TopKServer,
+)
+from repro.workload.dblp import DblpConfig
+
+DBLP = DblpConfig(n_papers=200, n_authors=60, n_venues=8, seed=7)
+CONFIG = ReplayConfig(users=10, requests=60, k=4, seed=3)
+
+
+@pytest.fixture(scope="module")
+def driver():
+    return ReplayDriver(CONFIG)
+
+
+class TestSchedule:
+    def test_deterministic_across_identical_worlds(self, driver):
+        first_db = driver.build_world(DBLP)
+        second_db = driver.build_world(DBLP)
+        try:
+            assert driver.schedule(first_db) == driver.schedule(second_db)
+        finally:
+            first_db.close()
+            second_db.close()
+
+    def test_contains_every_op_kind(self, driver):
+        db = driver.build_world(DBLP)
+        try:
+            kinds = {op.kind for op in driver.schedule(db)}
+        finally:
+            db.close()
+        assert kinds == {READ, UPDATE, INSERT}
+
+    def test_zipf_skew_concentrates_reads(self, driver):
+        db = driver.build_world(DBLP)
+        try:
+            ops = driver.schedule(db)
+        finally:
+            db.close()
+        reads_per_uid: dict = {}
+        for op in ops:
+            if op.kind == READ:
+                reads_per_uid[op.uid] = reads_per_uid.get(op.uid, 0) + 1
+        hottest = max(reads_per_uid.values())
+        # The hottest user dominates a uniform share by construction.
+        assert hottest > len(ops) / CONFIG.users
+
+    def test_rejects_degenerate_config(self):
+        with pytest.raises(ServingError):
+            ReplayDriver(ReplayConfig(users=0))
+
+
+class TestReplay:
+    def test_equivalence_after_every_mutation(self, driver):
+        """The acceptance equivalence test: every answer the server keeps
+        materialised equals a from-scratch recomputation after every single
+        mutation in the replay (verify raises on the first divergence)."""
+        db = driver.build_world(DBLP)
+        try:
+            with TopKServer(db, capacity=6) as server:
+                report = driver.run(server, driver.schedule(db), verify=True)
+        finally:
+            db.close()
+        assert report.verified_results > 0
+        assert report.inserts > 0 and report.updates > 0
+
+    def test_serving_beats_baseline_and_hits_are_free(self, driver):
+        serving_db = driver.build_world(DBLP)
+        baseline_db = driver.build_world(DBLP)
+        try:
+            with TopKServer(serving_db, capacity=6) as server:
+                serving = driver.run(server, driver.schedule(serving_db))
+            baseline = driver.run_baseline(baseline_db,
+                                           driver.schedule(baseline_db))
+        finally:
+            serving_db.close()
+            baseline_db.close()
+        assert serving.read_hits > 0
+        assert serving.zero_sql_reads == serving.read_hits
+        assert serving.sql_statements < baseline.sql_statements
+        assert baseline.read_hits == 0
+
+    def test_insert_events_record_partial_invalidation(self, driver):
+        db = driver.build_world(DBLP)
+        try:
+            with TopKServer(db, capacity=6) as server:
+                report = driver.run(server, driver.schedule(db))
+        finally:
+            db.close()
+        populated = [event for event in report.insert_events
+                     if event["cached_before"] >= 2]
+        assert populated
+        assert all(event["results_invalidated"] < event["cached_before"]
+                   for event in populated)
+
+    def test_report_as_dict_roundtrips_to_json(self, driver):
+        import json
+        db = driver.build_world(DBLP)
+        try:
+            with TopKServer(db, capacity=6) as server:
+                report = driver.run(server, driver.schedule(db))
+        finally:
+            db.close()
+        payload = json.loads(json.dumps(report.as_dict()))
+        assert payload["label"] == "serving"
+        assert payload["ops"] == CONFIG.requests

@@ -1,0 +1,113 @@
+"""Tests for the update-aware materialised result cache."""
+
+from __future__ import annotations
+
+from repro.core.hypre.events import (
+    EDGE_INSERTED,
+    INTENSITY_CHANGED,
+    NODE_INSERTED,
+    GraphMutation,
+)
+from repro.core.predicate import parse_predicate
+from repro.serving.results import ResultCache
+from repro.sqldb.events import TUPLES_INSERTED, DataMutation
+
+VLDB = parse_predicate("dblp.venue = 'VLDB'")
+ICDE = parse_predicate("dblp.venue = 'ICDE'")
+RECENT = parse_predicate("dblp.year >= 2010")
+
+VLDB_ROW = {"pid": 901, "title": "t", "venue": "VLDB", "year": 2005,
+            "abstract": "", "aid": 3}
+
+
+def insert(rows) -> DataMutation:
+    return DataMutation(TUPLES_INSERTED, "dblp", rows=rows,
+                        pids=[row["pid"] for row in rows])
+
+
+class TestLookups:
+    def test_hit_and_miss_accounting(self):
+        cache = ResultCache()
+        assert cache.get(1, 5) is None
+        cache.put(1, 5, [(10, 0.9)], [VLDB])
+        entry = cache.get(1, 5)
+        assert entry is not None and entry.ranking == ((10, 0.9),)
+        assert (cache.hits, cache.misses) == (1, 1)
+
+    def test_keyed_by_uid_and_k(self):
+        cache = ResultCache()
+        cache.put(1, 5, [(10, 0.9)], [VLDB])
+        assert cache.peek(1, 10) is None
+        assert cache.peek(2, 5) is None
+
+
+class TestProfileInvalidation:
+    def test_result_affecting_mutation_drops_only_that_user(self):
+        cache = ResultCache()
+        cache.put(1, 5, [(10, 0.9)], [VLDB])
+        cache.put(1, 10, [(10, 0.9)], [VLDB])
+        cache.put(2, 5, [(11, 0.8)], [ICDE])
+        cache.on_profile_mutation(GraphMutation(NODE_INSERTED, 1, "dblp.year >= 2000"))
+        assert cache.peek(1, 5) is None and cache.peek(1, 10) is None
+        assert cache.peek(2, 5) is not None
+        assert cache.profile_invalidations == 2
+
+    def test_intensity_change_invalidates(self):
+        cache = ResultCache()
+        cache.put(1, 5, [(10, 0.9)], [VLDB])
+        cache.on_profile_mutation(
+            GraphMutation(INTENSITY_CHANGED, 1, VLDB.to_sql(), intensity=0.4))
+        assert cache.peek(1, 5) is None
+
+    def test_edge_insert_alone_is_ignored(self):
+        cache = ResultCache()
+        cache.put(1, 5, [(10, 0.9)], [VLDB])
+        cache.on_profile_mutation(GraphMutation(
+            EDGE_INSERTED, 1, VLDB.to_sql(), other_predicate=ICDE.to_sql()))
+        assert cache.peek(1, 5) is not None
+
+
+class TestDataInvalidation:
+    def test_insert_drops_only_matching_users(self):
+        cache = ResultCache()
+        cache.put(1, 5, [(10, 0.9)], [VLDB])          # matches the new row
+        cache.put(2, 5, [(11, 0.8)], [ICDE])          # provably unaffected
+        cache.put(3, 5, [(12, 0.7)], [RECENT])        # 2005 < 2010: unaffected
+        dropped = cache.on_data_mutation(insert([VLDB_ROW]))
+        assert dropped == 1
+        assert cache.peek(1, 5) is None
+        assert cache.peek(2, 5) is not None
+        assert cache.peek(3, 5) is not None
+        assert cache.data_invalidations == 1
+        assert cache.data_spared == 2
+
+    def test_any_matching_predicate_invalidates(self):
+        cache = ResultCache()
+        cache.put(1, 5, [(10, 0.9)], [ICDE, RECENT])
+        row = {**VLDB_ROW, "year": 2012}               # matches RECENT only
+        assert cache.on_data_mutation(insert([row])) == 1
+
+    def test_missing_attribute_is_conservative(self):
+        cache = ResultCache()
+        author_pred = parse_predicate("dblp_author.aid = 77")
+        cache.put(1, 5, [(10, 0.9)], [author_pred])
+        # A notification row without the aid column cannot prove the entry
+        # fresh, so it must be dropped.
+        row = {"pid": 902, "title": "t", "venue": "ICDE", "year": 2001,
+               "abstract": ""}
+        assert cache.on_data_mutation(insert([row])) == 1
+
+    def test_clear_resets_everything(self):
+        cache = ResultCache()
+        cache.put(1, 5, [(10, 0.9)], [VLDB])
+        cache.get(1, 5)
+        cache.clear()
+        assert len(cache) == 0
+        assert (cache.hits, cache.misses) == (0, 0)
+
+    def test_cached_users_lists_distinct_uids(self):
+        cache = ResultCache()
+        cache.put(2, 5, [(10, 0.9)], [VLDB])
+        cache.put(1, 5, [(11, 0.8)], [ICDE])
+        cache.put(1, 10, [(11, 0.8)], [ICDE])
+        assert cache.cached_users() == [1, 2]

@@ -1,0 +1,193 @@
+"""End-to-end tests for the thread-safe Top-K serving engine."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.core.preference import UserProfile
+from repro.exceptions import ServingError, UnknownUserError
+from repro.serving import TopKServer, fresh_top_k
+from repro.sqldb.database import Database
+from repro.workload.dblp import DblpConfig, Paper, generate_dblp
+from repro.workload.loader import load_dataset
+
+VENUES = ("VLDB", "SIGMOD", "PVLDB", "ICDE", "PODS", "CIKM")
+
+
+def make_profile(uid: int) -> UserProfile:
+    profile = UserProfile(uid=uid)
+    profile.add_quantitative(f"dblp.venue = '{VENUES[uid % len(VENUES)]}'", 0.9)
+    profile.add_quantitative(f"dblp.venue = '{VENUES[(uid + 2) % len(VENUES)]}'", 0.6)
+    profile.add_quantitative("dblp.year >= 2008 AND dblp.year <= 2009", 0.5)
+    return profile
+
+
+@pytest.fixture()
+def serving_db():
+    db = Database(":memory:")
+    load_dataset(db, generate_dblp(
+        DblpConfig(n_papers=200, n_authors=60, n_venues=6, seed=7)))
+    yield db
+    db.close()
+
+
+@pytest.fixture()
+def server(serving_db):
+    with TopKServer(serving_db, capacity=8) as engine:
+        for uid in range(1, 5):
+            engine.update_profile(uid, make_profile(uid))
+        yield engine
+
+
+class TestReads:
+    def test_warm_request_is_zero_sql(self, server):
+        cold = server.top_k(1, 5)
+        warm = server.top_k(1, 5)
+        assert not cold.cache_hit and cold.sql_statements > 0
+        assert warm.cache_hit and warm.sql_statements == 0
+        assert warm.ranking == cold.ranking
+
+    def test_serves_match_fresh_recomputation(self, server):
+        for uid in range(1, 5):
+            served = server.top_k(uid, 5)
+            assert list(served.ranking) == fresh_top_k(server.db, uid, 5)
+
+    def test_unknown_user_raises(self, server):
+        with pytest.raises(UnknownUserError):
+            server.top_k(999, 5)
+
+    def test_different_k_is_a_different_entry(self, server):
+        server.top_k(1, 5)
+        result = server.top_k(1, 3)
+        assert not result.cache_hit
+        assert len(result.ranking) == 3
+
+
+class TestProfileUpdates:
+    def test_update_invalidates_only_that_user(self, server):
+        server.top_k(1, 5)
+        server.top_k(2, 5)
+        update = UserProfile(uid=1)
+        update.add_quantitative("dblp.venue = 'PODS'", 0.8)
+        report = server.update_profile(1, update)
+        assert report.resident
+        assert report.results_invalidated >= 1
+        assert server.results.peek(1, 5) is None
+        assert server.results.peek(2, 5) is not None
+
+    def test_served_result_fresh_after_update(self, server):
+        server.top_k(1, 5)
+        update = UserProfile(uid=1)
+        update.add_quantitative("dblp.venue = 'PODS'", 0.95)
+        server.update_profile(1, update)
+        served = server.top_k(1, 5)
+        assert not served.cache_hit
+        assert list(served.ranking) == fresh_top_k(server.db, 1, 5)
+
+    def test_update_for_evicted_user_invalidates_cache(self, serving_db):
+        with TopKServer(serving_db, capacity=1) as engine:
+            engine.update_profile(1, make_profile(1))
+            engine.update_profile(2, make_profile(2))
+            engine.top_k(1, 5)
+            engine.top_k(2, 5)  # evicts session 1; its answer stays cached
+            assert engine.results.peek(1, 5) is not None
+            update = UserProfile(uid=1)
+            update.add_quantitative("dblp.venue = 'PODS'", 0.8)
+            report = engine.update_profile(1, update)
+            assert not report.resident
+            assert engine.results.peek(1, 5) is None
+            served = engine.top_k(1, 5)
+            assert list(served.ranking) == fresh_top_k(serving_db, 1, 5)
+
+    def test_uid_mismatch_rejected(self, server):
+        with pytest.raises(ServingError):
+            server.update_profile(1, make_profile(2))
+
+
+class TestDataInserts:
+    def test_insert_invalidates_selectively_and_stays_exact(self, server):
+        for uid in range(1, 5):
+            server.top_k(uid, 5)
+        cached_before = len(server.results)
+        # A 1996 SIGMOD paper: outside every user's year band, and SIGMOD is
+        # liked only by user 1 under the venue rotation — so exactly one of
+        # the four cached answers may change.
+        report = server.insert_tuples(
+            [Paper(pid=9001, title="New", venue="SIGMOD", year=1996)],
+            paper_authors=[(9001, 1)])
+        assert report.results_invalidated + report.results_spared == cached_before
+        assert report.results_spared > 0
+        # Every user's served answer equals a fresh recomputation, whether
+        # their cache entry was invalidated or spared.
+        for uid in range(1, 5):
+            assert list(server.top_k(uid, 5).ranking) == fresh_top_k(server.db, uid, 5)
+
+    def test_mapping_rows_with_aids_accepted(self, server):
+        report = server.insert_tuples(
+            [{"pid": 9002, "venue": "ICDE", "year": 2009, "title": "M",
+              "aids": [1, 2]}])
+        assert report.papers == 1
+        assert report.joined_rows == 2
+        assert server.db.scalar(
+            "SELECT COUNT(*) FROM dblp_author WHERE pid = 9002") == 2
+
+    def test_replacing_paper_invalidates_via_old_values(self, server):
+        """A REPLACE that moves a paper *out* of a user's venue must not
+        leave that user's cached answer serving the old membership: the
+        notification carries the replaced row's pre-image, so predicates
+        matching the old values invalidate too."""
+        venue = VENUES[1 % len(VENUES)]  # user 1's 0.9-intensity venue
+        pid = server.db.scalar(
+            "SELECT dblp.pid FROM dblp JOIN dblp_author"
+            " ON dblp.pid = dblp_author.pid WHERE venue = ?"
+            " ORDER BY dblp.pid LIMIT 1", (venue,))
+        server.top_k(1, 5)
+        # Move that paper to a venue nobody prefers, far outside every band.
+        server.insert_tuples(
+            [Paper(pid=int(pid), title="Moved", venue="NOWHERE", year=1990)])
+        served = server.top_k(1, 5)
+        assert list(served.ranking) == fresh_top_k(server.db, 1, 5)
+
+    def test_new_matching_paper_enters_ranking(self, server):
+        server.top_k(1, 5)
+        venue = VENUES[1 % len(VENUES)]  # user 1's 0.9-intensity venue
+        report = server.insert_tuples(
+            [Paper(pid=9003, title="Hot", venue=venue, year=2013)],
+            paper_authors=[(9003, 1)])
+        assert report.results_invalidated >= 1
+        served = server.top_k(1, 200)
+        assert 9003 in {pid for pid, _ in served.ranking}
+
+
+class TestThreadSafety:
+    def test_concurrent_reads_and_updates(self, server):
+        errors = []
+        expected = {uid: fresh_top_k(server.db, uid, 5) for uid in range(1, 5)}
+
+        def hammer(uid: int) -> None:
+            try:
+                for _ in range(15):
+                    served = server.top_k(uid, 5)
+                    if list(served.ranking) != expected[uid]:
+                        raise AssertionError(f"diverged for uid={uid}")
+            except Exception as exc:  # pragma: no cover - failure signal
+                errors.append(exc)
+
+        threads = [threading.Thread(target=hammer, args=(uid,))
+                   for uid in range(1, 5) for _ in range(3)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+
+    def test_stats_snapshot_shape(self, server):
+        server.top_k(1, 5)
+        server.top_k(1, 5)
+        stats = server.stats()
+        assert stats["requests"]["reads"] == 2
+        assert stats["requests"]["read_hits"] == 1
+        assert set(stats) == {"requests", "sessions", "results",
+                              "count_cache", "sql_statements_total"}

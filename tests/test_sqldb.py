@@ -10,6 +10,7 @@ from repro.sqldb import (
     BASE_FROM,
     Database,
     SelectQuery,
+    TUPLES_INSERTED,
     count_matching_papers,
     count_query,
     create_schema,
@@ -20,7 +21,8 @@ from repro.sqldb import (
     verify_schema,
 )
 from repro.sqldb import schema as schema_module
-from repro.workload.loader import load_dataset
+from repro.workload.dblp import Paper
+from repro.workload.loader import append_papers, load_dataset
 
 
 class TestSchema:
@@ -84,6 +86,97 @@ class TestDatabase:
             assert counts["author"] == len(tiny_dataset.authors)
             assert counts["citation"] == len(tiny_dataset.citations)
             assert counts["dblp_author"] == len(tiny_dataset.paper_authors)
+
+
+class TestClosedDatabase:
+    def test_close_is_idempotent(self):
+        db = Database(":memory:")
+        db.close()
+        db.close()  # promised double-close safety
+        assert db.is_closed
+
+    def test_execute_after_close_raises_clear_error(self):
+        db = Database(":memory:")
+        db.close()
+        with pytest.raises(RelationalError, match="database is closed"):
+            db.execute("SELECT 1")
+
+    def test_query_and_commit_after_close_raise(self):
+        db = Database(":memory:")
+        db.close()
+        with pytest.raises(RelationalError, match="database is closed"):
+            db.query("SELECT 1")
+        with pytest.raises(RelationalError, match="database is closed"):
+            db.commit()
+
+    def test_connection_property_after_close_raises(self):
+        db = Database(":memory:")
+        db.close()
+        with pytest.raises(RelationalError, match="database is closed"):
+            _ = db.connection
+
+    def test_context_manager_closes(self):
+        with Database(":memory:") as db:
+            assert not db.is_closed
+        assert db.is_closed
+
+
+class TestDataMutationEvents:
+    def test_append_papers_notifies_with_joined_rows(self, tiny_dataset):
+        with Database(":memory:") as db:
+            load_dataset(db, tiny_dataset)
+            events = []
+            db.subscribe(events.append)
+            append_papers(
+                db,
+                [Paper(pid=9001, title="T", venue="VLDB", year=2012)],
+                paper_authors=[(9001, 1), (9001, 2)])
+            assert len(events) == 1
+            mutation = events[0]
+            assert mutation.kind == TUPLES_INSERTED
+            assert mutation.pids == (9001,)
+            assert len(mutation.rows) == 2
+            assert {row["aid"] for row in mutation.rows} == {1, 2}
+            assert all(row["venue"] == "VLDB" for row in mutation.rows)
+
+    def test_append_commits_rows(self, tiny_dataset):
+        with Database(":memory:") as db:
+            load_dataset(db, tiny_dataset)
+            counts = append_papers(
+                db, [Paper(pid=9002, title="T", venue="ICDE", year=2011)],
+                paper_authors=[(9002, 3)])
+            assert counts == {"dblp": 1, "dblp_author": 1, "citation": 0}
+            assert db.scalar("SELECT venue FROM dblp WHERE pid = 9002") == "ICDE"
+
+    def test_link_only_append_fetches_paper_for_notification(self, tiny_dataset):
+        with Database(":memory:") as db:
+            load_dataset(db, tiny_dataset)
+            append_papers(db, [Paper(pid=9003, title="T", venue="PODS", year=2010)])
+            events = []
+            db.subscribe(events.append)
+            append_papers(db, [], paper_authors=[(9003, 4)])
+            (mutation,) = events
+            assert len(mutation.rows) == 1
+            assert mutation.rows[0]["venue"] == "PODS"
+            assert mutation.rows[0]["aid"] == 4
+
+    def test_unsubscribe_stops_delivery(self, tiny_dataset):
+        with Database(":memory:") as db:
+            load_dataset(db, tiny_dataset)
+            events = []
+            listener = db.subscribe(events.append)
+            db.unsubscribe(listener)
+            append_papers(db, [Paper(pid=9004, title="T", venue="CIKM", year=2009)],
+                          paper_authors=[(9004, 1)])
+            assert events == []
+
+    def test_bulk_load_notifies_only_with_subscribers(self, tiny_dataset):
+        with Database(":memory:") as db:
+            events = []
+            db.subscribe(events.append)
+            load_dataset(db, tiny_dataset)
+            assert len(events) == 1
+            assert len(events[0].rows) == len(tiny_dataset.paper_authors)
 
 
 class TestSelectQuery:
