@@ -1,29 +1,34 @@
-"""Multi-user serving engine vs ad-hoc recomputation (ISSUE 2 tentpole).
+"""Multi-user serving engine vs ad-hoc recomputation (ISSUE 2 tentpole,
+extended by ISSUE 3 to the full update spectrum).
 
-A 50+-user Zipf-skewed replay (reads / profile updates / data inserts) runs
-twice over identical worlds: once through :class:`repro.serving.TopKServer`
-(resident LRU sessions, shared count cache, update-aware result cache) and
-once through the no-cache baseline that rebuilds every user's state per read
-— the seed behaviour the serving layer replaces.
+A 50+-user Zipf-skewed replay (reads / profile updates / tuple inserts,
+deletes and in-place updates) runs twice over identical worlds: once through
+:class:`repro.serving.TopKServer` (resident LRU sessions, shared count
+cache, update-aware result cache) and once through the no-cache baseline
+that rebuilds every user's state per read — the seed behaviour the serving
+layer replaces.
 
 The printed report and the assertions cover the acceptance criteria:
 
 (a) warm ``top_k`` requests are served from the result cache with **zero**
     SQL statements;
-(b) a data insert invalidates only the affected users' cached results —
-    strictly fewer than the total number of cached entries;
+(b) every data-mutation kind — insert, delete, in-place update —
+    invalidates only the affected users' cached results: inserts always
+    drop a strict subset of a multi-entry cache, and each kind spares
+    entries across the replay (spared count > 0, never a blanket flush);
 (c) the end-to-end replay issues strictly fewer SQL statements than the
     no-cache baseline.
 
-Equivalence (served results == fresh recomputation after every mutation) is
-asserted by ``tests/test_serving_driver.py`` at the same driver settings.
+Equivalence (served results == fresh recomputation after every mutation of
+any kind) is asserted by ``tests/test_serving_driver.py`` at the same
+driver settings.
 """
 
 from __future__ import annotations
 
 from repro.experiments import reporting
 from repro.experiments.context import SCALES
-from repro.serving import ReplayConfig, ReplayDriver, TopKServer
+from repro.serving import MUTATION_KINDS, ReplayConfig, ReplayDriver, TopKServer
 
 from bench_utils import run_once
 
@@ -52,30 +57,37 @@ def test_serving_replay_beats_no_cache_baseline(benchmark):
         reporting.format_table([
             {"arm": arm.label, "reads": arm.reads, "read_hits": arm.read_hits,
              "zero_sql_reads": arm.zero_sql_reads, "updates": arm.updates,
-             "inserts": arm.inserts, "sql_statements": arm.sql_statements,
+             "inserts": arm.inserts, "deletes": arm.deletes,
+             "data_updates": arm.data_updates,
+             "sql_statements": arm.sql_statements,
              "seconds": f"{arm.seconds:.3f}"}
             for arm in (serving, baseline)]))
     reporting.print_report(
-        "Result-cache behaviour under data inserts",
+        "Result-cache behaviour under data mutations",
         reporting.format_table([
-            {"insert": position, **event}
-            for position, event in enumerate(serving.insert_events)]))
+            {"op": position, **event}
+            for position, event in enumerate(serving.mutation_events)]))
 
     # (a) Warm requests answer from the materialised result cache with zero
     # SQL statements — and the skew guarantees plenty of warm requests.
     assert serving.read_hits > 0
     assert serving.zero_sql_reads == serving.read_hits
 
-    # (b) Data inserts invalidate *selectively*: against every multi-entry
-    # cache, strictly fewer than all cached answers are dropped (a
-    # single-entry cache may legitimately lose its only — affected — entry),
-    # and across the replay many cached answers survive inserts untouched.
-    populated = [event for event in serving.insert_events
+    # (b) Every mutation kind invalidates *selectively*.  Inserts touch one
+    # venue, so against every multi-entry cache strictly fewer than all
+    # cached answers are dropped (a single-entry cache may legitimately lose
+    # its only — affected — entry); and for each of insert/delete/update the
+    # replay leaves cached answers untouched (spared > 0) — no kind ever
+    # degenerates into a blanket cache flush.
+    populated = [event for event in serving.events_of_kind("insert")
                  if event["cached_before"] >= 2]
     assert populated, "replay produced no insert against a warm cache"
     for event in populated:
         assert event["results_invalidated"] < event["cached_before"]
-    assert sum(event["results_spared"] for event in populated) > 0
+    for kind in MUTATION_KINDS:
+        events = serving.events_of_kind(kind)
+        assert events, f"replay produced no {kind} operations"
+        assert sum(event["results_spared"] for event in events) > 0
 
     # (c) End-to-end, the serving engine does strictly less SQL work than
     # ad-hoc recomputation over the identical schedule.

@@ -67,18 +67,19 @@ Serving engine (:mod:`repro.serving`)
     :class:`SessionRegistry` — LRU of resident user sessions sharing one
     count cache.
     :class:`ResultCache` — materialised Top-K answers, invalidated by
-    profile events and selectively by data-insert events.
+    profile events and selectively by data mutations (insert/delete/update).
     :class:`ReplayDriver` / :class:`ReplayConfig` — deterministic Zipf
     multi-user replays with a no-cache baseline arm.
     :func:`fresh_top_k` — from-scratch recomputation (the serving oracle).
 
 Relational substrate and workload
     :class:`Database` — SQLite connection wrapper with the DBLP schema,
-    emitting :class:`DataMutation` events on tuple appends.
+    emitting :class:`DataMutation` events on tuple mutations.
     :func:`enhance_query` / :func:`rank_tuples` — preference-enhanced SQL.
     :class:`DblpConfig` / :func:`generate_dblp` — synthetic workload.
     :func:`build_workload_database` — generate + load in one call.
-    :func:`append_papers` — append workload tuples with notifications.
+    :func:`append_papers` / :func:`delete_papers` / :func:`update_papers` —
+    the notifying workload-mutation API (insert / delete / in-place update).
     :class:`PreferenceExtractor` — profiles mined from the citation graph.
 """
 
@@ -141,7 +142,9 @@ from .workload import (
     PreferenceExtractor,
     append_papers,
     build_workload_database,
+    delete_papers,
     generate_dblp,
+    update_papers,
 )
 
 __version__ = "1.0.0"
@@ -181,7 +184,9 @@ __all__ = [
     "append_papers",
     "build_hypre_graph",
     "build_workload_database",
+    "delete_papers",
     "fresh_top_k",
+    "update_papers",
     "combine_and",
     "combine_or",
     "coverage",

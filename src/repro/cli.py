@@ -8,6 +8,7 @@ Usage::
     python -m repro.cli topk --scale tiny --k 10
     python -m repro.cli topk --scale tiny --k 10 --reuse-index --json
     python -m repro.cli serve-replay --scale tiny --users 50 --requests 300
+    python -m repro.cli serve-replay --scale tiny --delete-weight 1 --data-update-weight 1
 
 ``list`` prints every available experiment; ``experiment`` regenerates one
 table/figure and prints the same rows the benchmark harness reports; ``topk``
@@ -15,9 +16,11 @@ runs a personalised Top-K query for one user of the synthetic workload
 (``--reuse-index`` serves it from the incremental pairwise-combination index
 of :mod:`repro.index` and prints the index maintenance statistics);
 ``serve-replay`` drives the multi-user serving engine of :mod:`repro.serving`
-with a deterministic Zipf-skewed request mix and compares it against the
-no-cache baseline.  ``--json`` on ``topk``/``serve-replay`` switches the
-output to machine-readable JSON.
+with a deterministic Zipf-skewed request mix — Top-K reads, profile updates
+and the full tuple-mutation spectrum (inserts, deletes, in-place updates,
+mixed via the ``--*-weight`` flags) — and compares it against the no-cache
+baseline.  ``--json`` on ``topk``/``serve-replay`` switches the output to
+machine-readable JSON.
 """
 
 from __future__ import annotations
@@ -31,6 +34,10 @@ from .algorithms import PEPSAlgorithm
 from .experiments import figures, reporting
 from .experiments.context import SCALES, ExperimentContext
 from .serving import ReplayConfig, ReplayDriver, TopKServer
+
+#: Single source of truth for the replay op-mix defaults (the CLI flags and
+#: run_serve_replay must not drift from the dataclass).
+_REPLAY_DEFAULTS = ReplayConfig()
 
 #: Experiment name -> (description, needs a uid argument).
 EXPERIMENTS: Dict[str, tuple] = {
@@ -184,18 +191,29 @@ def run_serve_replay(scale: str = "tiny",
                      seed: int = 17,
                      capacity: int = 16,
                      baseline: bool = True,
+                     read_weight: float = _REPLAY_DEFAULTS.read_weight,
+                     update_weight: float = _REPLAY_DEFAULTS.update_weight,
+                     insert_weight: float = _REPLAY_DEFAULTS.insert_weight,
+                     delete_weight: float = _REPLAY_DEFAULTS.delete_weight,
+                     data_update_weight: float = (
+                         _REPLAY_DEFAULTS.data_update_weight),
                      as_json: bool = False) -> str:
     """Replay a deterministic multi-user workload through the serving engine.
 
     Builds one world per arm (identical datasets and schedules), runs the
     :class:`~repro.serving.TopKServer` arm and — unless ``baseline`` is
     disabled — the no-cache baseline arm, and reports request counters, SQL
-    statements and cache behaviour side by side.
+    statements and cache behaviour side by side.  The five weights control
+    the operation mix (reads, profile updates, tuple inserts/deletes/
+    in-place updates); a weight of zero removes that kind entirely.
     """
     if scale not in SCALES:
         raise ValueError(f"unknown scale {scale!r}; pick one of {sorted(SCALES)}")
-    driver = ReplayDriver(ReplayConfig(users=users, requests=requests,
-                                       k=k, seed=seed))
+    driver = ReplayDriver(ReplayConfig(
+        users=users, requests=requests, k=k, seed=seed,
+        read_weight=read_weight, update_weight=update_weight,
+        insert_weight=insert_weight, delete_weight=delete_weight,
+        data_update_weight=data_update_weight))
     serving_db = driver.build_world(SCALES[scale])
     server = TopKServer(serving_db, capacity=capacity)
     try:
@@ -217,7 +235,12 @@ def run_serve_replay(scale: str = "tiny",
     if as_json:
         payload: Dict[str, Any] = {
             "config": {"scale": scale, "users": users, "requests": requests,
-                       "k": k, "seed": seed, "capacity": capacity},
+                       "k": k, "seed": seed, "capacity": capacity,
+                       "read_weight": read_weight,
+                       "update_weight": update_weight,
+                       "insert_weight": insert_weight,
+                       "delete_weight": delete_weight,
+                       "data_update_weight": data_update_weight},
             "serving": serving_report.as_dict(),
             "baseline": baseline_report.as_dict() if baseline_report else None,
             "server": stats,
@@ -229,6 +252,7 @@ def run_serve_replay(scale: str = "tiny",
         {"arm": arm.label, "ops": arm.ops, "reads": arm.reads,
          "read_hits": arm.read_hits, "zero_sql_reads": arm.zero_sql_reads,
          "updates": arm.updates, "inserts": arm.inserts,
+         "deletes": arm.deletes, "data_updates": arm.data_updates,
          "sql_statements": arm.sql_statements,
          "seconds": f"{arm.seconds:.3f}"}
         for arm in arms])
@@ -295,6 +319,22 @@ def build_parser() -> argparse.ArgumentParser:
                         help="maximum number of resident user sessions")
     replay.add_argument("--no-baseline", action="store_true",
                         help="skip the no-cache baseline arm")
+    replay.add_argument("--read-weight", type=float,
+                        default=_REPLAY_DEFAULTS.read_weight,
+                        help="relative weight of Top-K reads in the mix")
+    replay.add_argument("--update-weight", type=float,
+                        default=_REPLAY_DEFAULTS.update_weight,
+                        help="relative weight of profile updates in the mix")
+    replay.add_argument("--insert-weight", type=float,
+                        default=_REPLAY_DEFAULTS.insert_weight,
+                        help="relative weight of tuple inserts in the mix")
+    replay.add_argument("--delete-weight", type=float,
+                        default=_REPLAY_DEFAULTS.delete_weight,
+                        help="relative weight of tuple deletes in the mix")
+    replay.add_argument("--data-update-weight", type=float,
+                        default=_REPLAY_DEFAULTS.data_update_weight,
+                        help="relative weight of in-place tuple updates "
+                             "in the mix")
     replay.add_argument("--json", action="store_true", dest="as_json",
                         help="emit the replay reports as JSON")
 
@@ -319,6 +359,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                                    requests=args.requests, k=args.k,
                                    seed=args.seed, capacity=args.capacity,
                                    baseline=not args.no_baseline,
+                                   read_weight=args.read_weight,
+                                   update_weight=args.update_weight,
+                                   insert_weight=args.insert_weight,
+                                   delete_weight=args.delete_weight,
+                                   data_update_weight=args.data_update_weight,
                                    as_json=args.as_json))
     except Exception as exc:  # pragma: no cover - defensive top-level handler
         print(f"error: {exc}", file=sys.stderr)

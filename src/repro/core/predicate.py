@@ -42,19 +42,125 @@ def _sql_literal(value: Value) -> str:
     return f"'{escaped}'"
 
 
+def attribute_names_match(first: str, second: str) -> bool:
+    """Whether two attribute references name the same column.
+
+    A qualified name (``dblp.venue``) matches itself and its bare suffix
+    (``venue``); two *differently* qualified names stay distinct.  This is
+    the one normalisation rule shared by tuple-dict lookup (:func:`_lookup`),
+    row-attribute presence checks
+    (:func:`repro.index.selectivity.may_match_row`) and attribute-based cache
+    invalidation (``CountCache.invalidate_attribute`` /
+    ``IncrementalPairIndex.invalidate_attribute``) — so a predicate written
+    as ``dblp.venue = 'VLDB'`` is never silently spared when ``venue`` is
+    invalidated, and vice versa.
+    """
+    if first == second:
+        return True
+    if "." in first and "." not in second:
+        return first.split(".", 1)[1] == second
+    if "." in second and "." not in first:
+        return second.split(".", 1)[1] == first
+    return False
+
+
 def _lookup(row: Mapping[str, Any], attribute: str) -> Any:
     """Resolve ``attribute`` in a tuple dict, accepting qualified and bare names."""
     if attribute in row:
         return row[attribute]
-    if "." in attribute:
-        bare = attribute.split(".", 1)[1]
-        if bare in row:
-            return row[bare]
-    else:
-        for key, value in row.items():
-            if "." in key and key.split(".", 1)[1] == attribute:
-                return value
+    for key, value in row.items():
+        if attribute_names_match(attribute, key):
+            return value
     return None
+
+
+#: SQLite's numeric-literal shape for affinity conversions: optional sign,
+#: digits with an optional fraction (or a bare fraction), optional exponent,
+#: surrounding whitespace allowed.  Python's ``float`` is laxer — it also
+#: accepts ``'1_0'``, ``'nan'``, ``'inf'`` — and every extra acceptance
+#: would make evaluate diverge from the SQL engine.
+_NUMERIC_LITERAL_RE = re.compile(
+    r"\s*[+-]?(?:\d+(?:\.\d*)?|\.\d+)(?:[eE][+-]?\d+)?\s*")
+
+
+def _as_number(text: str) -> Optional[Union[int, float]]:
+    """The numeric value of ``text`` under SQLite's NUMERIC affinity, or None.
+
+    Integer-shaped text converts to ``int`` — SQLite's conversion is exact,
+    so going through ``float`` would silently round values beyond 2**53 and
+    diverge from the SQL engine on equality.
+    """
+    if _NUMERIC_LITERAL_RE.fullmatch(text):
+        try:
+            return int(text)
+        except ValueError:
+            return float(text)
+    return None
+
+
+def _sqlite_text(value: Union[int, float]) -> str:
+    """Render a numeric literal the way SQLite's TEXT affinity does.
+
+    Matches modern SQLite's shortest-round-trip REAL rendering, which agrees
+    with ``repr`` except that an exponent-form mantissa always keeps a
+    fractional digit (``1.0e+16``, not ``1e+16``).
+    """
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, int):
+        return str(value)
+    text = repr(float(value))
+    mantissa, _, exponent = text.partition("e")
+    if exponent and "." not in mantissa:
+        text = f"{mantissa}.0e{exponent}"
+    return text
+
+
+def _compare_values(actual: Any, value: Any, op: str) -> bool:
+    """Compare two non-NULL values the way SQLite's comparison rules do.
+
+    ``actual`` comes from a stored tuple, so its Python type mirrors the
+    column's storage class — which in this schema's typed, loader-written
+    columns also identifies the column's affinity (text ⇒ TEXT column,
+    number ⇒ numeric column); ``value`` is the predicate literal.  SQLite
+    applies the column's affinity to the literal before comparing:
+
+    * numeric column vs. text literal → the literal is coerced to a number
+      (``year = '2005'`` matches 2005); a non-numeric literal stays TEXT and
+      sorts *after* every number (``year < 'abc'`` is true for all rows);
+    * text column vs. numeric literal → the literal is rendered as text and
+      compared lexicographically (``venue = 100`` only matches ``'100'``).
+
+    In-memory evaluation must mirror this, or :func:`may_match_row` would
+    declare tuples irrelevant that the SQL engine in fact matches.
+    """
+    actual_is_number = isinstance(actual, (int, float))
+    value_is_number = isinstance(value, (int, float))
+    if actual_is_number and not value_is_number:
+        coerced = _as_number(value)
+        if coerced is not None:
+            value = coerced
+        else:
+            # INTEGER/REAL storage vs. TEXT: numbers sort before all text.
+            return op in ("!=", "<", "<=")
+    elif value_is_number and not actual_is_number:
+        value = _sqlite_text(value)
+    try:
+        if op == "=":
+            return actual == value
+        if op == "!=":
+            return actual != value
+        if op == "<":
+            return actual < value
+        if op == "<=":
+            return actual <= value
+        if op == ">":
+            return actual > value
+        if op == ">=":
+            return actual >= value
+    except TypeError:
+        return False
+    raise PredicateError(f"unsupported operator {op!r}")  # pragma: no cover
 
 
 class PredicateExpr:
@@ -124,6 +230,11 @@ class Condition(PredicateExpr):
         if self.op == "IN":
             if not isinstance(self.value, (list, tuple, set, frozenset)):
                 raise PredicateError("IN conditions require a sequence of values")
+            # An empty list would render as "attr IN ()" — a SQLite syntax
+            # error — so the malformed predicate is rejected at construction
+            # instead of corrupting a query downstream.
+            if not self.value:
+                raise PredicateError("IN conditions require at least one value")
             object.__setattr__(self, "value", tuple(self.value))
 
     # -- rendering / evaluation ------------------------------------------------
@@ -136,26 +247,16 @@ class Condition(PredicateExpr):
 
     def evaluate(self, row: Mapping[str, Any]) -> bool:
         actual = _lookup(row, self.attribute)
-        if self.op == "IN":
-            return actual in self.value
+        # SQL three-valued logic: a NULL operand never satisfies a
+        # comparison (not even != or IN), so the row can never match.
         if actual is None:
             return False
-        try:
-            if self.op == "=":
-                return actual == self.value
-            if self.op == "!=":
-                return actual != self.value
-            if self.op == "<":
-                return actual < self.value
-            if self.op == "<=":
-                return actual <= self.value
-            if self.op == ">":
-                return actual > self.value
-            if self.op == ">=":
-                return actual >= self.value
-        except TypeError:
+        if self.op == "IN":
+            return any(item is not None and _compare_values(actual, item, "=")
+                       for item in self.value)
+        if self.value is None:
             return False
-        raise PredicateError(f"unsupported operator {self.op!r}")  # pragma: no cover
+        return _compare_values(actual, self.value, self.op)
 
     def attributes(self) -> FrozenSet[str]:
         return frozenset({self.attribute})
@@ -353,16 +454,17 @@ def _tokenize(text: str) -> List[str]:
     tokens: List[str] = []
     pos = 0
     while pos < len(text):
+        # Skip whitespace explicitly: the token pattern itself must match a
+        # real token, so residual whitespace (e.g. a trailing blank) ends the
+        # scan cleanly instead of raising.
+        while pos < len(text) and text[pos].isspace():
+            pos += 1
+        if pos >= len(text):
+            break
         match = _TOKEN_RE.match(text, pos)
         if match is None:
             raise PredicateParseError(f"unexpected character at {text[pos:pos + 10]!r}")
-        token = match.group(1)
-        if token is None or not token.strip():
-            pos = match.end()
-            if pos == match.start():
-                break
-            continue
-        tokens.append(token)
+        tokens.append(match.group(1))
         pos = match.end()
     return tokens
 
@@ -450,6 +552,8 @@ class _Parser:
         upper = operator.upper()
         if upper == "IN":
             self.expect("(")
+            if self.peek() == ")":
+                raise PredicateParseError("IN requires at least one value")
             values: List[Value] = [_literal_from_token(self.next())]
             while self.peek() == ",":
                 self.next()

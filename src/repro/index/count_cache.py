@@ -30,7 +30,7 @@ from __future__ import annotations
 import threading
 from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Union
 
-from ..core.predicate import PredicateExpr, ensure_predicate
+from ..core.predicate import PredicateExpr, attribute_names_match, ensure_predicate
 from ..sqldb.database import Database
 from ..sqldb.query_builder import (
     BATCH_COUNT_CHUNK,
@@ -135,10 +135,14 @@ class CountCache:
         Returns the number of entries dropped.  This is the coarse hook for
         relation updates: after e.g. new rows land in ``dblp``, counts for
         predicates over its columns are stale while all others stay valid.
+        Qualified and bare spellings are normalised — invalidating ``venue``
+        also drops counts over ``dblp.venue`` (and vice versa), so no stale
+        count survives on a naming technicality.
         """
         with self._lock:
             stale = [key for key in self._counts
-                     if attribute in ensure_predicate(key).attributes()]
+                     if any(attribute_names_match(attribute, referenced)
+                            for referenced in ensure_predicate(key).attributes())]
             for key in stale:
                 del self._counts[key]
             return len(stale)

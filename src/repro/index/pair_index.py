@@ -47,6 +47,7 @@ from ..core.intensity import combine_and
 from ..core.predicate import (
     PredicateExpr,
     are_and_compatible,
+    attribute_names_match,
     conjunction,
     ensure_predicate,
 )
@@ -350,8 +351,9 @@ class IncrementalPairIndex(PairIndexBase):
         marks the index stale so the next refresh re-counts them.
         """
         stale_keys = [key for key in self._counts
-                      if any(attribute in ensure_predicate(sql).attributes()
-                             for sql in key)]
+                      if any(attribute_names_match(attribute, referenced)
+                             for sql in key
+                             for referenced in ensure_predicate(sql).attributes())]
         for key in stale_keys:
             del self._counts[key]
         if stale_keys:

@@ -30,6 +30,7 @@ from ..core.predicate import (
     Or,
     PredicateExpr,
     are_and_compatible,
+    attribute_names_match,
     ensure_predicate,
 )
 
@@ -87,11 +88,8 @@ def pair_provably_empty(first: PredicateExpr, second: PredicateExpr) -> bool:
 
 def _row_has_attribute(row: Mapping[str, Any], attribute: str) -> bool:
     """Whether ``row`` carries a value for ``attribute`` (qualified or bare)."""
-    if attribute in row:
-        return True
-    if "." in attribute:
-        return attribute.split(".", 1)[1] in row
-    return any("." in key and key.split(".", 1)[1] == attribute for key in row)
+    return (attribute in row
+            or any(attribute_names_match(attribute, key) for key in row))
 
 
 def may_match_row(predicate: Union[str, PredicateExpr],

@@ -6,18 +6,21 @@ users" target plugs into: instead of rebuilding one user's state per query
 LRU, all sessions share one batched
 :class:`~repro.index.CountCache`, and finished Top-K answers are
 **materialised** and kept exactly as fresh as two event streams prove
-necessary — profile mutations from :mod:`repro.core.hypre.events` and tuple
-inserts from :mod:`repro.sqldb.events` (see ``docs/ARCHITECTURE.md`` for the
-event flow).
+necessary — profile mutations from :mod:`repro.core.hypre.events` and the
+full tuple-mutation spectrum (inserts, deletes, in-place updates) from
+:mod:`repro.sqldb.events` (see ``docs/ARCHITECTURE.md`` for the event flow).
 
 Public API
 ----------
 :class:`TopKServer`
     Thread-safe front door: ``top_k(uid, k)`` / ``update_profile(uid,
-    profile)`` / ``insert_tuples(papers, ...)``, each returning per-request
-    metrics (cache hit, SQL statements, latency).
-:class:`ServeResult` / :class:`UpdateReport` / :class:`InsertReport`
-    The per-request metrics records.
+    profile)`` / ``insert_tuples(papers, ...)`` / ``delete_tuples(pids)`` /
+    ``update_tuples(papers)``, each returning per-request metrics (cache
+    hit, SQL statements, latency).
+:class:`ServeResult` / :class:`UpdateReport` / :class:`InsertReport` /
+:class:`DeleteReport` / :class:`TupleUpdateReport`
+    The per-request metrics records (the last three share the
+    :class:`DataMutationReport` shape).
 :class:`SessionRegistry`
     Capacity-bounded LRU of resident user sessions sharing one count cache,
     with hit/miss/eviction statistics.
@@ -32,15 +35,18 @@ Public API
 :class:`ReplayDriver` / :class:`ReplayConfig` / :class:`ReplayOp` /
 :class:`ReplayReport`
     Deterministic Zipf-skewed multi-user workload replay (reads / profile
-    updates / data inserts) with a no-cache baseline arm and an equivalence
-    verifier — the engine behind ``benchmarks/bench_serving.py`` and
-    ``python -m repro.cli serve-replay``.
+    updates / data inserts / deletes / in-place tuple updates) with a
+    no-cache baseline arm and an equivalence verifier — the engine behind
+    ``benchmarks/bench_serving.py`` and ``python -m repro.cli serve-replay``.
 :func:`fresh_top_k`
     From-scratch recomputation of one user's Top-K — the serving oracle.
 """
 
 from .driver import (
+    DATA_UPDATE,
+    DELETE,
     INSERT,
+    MUTATION_KINDS,
     READ,
     UPDATE,
     ReplayConfig,
@@ -50,9 +56,12 @@ from .driver import (
 )
 from .results import CachedResult, ResultCache
 from .server import (
+    DataMutationReport,
+    DeleteReport,
     InsertReport,
     ServeResult,
     TopKServer,
+    TupleUpdateReport,
     UpdateReport,
     fresh_top_k,
 )
@@ -60,8 +69,13 @@ from .sessions import SessionRegistry, UserSession
 
 __all__ = [
     "CachedResult",
+    "DATA_UPDATE",
+    "DELETE",
+    "DataMutationReport",
+    "DeleteReport",
     "INSERT",
     "InsertReport",
+    "MUTATION_KINDS",
     "READ",
     "ReplayConfig",
     "ReplayDriver",
@@ -71,6 +85,7 @@ __all__ = [
     "ServeResult",
     "SessionRegistry",
     "TopKServer",
+    "TupleUpdateReport",
     "UPDATE",
     "UpdateReport",
     "UserSession",

@@ -2,7 +2,8 @@
 
 The driver turns a seed into a reproducible serving trace: a population of
 synthetic user profiles over the workload's venues/years, and a Zipf-skewed
-request mix of Top-K **reads**, **profile updates** and **data inserts**
+request mix of Top-K **reads**, **profile updates** and the full data-side
+update spectrum — **inserts**, **deletes** and **in-place tuple updates**
 (most traffic concentrates on a few hot users, as the ROADMAP's
 "millions of users" target implies).  The same schedule can be replayed
 
@@ -30,13 +31,24 @@ from ..core.preference import ProfileRegistry, UserProfile
 from ..exceptions import ServingError
 from ..sqldb.database import Database
 from ..workload.dblp import DblpConfig, Paper, generate_dblp
-from ..workload.loader import append_papers, load_dataset, load_profiles
+from ..workload.loader import (
+    append_papers,
+    delete_papers,
+    load_dataset,
+    load_profiles,
+    update_papers,
+)
 from .server import TopKServer, fresh_top_k
 
 #: Operation kinds in a replay schedule.
 READ = "read"
 UPDATE = "update"
 INSERT = "insert"
+DELETE = "delete"
+DATA_UPDATE = "data_update"
+
+#: The data-side mutation kinds (UPDATE is a *profile* update).
+MUTATION_KINDS = (INSERT, DELETE, DATA_UPDATE)
 
 
 @dataclass(frozen=True)
@@ -51,10 +63,13 @@ class ReplayConfig:
     uid_base: int = 10_001
     #: Zipf exponent of the per-user request skew.
     zipf_exponent: float = 1.1
-    #: Relative op-mix weights (normalised internally).
+    #: Relative op-mix weights (normalised internally).  A weight of zero
+    #: removes that kind from the schedule entirely.
     read_weight: float = 8.0
     update_weight: float = 1.0
     insert_weight: float = 1.0
+    delete_weight: float = 0.5
+    data_update_weight: float = 0.5
 
     def uids(self) -> List[int]:
         """The replay population's user ids."""
@@ -71,6 +86,8 @@ class ReplayOp:
     profile: Optional[UserProfile] = None
     papers: Tuple[Paper, ...] = ()
     paper_authors: Tuple[Tuple[int, int], ...] = ()
+    #: Target paper ids of a DELETE operation.
+    pids: Tuple[int, ...] = ()
 
 
 @dataclass
@@ -84,11 +101,19 @@ class ReplayReport:
     zero_sql_reads: int = 0
     updates: int = 0
     inserts: int = 0
+    deletes: int = 0
+    data_updates: int = 0
     sql_statements: int = 0
     seconds: float = 0.0
     verified_results: int = 0
-    #: One record per insert op: how selectively the result cache reacted.
-    insert_events: List[Dict[str, int]] = field(default_factory=list)
+    #: One record per data mutation (insert/delete/data_update), tagged with
+    #: its ``kind``: how selectively the result cache reacted.
+    mutation_events: List[Dict[str, Any]] = field(default_factory=list)
+
+    def events_of_kind(self, kind: str) -> List[Dict[str, Any]]:
+        """The mutation events of one kind (INSERT / DELETE / DATA_UPDATE)."""
+        return [event for event in self.mutation_events
+                if event["kind"] == kind]
 
     def as_dict(self) -> Dict[str, Any]:
         """Plain-dict rendering (for JSON reports)."""
@@ -96,9 +121,10 @@ class ReplayReport:
             "label": self.label, "ops": self.ops, "reads": self.reads,
             "read_hits": self.read_hits, "zero_sql_reads": self.zero_sql_reads,
             "updates": self.updates, "inserts": self.inserts,
+            "deletes": self.deletes, "data_updates": self.data_updates,
             "sql_statements": self.sql_statements, "seconds": self.seconds,
             "verified_results": self.verified_results,
-            "insert_events": list(self.insert_events),
+            "mutation_events": list(self.mutation_events),
         }
 
 
@@ -108,6 +134,15 @@ class ReplayDriver:
     def __init__(self, config: ReplayConfig = ReplayConfig()) -> None:
         if config.users < 1 or config.requests < 1:
             raise ServingError("replay needs at least one user and one request")
+        weights = (config.read_weight, config.update_weight,
+                   config.insert_weight, config.delete_weight,
+                   config.data_update_weight)
+        # random.choices silently produces nonsense for negative weights and
+        # raises a cryptic ValueError when all are zero — fail loudly here.
+        if any(weight < 0 for weight in weights):
+            raise ServingError("replay op-mix weights must be non-negative")
+        if not any(weights):
+            raise ServingError("replay op-mix weights must not all be zero")
         self.config = config
 
     # -- world construction -------------------------------------------------------
@@ -186,13 +221,22 @@ class ReplayDriver:
         zipf = [1.0 / ((rank + 1) ** config.zipf_exponent)
                 for rank in range(len(uids))]
         rng = random.Random(config.seed)
-        kinds = [READ, UPDATE, INSERT]
-        weights = [config.read_weight, config.update_weight, config.insert_weight]
+        kinds = [READ, UPDATE, INSERT, DELETE, DATA_UPDATE]
+        weights = [config.read_weight, config.update_weight,
+                   config.insert_weight, config.delete_weight,
+                   config.data_update_weight]
+        # Deletes and in-place updates must target pids that still exist at
+        # that point of the replay; tracking liveness here keeps the payloads
+        # pre-generated and the two arms' schedules identical.
+        alive = [int(row[0]) for row in db.query_tuples(
+            "SELECT pid FROM dblp ORDER BY pid")]
         update_counts: Dict[int, int] = {}
         ops: List[ReplayOp] = []
         for step in range(config.requests):
             kind = rng.choices(kinds, weights=weights, k=1)[0]
             uid = rng.choices(uids, weights=zipf, k=1)[0]
+            if (kind in (DELETE, DATA_UPDATE)) and not alive:
+                kind = INSERT  # degenerate but possible under heavy deletion
             if kind == READ:
                 ops.append(ReplayOp(READ, uid=uid, k=config.k))
             elif kind == UPDATE:
@@ -203,7 +247,7 @@ class ReplayDriver:
                 profile.add_quantitative(self._venue_sql(venue),
                                          0.3 + 0.05 * (serial % 5))
                 ops.append(ReplayOp(UPDATE, uid=uid, profile=profile))
-            else:
+            elif kind == INSERT:
                 paper = Paper(
                     pid=next_pid,
                     title=f"Replayed Paper {next_pid}",
@@ -211,9 +255,22 @@ class ReplayDriver:
                     year=hi - (step % 4),
                     abstract="")
                 authors = ((paper.pid, 1 + (step % max_aid)),)
+                alive.append(next_pid)
                 next_pid += 1
                 ops.append(ReplayOp(INSERT, papers=(paper,),
                                     paper_authors=authors))
+            elif kind == DELETE:
+                target = alive.pop(rng.randrange(len(alive)))
+                ops.append(ReplayOp(DELETE, pids=(target,)))
+            else:
+                target = alive[rng.randrange(len(alive))]
+                paper = Paper(
+                    pid=target,
+                    title=f"Updated Paper {target} (step {step})",
+                    venue=venues[(step * 5 + 2) % len(venues)],
+                    year=lo + (step % max(1, hi - lo + 1)),
+                    abstract="")
+                ops.append(ReplayOp(DATA_UPDATE, papers=(paper,)))
         return ops
 
     # -- execution ----------------------------------------------------------------
@@ -251,13 +308,21 @@ class ReplayDriver:
                 report.updates += 1
             else:
                 cached_before = len(server.results)
-                insert = server.insert_tuples(op.papers, op.paper_authors)
-                report.inserts += 1
-                report.insert_events.append({
+                if op.kind == INSERT:
+                    outcome = server.insert_tuples(op.papers, op.paper_authors)
+                    report.inserts += 1
+                elif op.kind == DELETE:
+                    outcome = server.delete_tuples(op.pids)
+                    report.deletes += 1
+                else:
+                    outcome = server.update_tuples(op.papers)
+                    report.data_updates += 1
+                report.mutation_events.append({
+                    "kind": op.kind,
                     "cached_before": cached_before,
-                    "results_invalidated": insert.results_invalidated,
-                    "results_spared": insert.results_spared,
-                    "index_entries_dropped": insert.index_entries_dropped,
+                    "results_invalidated": outcome.results_invalidated,
+                    "results_spared": outcome.results_spared,
+                    "index_entries_dropped": outcome.index_entries_dropped,
                 })
             report.sql_statements += server.db.statements_executed - statements_before
             if verify:
@@ -292,8 +357,9 @@ class ReplayDriver:
         """Replay the same schedule with no serving layer at all.
 
         Every read rebuilds the user's graph, pair index and caches from
-        scratch (the seed's ad-hoc behaviour); updates and inserts only
-        persist rows.  Run it on a *separate but identical* world.
+        scratch (the seed's ad-hoc behaviour); profile updates and data
+        mutations only persist rows.  Run it on a *separate but identical*
+        world.
         """
         if ops is None:
             ops = self.schedule(db)
@@ -310,9 +376,15 @@ class ReplayDriver:
                 registry.add(op.profile)
                 load_profiles(db, registry)
                 report.updates += 1
-            else:
+            elif op.kind == INSERT:
                 append_papers(db, list(op.papers), list(op.paper_authors))
                 report.inserts += 1
+            elif op.kind == DELETE:
+                delete_papers(db, op.pids)
+                report.deletes += 1
+            else:
+                update_papers(db, list(op.papers))
+                report.data_updates += 1
         report.seconds = time.perf_counter() - start
         report.sql_statements = db.statements_executed - statements_before
         return report

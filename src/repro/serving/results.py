@@ -13,10 +13,13 @@ events are the deltas):
   cached answer *of that user only*; edge insertions alone are ignored
   because their intensity consequences arrive as separate events.
 * **data events** — :class:`~repro.sqldb.events.DataMutation` notifications
-  from the workload database.  A tuple insert drops a cached answer **iff**
-  one of the predicates it was computed from may match one of the new
-  joined-view rows (:func:`~repro.index.selectivity.may_match_row`); every
-  other user's answer provably cannot change and survives.
+  from the workload database, covering the full update spectrum.  A
+  mutation drops a cached answer **iff** one of the predicates it was
+  computed from may match one of the event's invalidation rows
+  (:func:`~repro.index.selectivity.may_match_row`) — the new joined-view
+  rows for an insert, the removed pre-image rows for a delete, either
+  image for an in-place update; every other user's answer provably cannot
+  change and survives.
 
 Every entry therefore remembers the predicate list it was computed from —
 the same positive-intensity predicates PEPS scored with.
@@ -45,13 +48,15 @@ class CachedResult:
     predicates: Tuple[PredicateExpr, ...]
 
     def may_be_affected_by(self, rows: Sequence[Mapping[str, Any]]) -> bool:
-        """Can inserting ``rows`` change this answer?
+        """Can a data mutation touching ``rows`` change this answer?
 
-        A new tuple enters the user's ranking only if it matches at least one
-        of the user's scored predicates (a tuple matching none scores zero
-        and is never discovered), and existing tuples' scores depend only on
-        their own predicate membership — so "no predicate may match any new
-        row" proves the answer still fresh.
+        ``rows`` are the mutation's invalidation rows: inserted post-image,
+        deleted pre-image, or both images of an in-place update.  A tuple
+        enters (or leaves, or re-scores in) the user's ranking only if one
+        of its images matches at least one of the user's scored predicates —
+        a tuple matching none scores zero and is never discovered, so its
+        insertion, deletion or rewrite cannot move any ranked tuple either.
+        "No predicate may match any row" therefore proves the answer fresh.
         """
         return any(may_match_row(predicate, row)
                    for predicate in self.predicates for row in rows)
@@ -111,13 +116,15 @@ class ResultCache:
             self.invalidate_user(mutation.uid)
 
     def on_data_mutation(self, mutation: DataMutation) -> int:
-        """Data-event handler: drop exactly the answers the insert may affect.
+        """Data-event handler: drop exactly the answers the mutation may affect.
 
+        Handles every :data:`~repro.sqldb.events.DATA_MUTATION_KINDS` kind by
+        checking predicates against the event's pre- *and* post-image rows.
         Returns the number of entries dropped; unaffected entries are counted
         in :attr:`data_spared` — the benchmark asserts this stays positive,
-        i.e. an insert never blindly flushes the cache.
+        i.e. no mutation kind ever blindly flushes the cache.
         """
-        rows = list(mutation.rows)
+        rows = list(mutation.invalidation_rows())
         stale = [key for key, entry in self._entries.items()
                  if entry.may_be_affected_by(rows)]
         for key in stale:

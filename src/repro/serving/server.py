@@ -10,11 +10,15 @@
   tables and fold them into the resident session, whose graph-mutation
   events keep the pair index and the result cache exactly as stale as they
   must be;
-* ``insert_tuples(...)`` — append workload tuples through
-  :func:`~repro.workload.loader.append_papers`; the resulting
+* ``insert_tuples(...)`` / ``delete_tuples(...)`` / ``update_tuples(...)``
+  — mutate the workload relation through the loader's
+  :func:`~repro.workload.loader.append_papers` /
+  :func:`~repro.workload.loader.delete_papers` /
+  :func:`~repro.workload.loader.update_papers`; the resulting
   :class:`~repro.sqldb.events.DataMutation` selectively invalidates the
   shared count/id caches, every resident pair index and only the cached
-  answers whose predicates may match the new rows.
+  answers whose predicates may match the mutation's pre- or post-image
+  rows.
 
 Every request returns a metrics record (cache hit, SQL statements issued,
 wall-clock seconds) so benchmarks and operators can attribute cost.  All
@@ -36,7 +40,13 @@ from ..index import CountCache
 from ..sqldb.database import Database
 from ..sqldb.events import DataMutation
 from ..workload.dblp import Paper
-from ..workload.loader import append_papers, load_profiles, read_profiles
+from ..workload.loader import (
+    append_papers,
+    delete_papers,
+    load_profiles,
+    read_profiles,
+    update_papers,
+)
 from .results import ResultCache
 from .sessions import SessionRegistry
 
@@ -77,8 +87,13 @@ class UpdateReport:
 
 
 @dataclass(frozen=True)
-class InsertReport:
-    """Metrics of one ``insert_tuples`` call."""
+class DataMutationReport:
+    """Shared metrics of one data-side mutation request.
+
+    ``papers`` counts the affected dblp rows, ``joined_rows`` the pre- plus
+    post-image joined-view rows the notification carried, and the remaining
+    fields how selectively each cache layer reacted.
+    """
 
     papers: int
     joined_rows: int
@@ -87,6 +102,18 @@ class InsertReport:
     index_entries_dropped: int
     sql_statements: int
     seconds: float
+
+
+class InsertReport(DataMutationReport):
+    """Metrics of one ``insert_tuples`` call."""
+
+
+class DeleteReport(DataMutationReport):
+    """Metrics of one ``delete_tuples`` call."""
+
+
+class TupleUpdateReport(DataMutationReport):
+    """Metrics of one ``update_tuples`` call."""
 
 
 def _as_paper(row: PaperLike) -> Paper:
@@ -122,6 +149,8 @@ class TopKServer:
         self.read_hits = 0
         self.updates = 0
         self.inserts = 0
+        self.deletes = 0
+        self.tuple_updates = 0
 
     # -- lifecycle ----------------------------------------------------------------
 
@@ -231,8 +260,6 @@ class TopKServer:
         entry is gone and every provably fresh one survived.
         """
         with self._lock:
-            start = time.perf_counter()
-            statements_before = self.db.statements_executed
             links = list(paper_authors)
             records: List[Paper] = []
             for row in papers:
@@ -241,27 +268,84 @@ class TopKServer:
                 if isinstance(row, Mapping):
                     links.extend((record.pid, int(aid))
                                  for aid in row.get("aids", ()))
-            self._last_data_impact = {}
-            append_papers(self.db, records, links, citations)
-            impact = dict(self._last_data_impact)
+            report = self._run_data_mutation(
+                InsertReport, len(records),
+                lambda: append_papers(self.db, records, links, citations))
             self.inserts += 1
-            return InsertReport(
-                papers=len(records),
-                joined_rows=impact.get("joined_rows", 0),
-                results_invalidated=impact.get("results_invalidated", 0),
-                results_spared=impact.get("results_spared", 0),
-                index_entries_dropped=impact.get("index_entries_dropped", 0),
-                sql_statements=self.db.statements_executed - statements_before,
-                seconds=time.perf_counter() - start)
+            return report
+
+    def delete_tuples(self, pids: Iterable[int]) -> DeleteReport:
+        """Delete workload tuples and selectively invalidate every cache.
+
+        The delete commits and then notifies with the removed rows'
+        *pre-image*, so by the time this returns every cached answer, count
+        and id list a removed tuple may have contributed to is gone —
+        including id-list memos, which deletes shrink in a way counts alone
+        would not reveal — and everything provably unaffected survived.
+        """
+        with self._lock:
+            pids = list(pids)
+            report = self._run_data_mutation(
+                DeleteReport, len(pids),
+                lambda: delete_papers(self.db, pids))
+            self.deletes += 1
+            return report
+
+    def update_tuples(self, papers: Sequence[PaperLike]) -> TupleUpdateReport:
+        """Update existing workload tuples in place, invalidating selectively.
+
+        ``papers`` carry the new attribute values for already-present pids
+        (:class:`~repro.exceptions.WorkloadError` for unknown ones).  The
+        notification carries the pre- *and* post-image, so a cached entry is
+        spared only when no predicate can match either version of a changed
+        tuple.
+        """
+        with self._lock:
+            records = [_as_paper(row) for row in papers]
+            report = self._run_data_mutation(
+                TupleUpdateReport, len(records),
+                lambda: update_papers(self.db, records))
+            self.tuple_updates += 1
+            return report
+
+    def _run_data_mutation(self, report_cls, papers: int, mutate) -> Any:
+        """Run one loader mutation and collect the cache-impact metrics.
+
+        ``mutate`` commits and notifies; the notification re-enters
+        :meth:`_on_data_mutation` (the lock is re-entrant), which records
+        its impact in ``_last_data_impact`` for the report.
+        """
+        start = time.perf_counter()
+        statements_before = self.db.statements_executed
+        self._last_data_impact = {}
+        mutate()
+        impact = dict(self._last_data_impact)
+        # A no-op mutation (e.g. deleting unknown pids) never notifies:
+        # nothing was invalidated, so everything cached counts as spared.
+        return report_cls(
+            papers=papers,
+            joined_rows=impact.get("joined_rows", 0),
+            results_invalidated=impact.get("results_invalidated", 0),
+            results_spared=impact.get("results_spared", len(self.results)),
+            index_entries_dropped=impact.get("index_entries_dropped", 0),
+            sql_statements=self.db.statements_executed - statements_before,
+            seconds=time.perf_counter() - start)
 
     def _on_data_mutation(self, mutation: DataMutation) -> None:
-        """Database listener: fan a tuple insert out to every cache layer."""
+        """Database listener: fan any data mutation out to every cache layer.
+
+        ``invalidation_rows`` covers the full update spectrum — inserted
+        post-image, deleted pre-image, both images of an in-place update —
+        so one sound relevance test serves all three kinds.
+        """
         with self._lock:
+            rows = mutation.invalidation_rows()
             results_invalidated = (self.results.on_data_mutation(mutation)
                                    if self.cache_results else 0)
-            dropped = self.sessions.invalidate_matching(mutation.rows)
+            dropped = self.sessions.invalidate_matching(rows)
             self._last_data_impact = {
-                "joined_rows": len(mutation.rows),
+                "kind": mutation.kind,
+                "joined_rows": len(rows),
                 "results_invalidated": results_invalidated,
                 "results_spared": len(self.results),
                 "index_entries_dropped": dropped,
@@ -273,7 +357,9 @@ class TopKServer:
         """A nested snapshot of every layer's counters."""
         return {
             "requests": {"reads": self.reads, "read_hits": self.read_hits,
-                         "updates": self.updates, "inserts": self.inserts},
+                         "updates": self.updates, "inserts": self.inserts,
+                         "deletes": self.deletes,
+                         "tuple_updates": self.tuple_updates},
             "sessions": self.sessions.stats(),
             "results": self.results.stats(),
             "count_cache": {

@@ -8,9 +8,12 @@ Connection (:mod:`repro.sqldb.database`)
     subscriptions.
 
 Data-update events (:mod:`repro.sqldb.events`)
-    :class:`DataMutation` — the tuple-insert notification carrying the
-    joined-view rows an append added (consumed by :mod:`repro.serving`).
-    ``TUPLES_INSERTED`` — the event kind emitted by the append API.
+    :class:`DataMutation` — the tuple-mutation notification carrying the
+    pre-/post-image joined-view rows a change removed/added (consumed by
+    :mod:`repro.serving`).
+    ``TUPLES_INSERTED`` / ``TUPLES_DELETED`` / ``TUPLES_UPDATED`` — the
+    event kinds emitted by the loader's mutation API
+    (``DATA_MUTATION_KINDS`` lists all three).
 
 Schema (:mod:`repro.sqldb.schema`)
     ``TABLES`` — table name → DDL for the DBLP workload.
@@ -38,7 +41,13 @@ Query enhancement (:mod:`repro.sqldb.enhancer`)
 """
 
 from .database import Database
-from .events import TUPLES_INSERTED, DataMutation
+from .events import (
+    DATA_MUTATION_KINDS,
+    TUPLES_DELETED,
+    TUPLES_INSERTED,
+    TUPLES_UPDATED,
+    DataMutation,
+)
 from .enhancer import (
     EnhancedQuery,
     conjunctive_clause,
@@ -74,12 +83,15 @@ __all__ = [
     "BASE_COUNT_QUERY",
     "BASE_FROM",
     "BASE_SELECT_QUERY",
+    "DATA_MUTATION_KINDS",
     "Database",
     "DataMutation",
     "EnhancedQuery",
     "SelectQuery",
     "TABLES",
+    "TUPLES_DELETED",
     "TUPLES_INSERTED",
+    "TUPLES_UPDATED",
     "batched_count_query",
     "conjunctive_clause",
     "count_matching_papers",

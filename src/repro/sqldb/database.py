@@ -73,13 +73,17 @@ class Database:
     def close(self) -> None:
         """Close the connection (safe to call twice).
 
-        After closing, every ``execute``/``query`` raises
+        After closing, every ``execute``/``query``/``notify`` raises
         :class:`~repro.exceptions.RelationalError` with a clear message
-        instead of the raw :class:`sqlite3.ProgrammingError`.
+        instead of the raw :class:`sqlite3.ProgrammingError`.  The listener
+        list is cleared too: a closed database can never mutate again, so
+        keeping the subscriptions would only pin the serving layer's caches
+        (and everything they reference) alive.
         """
         if self._connection is not None:
             self._connection.close()
             self._connection = None
+        self._listeners.clear()
 
     def __enter__(self) -> "Database":
         return self
@@ -116,9 +120,13 @@ class Database:
     def notify(self, mutation: DataMutation) -> None:
         """Deliver ``mutation`` to every subscriber.
 
-        Public so the loader (which alone knows the joined-row view of an
-        insertion) can emit the event after committing.
+        Public so the loader (which alone knows the joined-row view of a
+        mutation) can emit the event after committing.  Raises
+        :class:`~repro.exceptions.RelationalError` once the database is
+        closed, like every other post-close operation — a mutation event
+        for a connection that can no longer mutate is always a caller bug.
         """
+        self._require_connection()
         for listener in tuple(self._listeners):
             listener(mutation)
 

@@ -11,9 +11,10 @@ Generation (:mod:`repro.workload.dblp`)
 
 Loading (:mod:`repro.workload.loader`)
     :func:`load_dataset` — dataset → SQLite workload tables.
-    :func:`append_papers` — append new papers/links and notify the
-    database's :class:`~repro.sqldb.events.DataMutation` subscribers (the
-    serving layer's data-side update path).
+    :func:`append_papers` / :func:`delete_papers` / :func:`update_papers` —
+    the full data-side mutation spectrum; each commits and then notifies
+    the database's :class:`~repro.sqldb.events.DataMutation` subscribers
+    with pre-/post-image joined rows (the serving layer's update path).
     :func:`load_profiles` / :func:`read_profiles` — preference staging
     tables round-trip.
     :func:`build_workload_database` — generate + load in one call.
@@ -44,9 +45,11 @@ from .extraction import (
 from .loader import (
     append_papers,
     build_workload_database,
+    delete_papers,
     load_dataset,
     load_profiles,
     read_profiles,
+    update_papers,
 )
 
 __all__ = [
@@ -60,10 +63,12 @@ __all__ = [
     "author_predicate",
     "build_workload_database",
     "default_dataset",
+    "delete_papers",
     "generate_dblp",
     "load_dataset",
     "load_profiles",
     "read_profiles",
+    "update_papers",
     "richest_users",
     "small_dataset",
     "venue_predicate",

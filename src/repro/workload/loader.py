@@ -3,10 +3,13 @@
 The paper parses the DBLP citation dump into four relational tables plus two
 staging tables for extracted preferences (Section 6.1).  This module performs
 the equivalent bulk loading for the synthetic workload, and provides the
-**append API** (:func:`append_papers`) the serving layer uses for data-side
-updates: an append commits the new rows and then notifies the database's
+**mutation API** the serving layer uses for the full data-side update
+spectrum: :func:`append_papers` (inserts), :func:`delete_papers` (removals)
+and :func:`update_papers` (in-place attribute changes).  Each commits its
+rows and then notifies the database's
 :class:`~repro.sqldb.events.DataMutation` subscribers with the *joined-view*
-rows the insertion adds, so result/count caches can invalidate selectively.
+rows the change added (post-image) and/or removed (pre-image), so
+result/count caches can invalidate selectively yet soundly.
 """
 
 from __future__ import annotations
@@ -14,8 +17,9 @@ from __future__ import annotations
 from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 from ..core.preference import ProfileRegistry, QualitativePreference, QuantitativePreference
+from ..exceptions import WorkloadError
 from ..sqldb.database import Database
-from ..sqldb.events import TUPLES_INSERTED, DataMutation
+from ..sqldb.events import TUPLES_DELETED, TUPLES_INSERTED, TUPLES_UPDATED, DataMutation
 from .dblp import DblpConfig, DblpDataset, Paper, generate_dblp
 
 
@@ -24,9 +28,10 @@ def _joined_rows(papers: Sequence[Paper],
     """The ``dblp JOIN dblp_author`` view rows an insertion adds.
 
     One dictionary per (paper, author) pair — the unit every enhanced query's
-    FROM clause produces.  A paper inserted without any author link yields one
-    row with ``aid=None``: such a paper never appears in join results, but the
-    conservative row keeps attribute-missing predicates on the safe side.
+    FROM clause produces.  A paper inserted without any author link yields no
+    row: it is invisible to the inner join every count/select runs over, so
+    it provably cannot affect any cached result (the notification that later
+    adds its first link carries the real joined row).
     """
     authors_of: Dict[int, List[int]] = {}
     for pid, aid in paper_authors:
@@ -35,7 +40,7 @@ def _joined_rows(papers: Sequence[Paper],
     for paper in papers:
         base = {"pid": paper.pid, "title": paper.title, "venue": paper.venue,
                 "year": paper.year, "abstract": paper.abstract}
-        for aid in authors_of.get(paper.pid, [None]):
+        for aid in authors_of.get(paper.pid, ()):
             rows.append({**base, "aid": aid})
     return rows
 
@@ -103,24 +108,102 @@ def append_papers(db: Database,
             citations)
     db.commit()
     if db.has_subscribers and (papers or paper_authors):
-        # Author links may target papers inserted earlier; fetch those so the
-        # notification still carries every joined row the append added.
-        known = {paper.pid for paper in papers}
-        missing = sorted({pid for pid, _ in paper_authors} - known)
-        placeholders = ", ".join("?" for _ in missing)
-        notified = papers + [
-            Paper(pid=row["pid"], title=row["title"], venue=row["venue"],
-                  year=row["year"], abstract=row["abstract"])
-            for row in (db.query(
-                f"SELECT * FROM dblp WHERE pid IN ({placeholders}) ORDER BY pid",
-                missing) if missing else [])
-        ]
+        # Post-image rows for brand-new papers are derivable in memory from
+        # this call's arguments (a paper that gets no link here is invisible
+        # to the inner join and carries no row).  Only pids the database
+        # knows more about need the committed joined view: REPLACE'd papers
+        # keep their surviving dblp_author links, and link-only appends
+        # target papers inserted earlier.
+        replaced_pids = {row["pid"] for row in replaced_rows}
+        fetch = sorted(replaced_pids
+                       | ({pid for pid, _ in paper_authors}
+                          - {paper.pid for paper in papers}))
+        post_rows = _joined_rows(
+            [paper for paper in papers if paper.pid not in replaced_pids],
+            [(pid, aid) for pid, aid in paper_authors
+             if pid not in replaced_pids])
+        if fetch:
+            post_rows += _existing_joined_rows(db, fetch)
         db.notify(DataMutation(
             TUPLES_INSERTED, "dblp",
-            rows=_joined_rows(notified, paper_authors) + replaced_rows,
+            rows=post_rows,
+            old_rows=replaced_rows,
             pids=[paper.pid for paper in papers]))
     return {"dblp": len(papers), "dblp_author": len(paper_authors),
             "citation": len(citations)}
+
+
+def delete_papers(db: Database, pids: Iterable[int]) -> Dict[str, int]:
+    """Delete papers (plus their author links and citations) from the workload.
+
+    The data-side *removal* path of the serving layer: the **pre-image**
+    joined-view rows are captured before anything is deleted, and after the
+    commit every subscriber receives one
+    :class:`~repro.sqldb.events.DataMutation` of kind ``TUPLES_DELETED``
+    carrying them in ``old_rows`` — a cached count or answer may only be
+    spared when none of its predicates can match a removed row.  Unknown
+    pids are ignored (their deletion is a no-op).  Returns the number of
+    rows removed per table.
+    """
+    pids = sorted({int(pid) for pid in pids})
+    if not pids:
+        return {"dblp": 0, "dblp_author": 0, "citation": 0}
+    pre_image = _existing_joined_rows(db, pids) if db.has_subscribers else []
+    placeholders = ", ".join("?" for _ in pids)
+    removed = {
+        "dblp": db.execute(
+            f"DELETE FROM dblp WHERE pid IN ({placeholders})", pids).rowcount,
+        "dblp_author": db.execute(
+            f"DELETE FROM dblp_author WHERE pid IN ({placeholders})",
+            pids).rowcount,
+        "citation": db.execute(
+            f"DELETE FROM citation WHERE pid IN ({placeholders})"
+            f" OR cid IN ({placeholders})", pids + pids).rowcount,
+    }
+    db.commit()
+    if db.has_subscribers and any(removed.values()):
+        db.notify(DataMutation(TUPLES_DELETED, "dblp",
+                               old_rows=pre_image, pids=pids))
+    return removed
+
+
+def update_papers(db: Database, papers: Sequence[Paper]) -> Dict[str, int]:
+    """Update existing papers' attribute values in place.
+
+    The data-side *in-place update* path of the serving layer: the
+    **pre-image** joined-view rows are captured before the UPDATE, the
+    **post-image** after the commit, and subscribers receive both on one
+    :class:`~repro.sqldb.events.DataMutation` of kind ``TUPLES_UPDATED`` —
+    a cached entry is spared only when no predicate can match *either*
+    image (the update may remove a tuple from a result, add one, or change
+    its score contribution).  Every pid must already exist;
+    :class:`~repro.exceptions.WorkloadError` is raised otherwise (use
+    :func:`append_papers` to insert).  Returns the number of papers updated.
+    """
+    papers = list(papers)
+    if not papers:
+        return {"dblp": 0}
+    pids = [paper.pid for paper in papers]
+    placeholders = ", ".join("?" for _ in pids)
+    existing = {int(row["pid"]) for row in db.query(
+        f"SELECT pid FROM dblp WHERE pid IN ({placeholders})", pids)}
+    missing = sorted(set(pids) - existing)
+    if missing:
+        raise WorkloadError(f"cannot update unknown papers: {missing}")
+    pre_image = _existing_joined_rows(db, pids) if db.has_subscribers else []
+    db.executemany(
+        "UPDATE dblp SET title = ?, venue = ?, year = ?, abstract = ?"
+        " WHERE pid = ?",
+        [(paper.title, paper.venue, paper.year, paper.abstract, paper.pid)
+         for paper in papers])
+    db.commit()
+    if db.has_subscribers:
+        db.notify(DataMutation(
+            TUPLES_UPDATED, "dblp",
+            rows=_existing_joined_rows(db, pids),
+            old_rows=pre_image,
+            pids=pids))
+    return {"dblp": len(papers)}
 
 
 def _existing_joined_rows(db: Database,

@@ -9,6 +9,7 @@ from repro.core.predicate import (
     Condition,
     Or,
     are_and_compatible,
+    attribute_names_match,
     between,
     conjunction,
     disjunction,
@@ -37,6 +38,14 @@ class TestConditionConstruction:
     def test_in_set_renders_all_values(self):
         sql = in_set("make", ["BMW", "Honda"]).to_sql()
         assert sql == "make IN ('BMW', 'Honda')"
+
+    def test_empty_in_rejected_at_construction(self):
+        # "venue IN ()" is a SQLite syntax error, so the malformed predicate
+        # must never survive construction — by either path.
+        with pytest.raises(PredicateError, match="at least one value"):
+            Condition("venue", "IN", ())
+        with pytest.raises(PredicateError, match="at least one value"):
+            in_set("venue", [])
 
     def test_in_requires_sequence(self):
         with pytest.raises(PredicateError):
@@ -81,8 +90,13 @@ class TestEvaluation:
     def test_missing_attribute_is_false(self):
         assert not equals("venue", "VLDB").evaluate({"year": 2000})
 
-    def test_type_mismatch_is_false_not_error(self):
-        assert not Condition("year", ">", 2000).evaluate({"year": "not-a-number"})
+    def test_type_mismatch_follows_sqlite_ordering(self):
+        # SQLite sorts every TEXT value after every number, so a non-numeric
+        # string is > any numeric literal — evaluate must agree (see the
+        # differential tests in test_predicate_sqlite_differential.py).
+        assert Condition("year", ">", 2000).evaluate({"year": "not-a-number"})
+        assert not Condition("year", "<", 2000).evaluate({"year": "not-a-number"})
+        assert not Condition("year", "=", 2000).evaluate({"year": "not-a-number"})
 
     def test_and_or_evaluation(self):
         expr = Or((equals("make", "BMW"),
@@ -191,6 +205,18 @@ class TestParsing:
         with pytest.raises(PredicateParseError):
             parse_predicate("   ")
 
+    def test_parse_tolerates_residual_whitespace(self):
+        # Trailing/leading blanks used to crash the tokenizer with
+        # "unexpected character at ' '".
+        assert parse_predicate("venue = 'VLDB' ") == equals("venue", "VLDB")
+        assert parse_predicate("  venue = 'VLDB'") == equals("venue", "VLDB")
+        assert (parse_predicate("\tyear >= 2010  \n")
+                == Condition("year", ">=", 2010))
+
+    def test_parse_empty_in_raises(self):
+        with pytest.raises(PredicateParseError, match="at least one value"):
+            parse_predicate("venue IN ()")
+
     def test_parse_trailing_tokens_raise(self):
         with pytest.raises(PredicateParseError):
             parse_predicate("a = 1 b = 2")
@@ -216,6 +242,19 @@ class TestParsing:
 
     def test_predicate_key_is_normalised_sql(self):
         assert predicate_key("venue='VLDB'") == "venue = 'VLDB'"
+
+
+class TestAttributeNameMatching:
+    def test_exact_and_suffix_matches(self):
+        assert attribute_names_match("venue", "venue")
+        assert attribute_names_match("dblp.venue", "dblp.venue")
+        assert attribute_names_match("dblp.venue", "venue")
+        assert attribute_names_match("venue", "dblp.venue")
+
+    def test_distinct_names_do_not_match(self):
+        assert not attribute_names_match("venue", "year")
+        assert not attribute_names_match("dblp.venue", "author.venue")
+        assert not attribute_names_match("dblp.venue", "dblp.year")
 
 
 class TestCompatibility:

@@ -115,6 +115,24 @@ class TestCountCache:
         assert cache.peek(year) is None
         assert cache.peek(venue) is not None
 
+    def test_invalidate_attribute_normalises_qualified_names(self, tiny_db):
+        """A bare name must drop qualified predicates and vice versa —
+        otherwise a stale count survives on a spelling technicality."""
+        cache = CountCache(tiny_db)
+        qualified = parse_predicate("dblp.venue = 'VLDB'")
+        bare = parse_predicate("venue = 'ICDE'")
+        other = parse_predicate("dblp.year >= 2005")
+        cache.count(qualified)
+        cache.count(bare)
+        cache.count(other)
+        assert cache.invalidate_attribute("venue") == 2
+        assert cache.peek(qualified) is None
+        assert cache.peek(bare) is None
+        assert cache.peek(other) is not None
+        cache.count(qualified)
+        cache.count(bare)
+        assert cache.invalidate_attribute("dblp.venue") == 2
+
     def test_clear_resets_statistics(self, tiny_db):
         cache = CountCache(tiny_db)
         cache.count(parse_predicate("dblp.year >= 2005"))

@@ -262,6 +262,17 @@ class TestRelationUpdateInvalidation:
         # ones), and venue-only pairs were untouched.
         assert 0 < recounted <= dropped
 
+    def test_invalidate_attribute_normalises_qualified_names(self, tiny_db):
+        """Bare "year" must drop the same pair counts as "dblp.year" — the
+        predicates are written qualified, and a spelling mismatch would
+        silently spare stale counts."""
+        builder = build_graph(POOL[:4])
+        _, index = attached_index(tiny_db, builder)
+        qualified = index.invalidate_attribute("dblp.year")
+        index.refresh()
+        bare = index.invalidate_attribute("year")
+        assert bare == qualified > 0
+
     def test_relation_update_reflected_after_invalidation(self, tiny_dataset):
         """End to end: new rows land in dblp -> invalidate -> counts change."""
         from repro.sqldb.database import Database

@@ -1,0 +1,132 @@
+"""Differential tests: ``Condition.evaluate`` must agree with SQLite.
+
+The whole selective-invalidation machinery rests on one soundness rule:
+:func:`repro.index.selectivity.may_match_row` may only answer ``False`` when
+the SQL engine provably cannot match the tuple.  Since ``may_match_row``
+delegates to in-memory predicate evaluation, *evaluate disagreeing with
+SQLite is an invalidation soundness bug* — a cache entry could be spared
+for a tuple the database in fact matches.
+
+These tests run the same predicate both ways over the canonical joined view
+— ``SELECT ... FROM dblp JOIN dblp_author`` — and assert the matched pid
+sets are identical, focusing on the two historically dangerous corners:
+
+* **NULL-valued attributes** (SQL three-valued logic: a NULL operand never
+  satisfies ``=``, ``!=``, ``<`` ... nor ``IN``);
+* **mixed string/number comparisons** (SQLite applies the column's affinity
+  to the literal: ``year = '2005'`` matches the integer 2005, ``venue = 100``
+  only matches the text ``'100'``, and a non-numeric literal compared to a
+  numeric column sorts after every number).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.predicate import (
+    Condition,
+    equals,
+    in_set,
+    not_equals,
+    parse_predicate,
+)
+from repro.index.selectivity import may_match_row
+from repro.sqldb.database import Database
+from repro.sqldb.query_builder import matching_paper_ids
+from repro.sqldb.schema import BASE_FROM
+
+#: (pid, title, venue, year, abstract) — venue '100' and NULL abstracts are
+#: deliberate: they force the affinity and NULL corners.
+PAPERS = (
+    (1, "Alpha", "VLDB", 2005, "materialised views"),
+    (2, "Beta", "SIGMOD", 2010, None),
+    (3, "Gamma", "100", 1999, ""),
+    (4, "Delta", "ICDE", 2005, None),
+    (5, "Epsilon", "VLDB", 2012, "updates"),
+    # Beyond-2**53 integer and SQLite's exponent rendering of 1e16.
+    (6, "Zeta", "1.0e+16", 9007199254740993, "big"),
+)
+
+AUTHOR_LINKS = ((1, 1), (1, 2), (2, 1), (3, 2), (4, 3), (5, 3), (6, 1))
+
+PREDICATES = [
+    # NULL-valued attributes: NULL never satisfies any comparison.
+    equals("abstract", ""),
+    not_equals("abstract", ""),
+    Condition("abstract", "!=", "updates"),
+    in_set("abstract", [""]),
+    in_set("abstract", ["updates", "materialised views"]),
+    equals("title", None),
+    not_equals("title", None),
+    # Mixed string/number: numeric column vs. text literal.
+    Condition("dblp.year", "=", "2005"),
+    Condition("dblp.year", "!=", "2005"),
+    Condition("dblp.year", ">=", "2010"),
+    Condition("dblp.year", "<", "2005"),
+    Condition("dblp.year", "IN", ("2005", 2012)),
+    # Non-numeric literal vs. numeric column: text sorts after all numbers.
+    Condition("dblp.year", "<", "abc"),
+    Condition("dblp.year", ">", "abc"),
+    Condition("dblp.year", "=", "abc"),
+    # Strings Python's float() accepts but SQLite's affinity grammar does
+    # not — they must stay TEXT (and so sort after every number).
+    Condition("dblp.year", "<", "1_0"),
+    Condition("dblp.year", "<", "nan"),
+    Condition("dblp.year", ">=", "inf"),
+    # ...while whitespace-padded numerics do coerce.
+    Condition("dblp.year", "=", " 2005 "),
+    # Integer text beyond 2**53: SQLite converts exactly, so evaluate must
+    # not round through float.
+    Condition("dblp.year", "=", "9007199254740993"),
+    Condition("dblp.year", ">", "9007199254740992"),
+    # SQLite renders the literal 1e16 as the text '1.0e+16'.
+    Condition("venue", "=", 1e16),
+    # Mixed string/number: text column vs. numeric literal.
+    Condition("venue", "=", 100),
+    Condition("venue", "!=", 100),
+    Condition("venue", ">", 100),
+    Condition("venue", "IN", (100, "VLDB")),
+    # Plain composites over the same data, for completeness.
+    parse_predicate("venue = 'VLDB' OR dblp.year >= 2010"),
+    parse_predicate("venue = 'VLDB' AND dblp.year <= 2005"),
+]
+
+
+@pytest.fixture(scope="module")
+def differential_db():
+    db = Database(":memory:")
+    db.executemany(
+        "INSERT INTO dblp (pid, title, venue, year, abstract)"
+        " VALUES (?, ?, ?, ?, ?)", PAPERS)
+    db.executemany(
+        "INSERT INTO dblp_author (pid, aid) VALUES (?, ?)", AUTHOR_LINKS)
+    db.commit()
+    yield db
+    db.close()
+
+
+def joined_rows(db):
+    return db.query(
+        "SELECT dblp.pid AS pid, title, venue, year, abstract, aid"
+        f" FROM {BASE_FROM}")
+
+
+@pytest.mark.parametrize(
+    "predicate", PREDICATES, ids=[pred.to_sql() for pred in PREDICATES])
+def test_evaluate_agrees_with_sqlite(differential_db, predicate):
+    sql_pids = set(matching_paper_ids(differential_db, predicate))
+    memory_pids = {row["pid"] for row in joined_rows(differential_db)
+                   if predicate.evaluate(row)}
+    assert memory_pids == sql_pids
+
+
+@pytest.mark.parametrize(
+    "predicate", PREDICATES, ids=[pred.to_sql() for pred in PREDICATES])
+def test_may_match_row_never_spares_a_sql_match(differential_db, predicate):
+    """The soundness corollary: every paper SQLite matches has at least one
+    joined row the relevance test flags, so invalidation driven by
+    ``may_match_row`` can never wrongly spare a cache entry."""
+    sql_pids = set(matching_paper_ids(differential_db, predicate))
+    flagged = {row["pid"] for row in joined_rows(differential_db)
+               if may_match_row(predicate, row)}
+    assert sql_pids <= flagged

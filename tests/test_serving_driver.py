@@ -6,7 +6,10 @@ import pytest
 
 from repro.exceptions import ServingError
 from repro.serving import (
+    DATA_UPDATE,
+    DELETE,
     INSERT,
+    MUTATION_KINDS,
     READ,
     UPDATE,
     ReplayConfig,
@@ -40,7 +43,27 @@ class TestSchedule:
             kinds = {op.kind for op in driver.schedule(db)}
         finally:
             db.close()
-        assert kinds == {READ, UPDATE, INSERT}
+        assert kinds == {READ, UPDATE, INSERT, DELETE, DATA_UPDATE}
+
+    def test_deletes_target_live_pids_only(self, driver):
+        """A pid is deleted at most once, and only while it exists."""
+        db = driver.build_world(DBLP)
+        try:
+            ops = driver.schedule(db)
+            initial = {int(row[0]) for row in
+                       db.query_tuples("SELECT pid FROM dblp")}
+        finally:
+            db.close()
+        alive = set(initial)
+        for op in ops:
+            if op.kind == INSERT:
+                alive.update(paper.pid for paper in op.papers)
+            elif op.kind == DELETE:
+                for pid in op.pids:
+                    assert pid in alive
+                    alive.remove(pid)
+            elif op.kind == DATA_UPDATE:
+                assert all(paper.pid in alive for paper in op.papers)
 
     def test_zipf_skew_concentrates_reads(self, driver):
         db = driver.build_world(DBLP)
@@ -60,6 +83,16 @@ class TestSchedule:
         with pytest.raises(ServingError):
             ReplayDriver(ReplayConfig(users=0))
 
+    def test_rejects_invalid_weights(self):
+        # random.choices samples nonsense for negative weights and raises a
+        # cryptic error for all-zero ones — the driver fails loudly instead.
+        with pytest.raises(ServingError, match="non-negative"):
+            ReplayDriver(ReplayConfig(delete_weight=-1.0))
+        with pytest.raises(ServingError, match="not all be zero"):
+            ReplayDriver(ReplayConfig(
+                read_weight=0.0, update_weight=0.0, insert_weight=0.0,
+                delete_weight=0.0, data_update_weight=0.0))
+
 
 class TestReplay:
     def test_equivalence_after_every_mutation(self, driver):
@@ -74,6 +107,8 @@ class TestReplay:
             db.close()
         assert report.verified_results > 0
         assert report.inserts > 0 and report.updates > 0
+        # The full update spectrum is exercised, not just inserts.
+        assert report.deletes > 0 and report.data_updates > 0
 
     def test_serving_beats_baseline_and_hits_are_free(self, driver):
         serving_db = driver.build_world(DBLP)
@@ -91,18 +126,29 @@ class TestReplay:
         assert serving.sql_statements < baseline.sql_statements
         assert baseline.read_hits == 0
 
-    def test_insert_events_record_partial_invalidation(self, driver):
+    def test_mutation_events_record_partial_invalidation(self, driver):
         db = driver.build_world(DBLP)
         try:
             with TopKServer(db, capacity=6) as server:
                 report = driver.run(server, driver.schedule(db))
         finally:
             db.close()
-        populated = [event for event in report.insert_events
-                     if event["cached_before"] >= 2]
-        assert populated
+        assert {event["kind"] for event in report.mutation_events} == set(
+            MUTATION_KINDS)
+        # Inserts touch one venue, so they always invalidate a strict subset
+        # of a multi-entry cache.
+        populated_inserts = [event for event in report.events_of_kind(INSERT)
+                             if event["cached_before"] >= 2]
+        assert populated_inserts
         assert all(event["results_invalidated"] < event["cached_before"]
-                   for event in populated)
+                   for event in populated_inserts)
+        # A delete/update of one hot tuple may legitimately touch every
+        # cached user, but across the replay each kind spares entries —
+        # no kind ever degenerates into a blanket cache flush.
+        for kind in MUTATION_KINDS:
+            events = report.events_of_kind(kind)
+            assert events, f"replay produced no {kind} events"
+            assert sum(event["results_spared"] for event in events) > 0
 
     def test_report_as_dict_roundtrips_to_json(self, driver):
         import json

@@ -10,7 +10,12 @@ from repro.core.hypre.events import (
 )
 from repro.core.predicate import parse_predicate
 from repro.serving.results import ResultCache
-from repro.sqldb.events import TUPLES_INSERTED, DataMutation
+from repro.sqldb.events import (
+    TUPLES_DELETED,
+    TUPLES_INSERTED,
+    TUPLES_UPDATED,
+    DataMutation,
+)
 
 VLDB = parse_predicate("dblp.venue = 'VLDB'")
 ICDE = parse_predicate("dblp.venue = 'ICDE'")
@@ -23,6 +28,17 @@ VLDB_ROW = {"pid": 901, "title": "t", "venue": "VLDB", "year": 2005,
 def insert(rows) -> DataMutation:
     return DataMutation(TUPLES_INSERTED, "dblp", rows=rows,
                         pids=[row["pid"] for row in rows])
+
+
+def delete(old_rows) -> DataMutation:
+    return DataMutation(TUPLES_DELETED, "dblp", old_rows=old_rows,
+                        pids=[row["pid"] for row in old_rows])
+
+
+def update(old_rows, new_rows) -> DataMutation:
+    return DataMutation(TUPLES_UPDATED, "dblp", rows=new_rows,
+                        old_rows=old_rows,
+                        pids=[row["pid"] for row in old_rows])
 
 
 class TestLookups:
@@ -96,6 +112,28 @@ class TestDataInvalidation:
         row = {"pid": 902, "title": "t", "venue": "ICDE", "year": 2001,
                "abstract": ""}
         assert cache.on_data_mutation(insert([row])) == 1
+
+    def test_delete_drops_only_users_matching_the_pre_image(self):
+        cache = ResultCache()
+        cache.put(1, 5, [(10, 0.9)], [VLDB])          # matched the old row
+        cache.put(2, 5, [(11, 0.8)], [ICDE])          # provably unaffected
+        dropped = cache.on_data_mutation(delete([VLDB_ROW]))
+        assert dropped == 1
+        assert cache.peek(1, 5) is None
+        assert cache.peek(2, 5) is not None
+        assert cache.data_spared == 1
+
+    def test_update_drops_users_matching_either_image(self):
+        cache = ResultCache()
+        cache.put(1, 5, [(10, 0.9)], [VLDB])          # matches the pre-image
+        cache.put(2, 5, [(11, 0.8)], [ICDE])          # matches the post-image
+        cache.put(3, 5, [(12, 0.7)], [RECENT])        # matches neither
+        moved = {**VLDB_ROW, "venue": "ICDE"}
+        dropped = cache.on_data_mutation(update([VLDB_ROW], [moved]))
+        assert dropped == 2
+        assert cache.peek(1, 5) is None
+        assert cache.peek(2, 5) is None
+        assert cache.peek(3, 5) is not None
 
     def test_clear_resets_everything(self):
         cache = ResultCache()

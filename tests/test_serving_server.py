@@ -161,6 +161,110 @@ class TestDataInserts:
         assert 9003 in {pid for pid, _ in served.ranking}
 
 
+class TestDataDeletes:
+    def test_delete_invalidates_selectively_and_stays_exact(self, server):
+        # A 1996 SIGMOD paper affects only user 1 under the venue rotation.
+        server.insert_tuples(
+            [Paper(pid=9100, title="Doomed", venue="SIGMOD", year=1996)],
+            paper_authors=[(9100, 1)])
+        for uid in range(1, 5):
+            server.top_k(uid, 5)
+        cached_before = len(server.results)
+        report = server.delete_tuples([9100])
+        assert report.papers == 1
+        assert report.results_invalidated + report.results_spared == cached_before
+        assert report.results_spared > 0
+        assert server.results.peek(1, 5) is None
+        for uid in range(1, 5):
+            assert list(server.top_k(uid, 5).ranking) == fresh_top_k(server.db, uid, 5)
+
+    def test_deleted_tuple_leaves_the_ranking(self, server):
+        venue = VENUES[1 % len(VENUES)]  # user 1's 0.9-intensity venue
+        server.insert_tuples(
+            [Paper(pid=9101, title="Transient", venue=venue, year=2013)],
+            paper_authors=[(9101, 1)])
+        served = server.top_k(1, 200)
+        assert 9101 in {pid for pid, _ in served.ranking}
+        report = server.delete_tuples([9101])
+        assert report.results_invalidated >= 1
+        served = server.top_k(1, 200)
+        assert 9101 not in {pid for pid, _ in served.ranking}
+        assert list(served.ranking) == fresh_top_k(server.db, 1, 200)
+
+    def test_delete_of_irrelevant_paper_spares_everything(self, server):
+        server.insert_tuples(
+            [Paper(pid=9102, title="Nobody", venue="NOWHERE", year=1971)],
+            paper_authors=[(9102, 1)])
+        for uid in range(1, 5):
+            server.top_k(uid, 5)
+        cached_before = len(server.results)
+        report = server.delete_tuples([9102])
+        assert report.results_invalidated == 0
+        assert report.results_spared == cached_before
+
+    def test_unknown_pid_is_a_noop(self, server):
+        server.top_k(1, 5)
+        report = server.delete_tuples([999_999])
+        assert report.results_invalidated == 0
+        # The no-op never notifies, yet the report must still account for
+        # the cached answers that survived.
+        assert report.results_spared == len(server.results) == 1
+        assert server.results.peek(1, 5) is not None
+
+
+class TestDataUpdates:
+    def test_update_invalidates_via_both_images(self, server):
+        # SIGMOD → PVLDB: the pre-image matches user 1's venue preference,
+        # the post-image user 2's; users 3 and 4 are provably unaffected.
+        server.insert_tuples(
+            [Paper(pid=9200, title="Mobile", venue="SIGMOD", year=1996)],
+            paper_authors=[(9200, 1)])
+        for uid in range(1, 5):
+            server.top_k(uid, 5)
+        report = server.update_tuples(
+            [Paper(pid=9200, title="Mobile", venue="PVLDB", year=1996)])
+        assert report.papers == 1
+        assert server.results.peek(1, 5) is None   # pre-image match
+        assert server.results.peek(2, 5) is None   # post-image match
+        assert server.results.peek(3, 5) is not None
+        assert server.results.peek(4, 5) is not None
+        for uid in range(1, 5):
+            assert list(server.top_k(uid, 5).ranking) == fresh_top_k(server.db, uid, 5)
+
+    def test_updated_tuple_moves_between_rankings(self, server):
+        first = VENUES[1 % len(VENUES)]   # user 1's hot venue
+        second = VENUES[2 % len(VENUES)]  # user 2's hot venue
+        server.insert_tuples(
+            [Paper(pid=9201, title="Nomad", venue=first, year=2013)],
+            paper_authors=[(9201, 1)])
+        assert 9201 in {pid for pid, _ in server.top_k(1, 200).ranking}
+        server.update_tuples(
+            [Paper(pid=9201, title="Nomad", venue=second, year=2013)])
+        assert 9201 not in {pid for pid, _ in server.top_k(1, 200).ranking}
+        assert 9201 in {pid for pid, _ in server.top_k(2, 200).ranking}
+        for uid in (1, 2):
+            assert (list(server.top_k(uid, 200).ranking)
+                    == fresh_top_k(server.db, uid, 200))
+
+    def test_update_of_unknown_pid_raises(self, server):
+        from repro.exceptions import WorkloadError
+        with pytest.raises(WorkloadError, match="unknown papers"):
+            server.update_tuples(
+                [Paper(pid=888_888, title="Ghost", venue="VLDB", year=2000)])
+
+    def test_mutation_counters_in_stats(self, server):
+        server.insert_tuples(
+            [Paper(pid=9202, title="Counted", venue="VLDB", year=2001)],
+            paper_authors=[(9202, 1)])
+        server.update_tuples(
+            [Paper(pid=9202, title="Counted", venue="ICDE", year=2001)])
+        server.delete_tuples([9202])
+        requests = server.stats()["requests"]
+        assert requests["inserts"] == 1
+        assert requests["tuple_updates"] == 1
+        assert requests["deletes"] == 1
+
+
 class TestThreadSafety:
     def test_concurrent_reads_and_updates(self, server):
         errors = []

@@ -5,12 +5,20 @@ from __future__ import annotations
 import pytest
 
 from repro.core.predicate import equals, parse_predicate
-from repro.exceptions import QueryBuildError, RelationalError, SchemaError
+from repro.exceptions import (
+    QueryBuildError,
+    RelationalError,
+    SchemaError,
+    WorkloadError,
+)
 from repro.sqldb import (
     BASE_FROM,
     Database,
     SelectQuery,
+    TUPLES_DELETED,
     TUPLES_INSERTED,
+    TUPLES_UPDATED,
+    DataMutation,
     count_matching_papers,
     count_query,
     create_schema,
@@ -22,7 +30,12 @@ from repro.sqldb import (
 )
 from repro.sqldb import schema as schema_module
 from repro.workload.dblp import Paper
-from repro.workload.loader import append_papers, load_dataset
+from repro.workload.loader import (
+    append_papers,
+    delete_papers,
+    load_dataset,
+    update_papers,
+)
 
 
 class TestSchema:
@@ -120,6 +133,21 @@ class TestClosedDatabase:
             assert not db.is_closed
         assert db.is_closed
 
+    def test_close_clears_listeners(self):
+        db = Database(":memory:")
+        db.subscribe(lambda mutation: None)
+        assert db.has_subscribers
+        db.close()
+        # A closed database can never mutate again; dropping the
+        # subscriptions stops it pinning the serving layer's caches alive.
+        assert not db.has_subscribers
+
+    def test_notify_after_close_raises(self):
+        db = Database(":memory:")
+        db.close()
+        with pytest.raises(RelationalError, match="database is closed"):
+            db.notify(DataMutation(TUPLES_INSERTED, "dblp"))
+
 
 class TestDataMutationEvents:
     def test_append_papers_notifies_with_joined_rows(self, tiny_dataset):
@@ -177,6 +205,99 @@ class TestDataMutationEvents:
             load_dataset(db, tiny_dataset)
             assert len(events) == 1
             assert len(events[0].rows) == len(tiny_dataset.paper_authors)
+
+    def test_replace_pre_image_rides_in_old_rows(self, tiny_dataset):
+        with Database(":memory:") as db:
+            load_dataset(db, tiny_dataset)
+            append_papers(db, [Paper(pid=9005, title="T", venue="VLDB", year=2001)],
+                          paper_authors=[(9005, 1)])
+            events = []
+            db.subscribe(events.append)
+            append_papers(db, [Paper(pid=9005, title="T", venue="ICDE", year=2002)])
+            (mutation,) = events
+            assert {row["venue"] for row in mutation.old_rows} == {"VLDB"}
+            assert {row["venue"] for row in
+                    mutation.invalidation_rows()} >= {"VLDB", "ICDE"}
+
+    def test_unlinked_paper_append_carries_no_rows(self, tiny_dataset):
+        """A paper without author links is invisible to the inner join every
+        query runs over, so its insertion must not invalidate anything —
+        the later link-only append carries the real joined row instead."""
+        with Database(":memory:") as db:
+            load_dataset(db, tiny_dataset)
+            events = []
+            db.subscribe(events.append)
+            append_papers(db, [Paper(pid=9009, title="T", venue="VLDB", year=2001)])
+            (mutation,) = events
+            assert mutation.rows == ()
+            assert mutation.pids == (9009,)
+
+    def test_replace_post_image_keeps_surviving_author_links(self, tiny_dataset):
+        """A REPLACE keeps the paper's dblp_author rows, so the post-image
+        must carry the surviving aid — synthesizing aid=None would let a
+        venue+author conjunction be unsoundly spared."""
+        with Database(":memory:") as db:
+            load_dataset(db, tiny_dataset)
+            append_papers(db, [Paper(pid=9008, title="T", venue="VLDB", year=2001)],
+                          paper_authors=[(9008, 7)])
+            events = []
+            db.subscribe(events.append)
+            append_papers(db, [Paper(pid=9008, title="T", venue="ICDE", year=2002)])
+            (mutation,) = events
+            post = [row for row in mutation.rows if row["pid"] == 9008]
+            assert [row["aid"] for row in post] == [7]
+            assert post[0]["venue"] == "ICDE"
+
+    def test_delete_papers_notifies_with_pre_image(self, tiny_dataset):
+        with Database(":memory:") as db:
+            load_dataset(db, tiny_dataset)
+            append_papers(db, [Paper(pid=9006, title="T", venue="EDBT", year=2003)],
+                          paper_authors=[(9006, 1), (9006, 2)])
+            events = []
+            db.subscribe(events.append)
+            removed = delete_papers(db, [9006])
+            assert removed["dblp"] == 1
+            assert removed["dblp_author"] == 2
+            assert db.scalar("SELECT COUNT(*) FROM dblp WHERE pid = 9006") == 0
+            (mutation,) = events
+            assert mutation.kind == TUPLES_DELETED
+            assert mutation.rows == ()
+            assert len(mutation.old_rows) == 2
+            assert all(row["venue"] == "EDBT" for row in mutation.old_rows)
+            assert mutation.invalidation_rows() == mutation.old_rows
+
+    def test_delete_of_unknown_pid_is_silent(self, tiny_dataset):
+        with Database(":memory:") as db:
+            load_dataset(db, tiny_dataset)
+            events = []
+            db.subscribe(events.append)
+            removed = delete_papers(db, [777_777])
+            assert removed == {"dblp": 0, "dblp_author": 0, "citation": 0}
+            assert events == []
+
+    def test_update_papers_notifies_with_both_images(self, tiny_dataset):
+        with Database(":memory:") as db:
+            load_dataset(db, tiny_dataset)
+            append_papers(db, [Paper(pid=9007, title="Old", venue="PODS", year=2004)],
+                          paper_authors=[(9007, 3)])
+            events = []
+            db.subscribe(events.append)
+            updated = update_papers(
+                db, [Paper(pid=9007, title="New", venue="CIKM", year=2006)])
+            assert updated == {"dblp": 1}
+            assert db.scalar("SELECT venue FROM dblp WHERE pid = 9007") == "CIKM"
+            (mutation,) = events
+            assert mutation.kind == TUPLES_UPDATED
+            assert [row["venue"] for row in mutation.old_rows] == ["PODS"]
+            assert [row["venue"] for row in mutation.rows] == ["CIKM"]
+            assert [row["year"] for row in mutation.rows] == [2006]
+
+    def test_update_of_unknown_pid_raises(self, tiny_dataset):
+        with Database(":memory:") as db:
+            load_dataset(db, tiny_dataset)
+            with pytest.raises(WorkloadError, match="unknown papers"):
+                update_papers(
+                    db, [Paper(pid=555_555, title="G", venue="VLDB", year=2000)])
 
 
 class TestSelectQuery:
