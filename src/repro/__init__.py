@@ -64,12 +64,18 @@ Incremental index subsystem (:mod:`repro.index`)
 Serving engine (:mod:`repro.serving`)
     :class:`TopKServer` — thread-safe multi-user Top-K front door with an
     update-aware result cache and per-request metrics.
+    :class:`ShardedTopKServer` — user-partitioned serving cluster: N
+    independent shards behind one front door, broadcast mutations with a
+    concurrent fan-out path and rolled-up invalidation reports.
+    :class:`HashPartitioner` — the deterministic default user→shard
+    placement (the :class:`~repro.serving.Partitioner` protocol is
+    pluggable).
     :class:`SessionRegistry` — LRU of resident user sessions sharing one
     count cache.
     :class:`ResultCache` — materialised Top-K answers, invalidated by
     profile events and selectively by data mutations (insert/delete/update).
     :class:`ReplayDriver` / :class:`ReplayConfig` — deterministic Zipf
-    multi-user replays with a no-cache baseline arm.
+    multi-user replays with no-cache baseline and sharded arms.
     :func:`fresh_top_k` — from-scratch recomputation (the serving oracle).
 
 Relational substrate and workload
@@ -129,10 +135,12 @@ from .index import (
     SelectivityEstimator,
 )
 from .serving import (
+    HashPartitioner,
     ReplayConfig,
     ReplayDriver,
     ResultCache,
     SessionRegistry,
+    ShardedTopKServer,
     TopKServer,
     fresh_top_k,
 )
@@ -159,6 +167,7 @@ __all__ = [
     "DblpConfig",
     "DefaultValueStrategy",
     "GraphMutation",
+    "HashPartitioner",
     "HypreGraph",
     "HypreGraphBuilder",
     "IncrementalPairIndex",
@@ -175,6 +184,7 @@ __all__ = [
     "ResultCache",
     "SelectivityEstimator",
     "SessionRegistry",
+    "ShardedTopKServer",
     "QualitativePreference",
     "QuantitativePreference",
     "ScoredPreference",

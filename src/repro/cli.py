@@ -9,6 +9,7 @@ Usage::
     python -m repro.cli topk --scale tiny --k 10 --reuse-index --json
     python -m repro.cli serve-replay --scale tiny --users 50 --requests 300
     python -m repro.cli serve-replay --scale tiny --delete-weight 1 --data-update-weight 1
+    python -m repro.cli serve-replay --scale tiny --shards 4
 
 ``list`` prints every available experiment; ``experiment`` regenerates one
 table/figure and prints the same rows the benchmark harness reports; ``topk``
@@ -19,7 +20,9 @@ of :mod:`repro.index` and prints the index maintenance statistics);
 with a deterministic Zipf-skewed request mix — Top-K reads, profile updates
 and the full tuple-mutation spectrum (inserts, deletes, in-place updates,
 mixed via the ``--*-weight`` flags) — and compares it against the no-cache
-baseline.  ``--json`` on ``topk``/``serve-replay`` switches the output to
+baseline (``--shards N`` adds a third arm replaying the same schedule
+through a user-partitioned :class:`~repro.serving.ShardedTopKServer`
+cluster).  ``--json`` on ``topk``/``serve-replay`` switches the output to
 machine-readable JSON.
 """
 
@@ -33,7 +36,7 @@ from typing import Any, Callable, Dict, List, Optional, Sequence
 from .algorithms import PEPSAlgorithm
 from .experiments import figures, reporting
 from .experiments.context import SCALES, ExperimentContext
-from .serving import ReplayConfig, ReplayDriver, TopKServer
+from .serving import ReplayConfig, ReplayDriver, ShardedTopKServer, TopKServer
 
 #: Single source of truth for the replay op-mix defaults (the CLI flags and
 #: run_serve_replay must not drift from the dataclass).
@@ -191,6 +194,7 @@ def run_serve_replay(scale: str = "tiny",
                      seed: int = 17,
                      capacity: int = 16,
                      baseline: bool = True,
+                     shards: int = 0,
                      read_weight: float = _REPLAY_DEFAULTS.read_weight,
                      update_weight: float = _REPLAY_DEFAULTS.update_weight,
                      insert_weight: float = _REPLAY_DEFAULTS.insert_weight,
@@ -201,14 +205,19 @@ def run_serve_replay(scale: str = "tiny",
     """Replay a deterministic multi-user workload through the serving engine.
 
     Builds one world per arm (identical datasets and schedules), runs the
-    :class:`~repro.serving.TopKServer` arm and — unless ``baseline`` is
-    disabled — the no-cache baseline arm, and reports request counters, SQL
-    statements and cache behaviour side by side.  The five weights control
-    the operation mix (reads, profile updates, tuple inserts/deletes/
-    in-place updates); a weight of zero removes that kind entirely.
+    :class:`~repro.serving.TopKServer` arm, — unless ``baseline`` is
+    disabled — the no-cache baseline arm, and — when ``shards`` > 0 — a
+    :class:`~repro.serving.ShardedTopKServer` arm partitioning the users
+    across that many shards (with the concurrent fan-out pool enabled for
+    2+ shards), and reports request counters, SQL statements and cache
+    behaviour side by side.  The five weights control the operation mix
+    (reads, profile updates, tuple inserts/deletes/in-place updates); a
+    weight of zero removes that kind entirely.
     """
     if scale not in SCALES:
         raise ValueError(f"unknown scale {scale!r}; pick one of {sorted(SCALES)}")
+    if shards < 0:
+        raise ValueError("--shards must be >= 0 (0 disables the sharded arm)")
     driver = ReplayDriver(ReplayConfig(
         users=users, requests=requests, k=k, seed=seed,
         read_weight=read_weight, update_weight=update_weight,
@@ -232,10 +241,31 @@ def run_serve_replay(scale: str = "tiny",
         finally:
             baseline_db.close()
 
+    sharded_report = None
+    cluster_stats = None
+    if shards:
+        sharded_db = driver.build_world(SCALES[scale])
+        cluster = ShardedTopKServer(sharded_db, shards=shards,
+                                    capacity=capacity,
+                                    parallel_fanout=shards > 1)
+        try:
+            sharded_report = driver.run_sharded(cluster,
+                                                driver.schedule(sharded_db))
+            cluster_stats = cluster.stats()
+        finally:
+            cluster.close()
+            sharded_db.close()
+
+    # The per-kind mutation counters the server tracks (inserts, deletes,
+    # in-place tuple updates), surfaced explicitly in both output modes.
+    mutations = {kind: stats["requests"][kind]
+                 for kind in ("inserts", "deletes", "tuple_updates")}
+
     if as_json:
         payload: Dict[str, Any] = {
             "config": {"scale": scale, "users": users, "requests": requests,
                        "k": k, "seed": seed, "capacity": capacity,
+                       "shards": shards,
                        "read_weight": read_weight,
                        "update_weight": update_weight,
                        "insert_weight": insert_weight,
@@ -243,11 +273,16 @@ def run_serve_replay(scale: str = "tiny",
                        "data_update_weight": data_update_weight},
             "serving": serving_report.as_dict(),
             "baseline": baseline_report.as_dict() if baseline_report else None,
+            "sharded": sharded_report.as_dict() if sharded_report else None,
             "server": stats,
+            "cluster": cluster_stats,
+            "mutations": mutations,
         }
         return json.dumps(payload, indent=2, sort_keys=True)
 
-    arms = [serving_report] + ([baseline_report] if baseline_report else [])
+    arms = ([serving_report]
+            + ([baseline_report] if baseline_report else [])
+            + ([sharded_report] if sharded_report else []))
     table = reporting.format_table([
         {"arm": arm.label, "ops": arm.ops, "reads": arm.reads,
          "read_hits": arm.read_hits, "zero_sql_reads": arm.zero_sql_reads,
@@ -265,11 +300,24 @@ def run_serve_replay(scale: str = "tiny",
         f"{sessions['evictions']} evictions; result cache: "
         f"{results['hits']} hits, {results['data_invalidations']} "
         f"data-invalidated, {results['data_spared']} spared")
+    lines.append(
+        f"mutations: {mutations['inserts']} inserts, "
+        f"{mutations['deletes']} deletes, "
+        f"{mutations['tuple_updates']} in-place updates")
     if baseline_report is not None:
         saved = baseline_report.sql_statements - serving_report.sql_statements
         lines.append(f"SQL statements saved vs no-cache baseline: {saved} "
                      f"({baseline_report.sql_statements} -> "
                      f"{serving_report.sql_statements})")
+    if cluster_stats is not None:
+        lines.append(
+            f"cluster: {cluster_stats['shards']} shards "
+            f"({cluster_stats['partitioner']}, parallel_fanout="
+            f"{cluster_stats['parallel_fanout']}), warm-rate "
+            f"{cluster_stats['warm_rate']:.2f}, "
+            f"{cluster_stats['results']['data_invalidations']} "
+            f"data-invalidated, {cluster_stats['results']['data_spared']} "
+            f"spared across shards")
     return "\n".join(lines)
 
 
@@ -319,6 +367,10 @@ def build_parser() -> argparse.ArgumentParser:
                         help="maximum number of resident user sessions")
     replay.add_argument("--no-baseline", action="store_true",
                         help="skip the no-cache baseline arm")
+    replay.add_argument("--shards", type=int, default=0,
+                        help="also run a sharded serving arm partitioning "
+                             "the users across N TopKServer shards "
+                             "(0 disables it)")
     replay.add_argument("--read-weight", type=float,
                         default=_REPLAY_DEFAULTS.read_weight,
                         help="relative weight of Top-K reads in the mix")
@@ -359,6 +411,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                                    requests=args.requests, k=args.k,
                                    seed=args.seed, capacity=args.capacity,
                                    baseline=not args.no_baseline,
+                                   shards=args.shards,
                                    read_weight=args.read_weight,
                                    update_weight=args.update_weight,
                                    insert_weight=args.insert_weight,

@@ -29,9 +29,12 @@ Public API
 :func:`pair_provably_empty`
     Syntactic unsatisfiability check for an AND pair.
 :func:`may_match_row` / :func:`any_may_match`
-    Sound tuple-relevance checks used by data-update invalidation: ``False``
-    proves an inserted tuple cannot satisfy a predicate, so the cached entry
-    keyed by it may survive the insert.
+    Sound tuple-relevance checks used by data-update invalidation across
+    the full mutation spectrum: ``False`` proves that no image of an
+    affected tuple — inserted post-image, deleted pre-image, either image
+    of an in-place update — can satisfy a predicate, so the cached entry
+    keyed by it may survive the mutation (the rules every consumer must
+    follow are written down in ``docs/INVALIDATION.md``).
 :class:`GraphMutation`
     The mutation event record emitted by the HYPRE graph (re-exported from
     :mod:`repro.core.hypre.events`).

@@ -8,7 +8,11 @@ LRU, all sessions share one batched
 **materialised** and kept exactly as fresh as two event streams prove
 necessary — profile mutations from :mod:`repro.core.hypre.events` and the
 full tuple-mutation spectrum (inserts, deletes, in-place updates) from
-:mod:`repro.sqldb.events` (see ``docs/ARCHITECTURE.md`` for the event flow).
+:mod:`repro.sqldb.events`.  On top of the single-server engine,
+:mod:`repro.serving.cluster` scales it horizontally: users are partitioned
+across N independent shards behind one front door (see
+``docs/ARCHITECTURE.md`` for the event flow and the cluster layer, and
+``docs/SERVING.md`` for the end-to-end tutorial).
 
 Public API
 ----------
@@ -21,6 +25,18 @@ Public API
 :class:`DeleteReport` / :class:`TupleUpdateReport`
     The per-request metrics records (the last three share the
     :class:`DataMutationReport` shape).
+:class:`ShardedTopKServer`
+    The sharded cluster front door: routes ``top_k``/``update_profile`` to
+    the owning shard, broadcasts data mutations to every shard (serially or
+    via a concurrent fan-out pool) and aggregates cluster metrics.
+:class:`Partitioner` / :class:`HashPartitioner` / :class:`ModuloPartitioner`
+    The pluggable user→shard placement protocol and its deterministic
+    built-in implementations.
+:class:`ClusterMutationReport` / :class:`ShardMutationReport`
+    The rolled-up and per-shard invalidation reports of one broadcast
+    mutation.
+:class:`ClusterResultsView`
+    Read-only aggregate view over every shard's result cache.
 :class:`SessionRegistry`
     Capacity-bounded LRU of resident user sessions sharing one count cache,
     with hit/miss/eviction statistics.
@@ -29,19 +45,33 @@ Public API
     PEPS instance.
 :class:`ResultCache`
     Materialised ``(uid, k) -> ranking`` answers, invalidated per-user by
-    profile events and *selectively* by data-insert events.
+    profile events and *selectively* by data-mutation events.
 :class:`CachedResult`
     One materialised answer plus the predicates it depends on.
 :class:`ReplayDriver` / :class:`ReplayConfig` / :class:`ReplayOp` /
 :class:`ReplayReport`
     Deterministic Zipf-skewed multi-user workload replay (reads / profile
     updates / data inserts / deletes / in-place tuple updates) with a
-    no-cache baseline arm and an equivalence verifier — the engine behind
-    ``benchmarks/bench_serving.py`` and ``python -m repro.cli serve-replay``.
+    no-cache baseline arm, a sharded arm (:meth:`ReplayDriver.run_sharded`)
+    and equivalence verifiers — the engine behind
+    ``benchmarks/bench_serving.py``, ``benchmarks/bench_serving_cluster.py``
+    and ``python -m repro.cli serve-replay``.
+``READ`` / ``UPDATE`` / ``INSERT`` / ``DELETE`` / ``DATA_UPDATE``
+    The replay operation kinds (``MUTATION_KINDS`` groups the data-side
+    three).
 :func:`fresh_top_k`
     From-scratch recomputation of one user's Top-K — the serving oracle.
 """
 
+from .cluster import (
+    ClusterMutationReport,
+    ClusterResultsView,
+    HashPartitioner,
+    ModuloPartitioner,
+    Partitioner,
+    ShardMutationReport,
+    ShardedTopKServer,
+)
 from .driver import (
     DATA_UPDATE,
     DELETE,
@@ -69,13 +99,18 @@ from .sessions import SessionRegistry, UserSession
 
 __all__ = [
     "CachedResult",
+    "ClusterMutationReport",
+    "ClusterResultsView",
     "DATA_UPDATE",
     "DELETE",
     "DataMutationReport",
     "DeleteReport",
+    "HashPartitioner",
     "INSERT",
     "InsertReport",
     "MUTATION_KINDS",
+    "ModuloPartitioner",
+    "Partitioner",
     "READ",
     "ReplayConfig",
     "ReplayDriver",
@@ -84,6 +119,8 @@ __all__ = [
     "ResultCache",
     "ServeResult",
     "SessionRegistry",
+    "ShardMutationReport",
+    "ShardedTopKServer",
     "TopKServer",
     "TupleUpdateReport",
     "UPDATE",

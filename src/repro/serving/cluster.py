@@ -1,0 +1,449 @@
+"""Sharded Top-K serving cluster: N independent shards behind one front door.
+
+After PR 2–3 the serving layer is exact under the full mutation spectrum but
+still one :class:`~repro.serving.server.TopKServer` behind one lock — the
+next scaling axis is horizontal.  :class:`ShardedTopKServer` partitions
+**users** across N independent shards, each a full ``TopKServer`` with its
+own session LRU, count cache and result cache over the one shared workload
+database:
+
+* ``top_k`` / ``update_profile`` are **routed** to the owning shard — the
+  deterministic :class:`Partitioner` (default :class:`HashPartitioner`)
+  decides ownership, so a user's resident state lives on exactly one shard;
+* ``insert_tuples`` / ``delete_tuples`` / ``update_tuples`` are
+  **broadcast**: the loader mutation runs once against the shared database,
+  and the resulting :class:`~repro.sqldb.events.DataMutation` — one batched
+  event carrying every affected pre-/post-image row — is fanned out to every
+  shard, serially or concurrently on a :class:`~concurrent.futures.
+  ThreadPoolExecutor` (``parallel_fanout=True``).  Fan-out work is pure
+  in-memory invalidation (no SQL), which is what makes it safe to
+  parallelise across shards.
+
+Each shard reacts to a broadcast exactly as a standalone server would —
+dropping only the cached answers, counts and pair-index entries the
+mutation's images may affect — and reports its impact; the cluster rolls the
+per-shard reports up into one :class:`ClusterMutationReport`.  Because every
+shard sees every mutation and the relevance test is sound (see
+``docs/INVALIDATION.md``), the cluster's answers stay identical to a single
+server's and to a from-scratch recomputation after every mutation — the
+equivalence the replay driver's sharded arm verifies.
+
+Why this shape scales: per-partition incremental state stays small (each
+shard maintains sessions and indexes for ~1/N of the users, in the spirit of
+keeping per-update touched state small in dynamic query answering under
+updates), while the broadcast path touches each shard only as far as its own
+cached state overlaps the mutation.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from typing import Protocol, runtime_checkable
+
+from ..core.preference import UserProfile
+from ..exceptions import ServingError
+from ..sqldb.database import Database
+from ..sqldb.events import DataMutation
+from ..workload.loader import append_papers, delete_papers, update_papers
+from .results import CachedResult
+from .server import (
+    PaperLike,
+    ServeResult,
+    TopKServer,
+    UpdateReport,
+    normalise_papers,
+)
+
+_MASK64 = 0xFFFFFFFFFFFFFFFF
+
+
+@runtime_checkable
+class Partitioner(Protocol):
+    """Pluggable user→shard placement policy.
+
+    Implementations must be **deterministic** (the same ``uid`` always lands
+    on the same shard while the shard count is fixed) and **total** (return
+    an int in ``range(shards)`` for every uid) — routing correctness and the
+    cluster's equivalence guarantee rest on nothing else.
+    """
+
+    def shard_of(self, uid: int, shards: int) -> int:
+        """The shard index in ``range(shards)`` owning ``uid``."""
+        ...  # pragma: no cover - protocol signature
+
+
+@dataclass(frozen=True)
+class HashPartitioner:
+    """Deterministic multiplicative-mix hash partitioner (the default).
+
+    Uses a splitmix64-style avalanche instead of Python's builtin ``hash``
+    so placement is stable across processes and interpreter versions (no
+    hash randomisation), and so consecutive uids — the replay driver's
+    synthetic populations are contiguous ranges — spread evenly instead of
+    striping with ``uid % shards``.
+    """
+
+    seed: int = 0x9E3779B97F4A7C15
+
+    def shard_of(self, uid: int, shards: int) -> int:
+        value = (int(uid) ^ self.seed) & _MASK64
+        value = ((value ^ (value >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+        value = ((value ^ (value >> 27)) * 0x94D049BB133111EB) & _MASK64
+        value ^= value >> 31
+        return value % shards
+
+
+@dataclass(frozen=True)
+class ModuloPartitioner:
+    """The simplest :class:`Partitioner`: ``uid % shards``.
+
+    Useful in tests (placement is obvious by inspection) and as the template
+    for custom policies — e.g. pinning tenants to shards by id range.
+    """
+
+    def shard_of(self, uid: int, shards: int) -> int:
+        return int(uid) % shards
+
+
+@dataclass(frozen=True)
+class ShardMutationReport:
+    """One shard's reaction to a broadcast data mutation."""
+
+    shard: int
+    results_invalidated: int
+    results_spared: int
+    index_entries_dropped: int
+
+    def as_dict(self) -> Dict[str, int]:
+        """Plain-dict rendering (for JSON reports and replay events)."""
+        return {"shard": self.shard,
+                "results_invalidated": self.results_invalidated,
+                "results_spared": self.results_spared,
+                "index_entries_dropped": self.index_entries_dropped}
+
+
+@dataclass(frozen=True)
+class ClusterMutationReport:
+    """Rolled-up outcome of one broadcast mutation across every shard.
+
+    ``shard_reports`` carries the per-shard breakdown; the aggregate
+    properties expose the same surface as a single server's
+    :class:`~repro.serving.server.DataMutationReport`, so replay drivers and
+    benchmarks can consume either interchangeably.
+    """
+
+    kind: str
+    papers: int
+    joined_rows: int
+    shard_reports: Tuple[ShardMutationReport, ...]
+    sql_statements: int
+    seconds: float
+
+    @property
+    def results_invalidated(self) -> int:
+        """Total cached answers dropped across all shards."""
+        return sum(report.results_invalidated for report in self.shard_reports)
+
+    @property
+    def results_spared(self) -> int:
+        """Total cached answers proven fresh (kept) across all shards."""
+        return sum(report.results_spared for report in self.shard_reports)
+
+    @property
+    def index_entries_dropped(self) -> int:
+        """Total count/pair-index entries dropped across all shards."""
+        return sum(report.index_entries_dropped for report in self.shard_reports)
+
+    def as_dict(self) -> Dict[str, Any]:
+        """Plain-dict rendering (for JSON reports)."""
+        return {"kind": self.kind, "papers": self.papers,
+                "joined_rows": self.joined_rows,
+                "results_invalidated": self.results_invalidated,
+                "results_spared": self.results_spared,
+                "index_entries_dropped": self.index_entries_dropped,
+                "sql_statements": self.sql_statements,
+                "seconds": self.seconds,
+                "shards": [report.as_dict() for report in self.shard_reports]}
+
+
+class ClusterResultsView:
+    """Read-only aggregate view over every shard's result cache.
+
+    Exposes the lookup surface the replay driver's verifier needs
+    (``peek`` / ``cached_users`` / ``len``), routing point lookups to the
+    owning shard — an answer is only ever materialised there.
+    """
+
+    def __init__(self, cluster: "ShardedTopKServer") -> None:
+        self._cluster = cluster
+
+    def peek(self, uid: int, k: int) -> Optional[CachedResult]:
+        """The owning shard's cached answer for ``(uid, k)`` (stats untouched)."""
+        return self._cluster.shard_for(uid).results.peek(uid, k)
+
+    def cached_users(self) -> List[int]:
+        """Distinct user ids with a cached answer on any shard."""
+        users = set()
+        for server in self._cluster.shard_servers:
+            users.update(server.results.cached_users())
+        return sorted(users)
+
+    def stats(self) -> Dict[str, int]:
+        """Result-cache counters summed across shards."""
+        totals: Dict[str, int] = {}
+        for server in self._cluster.shard_servers:
+            for key, value in server.results.stats().items():
+                totals[key] = totals.get(key, 0) + value
+        return totals
+
+    def __len__(self) -> int:
+        return sum(len(server.results) for server in self._cluster.shard_servers)
+
+    def __contains__(self, key: Tuple[int, int]) -> bool:
+        uid, _ = key
+        return key in self._cluster.shard_for(uid).results
+
+
+class ShardedTopKServer:
+    """Partition users across N independent :class:`TopKServer` shards.
+
+    All shards serve the same shared :class:`~repro.sqldb.database.Database`;
+    what is partitioned is the *serving state* — sessions, pair indexes,
+    count caches and materialised answers.  ``capacity`` bounds resident
+    sessions **per shard**.  With ``parallel_fanout`` broadcast mutations
+    invalidate every shard concurrently on a thread pool (the fan-out work
+    is pure in-memory predicate evaluation, so shards proceed without
+    touching SQLite).
+
+    The cluster owns the one database subscription: shard servers are built
+    with ``subscribe=False`` and receive each
+    :class:`~repro.sqldb.events.DataMutation` from the cluster's fan-out, so
+    a mutation performed through *any* front door (or directly through the
+    loader API) invalidates every shard exactly once.
+    """
+
+    def __init__(self, db: Database,
+                 shards: int = 2,
+                 capacity: int = 64,
+                 cache_results: bool = True,
+                 partitioner: Optional[Partitioner] = None,
+                 parallel_fanout: bool = False,
+                 max_workers: Optional[int] = None) -> None:
+        if shards < 1:
+            raise ServingError("a sharded server needs at least one shard")
+        self._lock = threading.RLock()
+        self.db = db
+        self.shards = shards
+        self.capacity = capacity
+        self.cache_results = cache_results
+        self.partitioner: Partitioner = (partitioner if partitioner is not None
+                                         else HashPartitioner())
+        self.shard_servers: Tuple[TopKServer, ...] = tuple(
+            TopKServer(db, capacity=capacity, cache_results=cache_results,
+                       subscribe=False)
+            for _ in range(shards))
+        self._executor: Optional[ThreadPoolExecutor] = None
+        if parallel_fanout and shards > 1:
+            self._executor = ThreadPoolExecutor(
+                max_workers=max_workers or min(shards, 8),
+                thread_name_prefix="shard-fanout")
+        self.parallel_fanout = self._executor is not None
+        self.results = ClusterResultsView(self)
+        self._last_fanout: Optional[Tuple[Tuple[ShardMutationReport, ...],
+                                          int, str]] = None
+        #: Broadcast mutations delivered to every shard.
+        self.broadcasts = 0
+        self._data_listener = db.subscribe(self._on_data_mutation)
+
+    # -- lifecycle ----------------------------------------------------------------
+
+    def close(self) -> None:
+        """Unsubscribe, stop the fan-out pool and close every shard."""
+        if self._data_listener is not None:
+            self.db.unsubscribe(self._data_listener)
+            self._data_listener = None
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+        for server in self.shard_servers:
+            server.close()
+
+    def __enter__(self) -> "ShardedTopKServer":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # -- routing ------------------------------------------------------------------
+
+    def shard_of(self, uid: int) -> int:
+        """The shard index owning ``uid`` (validated partitioner verdict)."""
+        index = self.partitioner.shard_of(uid, self.shards)
+        if not 0 <= index < self.shards:
+            raise ServingError(
+                f"partitioner placed uid={uid} on shard {index!r}, "
+                f"outside range(0, {self.shards})")
+        return index
+
+    def shard_for(self, uid: int) -> TopKServer:
+        """The :class:`TopKServer` shard owning ``uid``."""
+        return self.shard_servers[self.shard_of(uid)]
+
+    def top_k(self, uid: int, k: int) -> ServeResult:
+        """Answer one Top-K request on the owning shard."""
+        return self.shard_for(uid).top_k(uid, k)
+
+    def update_profile(self, uid: int, profile: UserProfile) -> UpdateReport:
+        """Persist and apply a profile update on the owning shard."""
+        return self.shard_for(uid).update_profile(uid, profile)
+
+    def register_user(self, uid: int, profile: UserProfile) -> UpdateReport:
+        """Persist a new user's profile (alias of :meth:`update_profile`)."""
+        return self.update_profile(uid, profile)
+
+    # -- broadcast mutations ------------------------------------------------------
+
+    def insert_tuples(self, papers: Sequence[PaperLike],
+                      paper_authors: Iterable[Tuple[int, int]] = (),
+                      citations: Iterable[Tuple[int, int]] = ()
+                      ) -> ClusterMutationReport:
+        """Append workload tuples and fan the mutation out to every shard."""
+        with self._lock:
+            records, links = normalise_papers(papers, paper_authors)
+            return self._broadcast(
+                "tuples_inserted", len(records),
+                lambda: append_papers(self.db, records, links, citations))
+
+    def delete_tuples(self, pids: Iterable[int]) -> ClusterMutationReport:
+        """Delete workload tuples and fan the mutation out to every shard."""
+        with self._lock:
+            pids = list(pids)
+            return self._broadcast(
+                "tuples_deleted", len(pids),
+                lambda: delete_papers(self.db, pids))
+
+    def update_tuples(self, papers: Sequence[PaperLike]) -> ClusterMutationReport:
+        """Update tuples in place and fan the mutation out to every shard."""
+        with self._lock:
+            records, _ = normalise_papers(papers)
+            return self._broadcast(
+                "tuples_updated", len(records),
+                lambda: update_papers(self.db, records))
+
+    def _broadcast(self, kind: str, papers: int,
+                   mutate: Callable[[], object]) -> ClusterMutationReport:
+        """Run one loader mutation and roll up the per-shard fan-out reports.
+
+        ``mutate`` commits and notifies; the notification re-enters
+        :meth:`_on_data_mutation` (the cluster is the only subscriber on the
+        shards' behalf), which fans out and leaves the per-shard reports in
+        ``_last_fanout``.  A no-op mutation (e.g. deleting unknown pids)
+        never notifies: every shard's whole cache counts as spared.
+        """
+        start = time.perf_counter()
+        statements_before = self.db.statements_executed
+        self._last_fanout = None
+        mutate()
+        fanout = self._last_fanout
+        self._last_fanout = None
+        if fanout is None:
+            shard_reports = tuple(
+                ShardMutationReport(shard=index, results_invalidated=0,
+                                    results_spared=len(server.results),
+                                    index_entries_dropped=0)
+                for index, server in enumerate(self.shard_servers))
+            joined_rows = 0
+        else:
+            shard_reports, joined_rows, kind = fanout
+        return ClusterMutationReport(
+            kind=kind, papers=papers, joined_rows=joined_rows,
+            shard_reports=shard_reports,
+            sql_statements=self.db.statements_executed - statements_before,
+            seconds=time.perf_counter() - start)
+
+    def _on_data_mutation(self, mutation: DataMutation) -> None:
+        """Database listener: deliver one batched event to every shard.
+
+        Runs for mutations from the cluster's own front doors *and* for
+        direct loader calls against the shared database — either way each
+        shard invalidates exactly once, in parallel when the fan-out pool is
+        enabled.  Takes the cluster lock (re-entrant, so a front-door
+        broadcast's own notification passes straight through) so a direct
+        loader mutation from another thread can never interleave with an
+        in-flight ``_broadcast`` and be misattributed to its report.
+        """
+        with self._lock:
+            self.broadcasts += 1
+            reports = self._fan_out(mutation)
+            self._last_fanout = (reports, len(mutation.invalidation_rows()),
+                                 mutation.kind)
+
+    def _fan_out(self, mutation: DataMutation
+                 ) -> Tuple[ShardMutationReport, ...]:
+        if self._executor is not None:
+            futures = [self._executor.submit(server._on_data_mutation, mutation)
+                       for server in self.shard_servers]
+            impacts = [future.result() for future in futures]
+        else:
+            impacts = [server._on_data_mutation(mutation)
+                       for server in self.shard_servers]
+        return tuple(
+            ShardMutationReport(
+                shard=index,
+                results_invalidated=impact["results_invalidated"],
+                results_spared=impact["results_spared"],
+                index_entries_dropped=impact["index_entries_dropped"])
+            for index, impact in enumerate(impacts))
+
+    # -- introspection ------------------------------------------------------------
+
+    def resident_uids(self) -> Dict[int, List[int]]:
+        """Resident user ids per shard index (LRU order within each shard)."""
+        return {index: server.sessions.resident_uids()
+                for index, server in enumerate(self.shard_servers)}
+
+    def stats(self) -> Dict[str, Any]:
+        """Aggregated cluster metrics: totals, warm-rate and per-shard detail."""
+        per_shard = []
+        for index, server in enumerate(self.shard_servers):
+            shard_stats = server.stats()
+            shard_stats["shard"] = index
+            # The statement counter lives on the shared database: repeating
+            # it per shard would read as attributable (and sum to N× the
+            # truth), so it appears only at the cluster level below.
+            shard_stats.pop("sql_statements_total", None)
+            per_shard.append(shard_stats)
+        requests = {key: sum(stats["requests"][key] for stats in per_shard)
+                    for key in per_shard[0]["requests"]}
+        reads, hits = requests["reads"], requests["read_hits"]
+        return {
+            "shards": self.shards,
+            "partitioner": type(self.partitioner).__name__,
+            "parallel_fanout": self.parallel_fanout,
+            "broadcasts": self.broadcasts,
+            "requests": requests,
+            "warm_rate": (hits / reads) if reads else 0.0,
+            "results": self.results.stats(),
+            "sessions": {
+                key: sum(stats["sessions"][key] for stats in per_shard)
+                for key in per_shard[0]["sessions"]},
+            "count_cache": {
+                key: sum(stats["count_cache"][key] for stats in per_shard)
+                for key in per_shard[0]["count_cache"]},
+            "sql_statements_total": self.db.statements_executed,
+            "per_shard": per_shard,
+        }

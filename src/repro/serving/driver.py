@@ -38,6 +38,7 @@ from ..workload.loader import (
     load_profiles,
     update_papers,
 )
+from .cluster import Partitioner, ShardedTopKServer
 from .server import TopKServer, fresh_top_k
 
 #: Operation kinds in a replay schedule.
@@ -277,8 +278,14 @@ class ReplayDriver:
 
     def run(self, server: TopKServer,
             ops: Optional[Sequence[ReplayOp]] = None,
-            verify: bool = False) -> ReplayReport:
+            verify: bool = False,
+            label: str = "serving") -> ReplayReport:
         """Replay the schedule against ``server``; optionally verify answers.
+
+        ``server`` may be a :class:`~repro.serving.server.TopKServer` or a
+        :class:`~repro.serving.cluster.ShardedTopKServer` — both expose the
+        same front door, result-cache view and shared database (the sharded
+        arm of :meth:`run_sharded` is this method under a different label).
 
         With ``verify`` every mutation is followed by an equivalence sweep:
         each answer still materialised in the result cache — including the
@@ -288,7 +295,7 @@ class ReplayDriver:
         """
         if ops is None:
             ops = self.schedule(server.db)
-        report = ReplayReport(label="serving")
+        report = ReplayReport(label=label)
         start = time.perf_counter()
         for op in ops:
             report.ops += 1
@@ -317,13 +324,21 @@ class ReplayDriver:
                 else:
                     outcome = server.update_tuples(op.papers)
                     report.data_updates += 1
-                report.mutation_events.append({
+                event = {
                     "kind": op.kind,
                     "cached_before": cached_before,
                     "results_invalidated": outcome.results_invalidated,
                     "results_spared": outcome.results_spared,
                     "index_entries_dropped": outcome.index_entries_dropped,
-                })
+                }
+                # A sharded arm's ClusterMutationReport carries the per-shard
+                # breakdown; surface it so benchmarks can assert a broadcast
+                # invalidates on one shard while sparing another.
+                shard_reports = getattr(outcome, "shard_reports", None)
+                if shard_reports is not None:
+                    event["shards"] = [shard.as_dict()
+                                       for shard in shard_reports]
+                report.mutation_events.append(event)
             report.sql_statements += server.db.statements_executed - statements_before
             if verify:
                 if op.kind == READ:
@@ -388,3 +403,102 @@ class ReplayDriver:
         report.seconds = time.perf_counter() - start
         report.sql_statements = db.statements_executed - statements_before
         return report
+
+    # -- sharded arm --------------------------------------------------------------
+
+    def run_sharded(self, cluster: ShardedTopKServer,
+                    ops: Optional[Sequence[ReplayOp]] = None,
+                    verify: bool = False) -> ReplayReport:
+        """Replay the schedule through a sharded cluster.
+
+        Identical accounting to :meth:`run` (the cluster exposes the same
+        front door over the same shared database), labelled
+        ``sharded-<N>``; each mutation event additionally carries the
+        per-shard invalidation breakdown.  With ``verify`` every answer any
+        shard keeps materialised must equal a from-scratch recomputation
+        after every mutation.
+        """
+        return self.run(cluster, ops, verify=verify,
+                        label=f"sharded-{cluster.shards}")
+
+    def verify_cluster_equivalence(self, dblp_config: DblpConfig,
+                                   shards: int,
+                                   capacity: int = 8,
+                                   partitioner: Optional[Partitioner] = None,
+                                   parallel_fanout: bool = False) -> int:
+        """Lockstep three-way equivalence: cluster == single server == fresh.
+
+        Builds three identical worlds, replays the identical schedule
+        through a :class:`~repro.serving.cluster.ShardedTopKServer`, a
+        single :class:`~repro.serving.server.TopKServer` and the bare loader
+        (the no-cache baseline), and **after every mutation** asserts that
+        every user read so far gets the same Top-K ranking from all three
+        arms — the cluster answer, the single-server answer and a
+        from-scratch recomputation against the baseline world.  Raises
+        :class:`~repro.exceptions.ServingError` on the first divergence;
+        returns the number of three-way comparisons performed.
+        """
+        cluster_db = self.build_world(dblp_config)
+        server_db = self.build_world(dblp_config)
+        baseline_db = self.build_world(dblp_config)
+        checked = 0
+        try:
+            ops = self.schedule(cluster_db)
+            with ShardedTopKServer(cluster_db, shards=shards,
+                                   capacity=capacity,
+                                   partitioner=partitioner,
+                                   parallel_fanout=parallel_fanout) as cluster, \
+                    TopKServer(server_db, capacity=capacity) as server:
+                seen: List[int] = []
+                for op in ops:
+                    if op.kind == READ:
+                        if op.uid not in seen:
+                            seen.append(op.uid)
+                        checked += self._compare_arms(
+                            cluster, server, baseline_db, [op.uid], op.k)
+                    elif op.kind == UPDATE:
+                        cluster.update_profile(op.uid, op.profile)
+                        server.update_profile(op.uid, op.profile)
+                        registry = ProfileRegistry()
+                        registry.add(op.profile)
+                        load_profiles(baseline_db, registry)
+                        if op.uid in seen:
+                            checked += self._compare_arms(
+                                cluster, server, baseline_db, [op.uid],
+                                self.config.k)
+                    else:
+                        if op.kind == INSERT:
+                            cluster.insert_tuples(op.papers, op.paper_authors)
+                            server.insert_tuples(op.papers, op.paper_authors)
+                            append_papers(baseline_db, list(op.papers),
+                                          list(op.paper_authors))
+                        elif op.kind == DELETE:
+                            cluster.delete_tuples(op.pids)
+                            server.delete_tuples(op.pids)
+                            delete_papers(baseline_db, op.pids)
+                        else:
+                            cluster.update_tuples(op.papers)
+                            server.update_tuples(op.papers)
+                            update_papers(baseline_db, list(op.papers))
+                        checked += self._compare_arms(
+                            cluster, server, baseline_db, seen, self.config.k)
+        finally:
+            cluster_db.close()
+            server_db.close()
+            baseline_db.close()
+        return checked
+
+    @staticmethod
+    def _compare_arms(cluster: ShardedTopKServer, server: TopKServer,
+                      baseline_db: Database,
+                      uids: Sequence[int], k: int) -> int:
+        """Assert all three arms agree on every uid's Top-K; count checks."""
+        for uid in uids:
+            sharded = list(cluster.top_k(uid, k).ranking)
+            single = list(server.top_k(uid, k).ranking)
+            fresh = [tuple(entry) for entry in fresh_top_k(baseline_db, uid, k)]
+            if sharded != single or sharded != fresh:
+                raise ServingError(
+                    f"cluster Top-{k} for uid={uid} diverged: "
+                    f"sharded={sharded!r} single={single!r} fresh={fresh!r}")
+        return len(uids)

@@ -124,13 +124,34 @@ def _as_paper(row: PaperLike) -> Paper:
                  abstract=str(row.get("abstract", "")))
 
 
+def normalise_papers(papers: Sequence[PaperLike],
+                     paper_authors: Iterable[Tuple[int, int]] = (),
+                     ) -> Tuple[List[Paper], List[Tuple[int, int]]]:
+    """Normalise an insert payload into ``(Paper records, author links)``.
+
+    Accepts :class:`~repro.workload.dblp.Paper` records or plain mappings
+    (``pid``/``venue``/``year`` required); an ``aids`` sequence in a mapping
+    expands into author links.  Shared by :meth:`TopKServer.insert_tuples`
+    and the sharded cluster front door, so both accept the same payloads.
+    """
+    links = list(paper_authors)
+    records: List[Paper] = []
+    for row in papers:
+        record = _as_paper(row)
+        records.append(record)
+        if isinstance(row, Mapping):
+            links.extend((record.pid, int(aid)) for aid in row.get("aids", ()))
+    return records, links
+
+
 class TopKServer:
     """Thread-safe multi-user Top-K serving engine over one workload database."""
 
     def __init__(self, db: Database,
                  capacity: int = 64,
                  cache_results: bool = True,
-                 count_cache: Optional[CountCache] = None) -> None:
+                 count_cache: Optional[CountCache] = None,
+                 subscribe: bool = True) -> None:
         self._lock = threading.RLock()
         self.db = db
         self.cache_results = cache_results
@@ -142,7 +163,11 @@ class TopKServer:
             # Profile mutations reach the result cache through every session
             # graph; data mutations arrive via the database subscription.
             self.sessions.add_graph_listener(self.results.on_profile_mutation)
-        self._data_listener = db.subscribe(self._on_data_mutation)
+        # ``subscribe=False`` leaves event delivery to an outer coordinator:
+        # the sharded cluster subscribes once and fans each DataMutation out
+        # to every shard itself (possibly from worker threads).
+        self._data_listener = (db.subscribe(self._on_data_mutation)
+                               if subscribe else None)
         self._last_data_impact: Dict[str, int] = {}
         #: Request counters.
         self.reads = 0
@@ -156,7 +181,9 @@ class TopKServer:
 
     def close(self) -> None:
         """Unsubscribe from the database (sessions stay usable standalone)."""
-        self.db.unsubscribe(self._data_listener)
+        if self._data_listener is not None:
+            self.db.unsubscribe(self._data_listener)
+            self._data_listener = None
 
     def __enter__(self) -> "TopKServer":
         return self
@@ -260,14 +287,7 @@ class TopKServer:
         entry is gone and every provably fresh one survived.
         """
         with self._lock:
-            links = list(paper_authors)
-            records: List[Paper] = []
-            for row in papers:
-                record = _as_paper(row)
-                records.append(record)
-                if isinstance(row, Mapping):
-                    links.extend((record.pid, int(aid))
-                                 for aid in row.get("aids", ()))
+            records, links = normalise_papers(papers, paper_authors)
             report = self._run_data_mutation(
                 InsertReport, len(records),
                 lambda: append_papers(self.db, records, links, citations))
@@ -331,12 +351,14 @@ class TopKServer:
             sql_statements=self.db.statements_executed - statements_before,
             seconds=time.perf_counter() - start)
 
-    def _on_data_mutation(self, mutation: DataMutation) -> None:
+    def _on_data_mutation(self, mutation: DataMutation) -> Dict[str, int]:
         """Database listener: fan any data mutation out to every cache layer.
 
         ``invalidation_rows`` covers the full update spectrum — inserted
         post-image, deleted pre-image, both images of an in-place update —
-        so one sound relevance test serves all three kinds.
+        so one sound relevance test serves all three kinds.  Returns the
+        impact record (also kept in ``_last_data_impact``) so the sharded
+        cluster can collect per-shard reports when it delivers the event.
         """
         with self._lock:
             rows = mutation.invalidation_rows()
@@ -350,6 +372,7 @@ class TopKServer:
                 "results_spared": len(self.results),
                 "index_entries_dropped": dropped,
             }
+            return self._last_data_impact
 
     # -- introspection ------------------------------------------------------------
 

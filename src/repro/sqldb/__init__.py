@@ -9,8 +9,11 @@ Connection (:mod:`repro.sqldb.database`)
 
 Data-update events (:mod:`repro.sqldb.events`)
     :class:`DataMutation` — the tuple-mutation notification carrying the
-    pre-/post-image joined-view rows a change removed/added (consumed by
-    :mod:`repro.serving`).
+    pre-image (``old_rows``) and post-image (``rows``) joined-view rows a
+    change removed/added; :meth:`DataMutation.invalidation_rows` is their
+    union — the full set of rows a *sound* cache-invalidation check must
+    test predicates against (consumed by :mod:`repro.serving`; contract in
+    ``docs/INVALIDATION.md``).
     ``TUPLES_INSERTED`` / ``TUPLES_DELETED`` / ``TUPLES_UPDATED`` — the
     event kinds emitted by the loader's mutation API
     (``DATA_MUTATION_KINDS`` lists all three).

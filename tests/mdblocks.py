@@ -1,0 +1,44 @@
+"""Shared helpers for executing fenced code blocks in markdown docs.
+
+Used by ``test_readme_examples.py`` (README.md) and
+``test_docs_examples.py`` (every ``docs/*.md``): the CI docs job runs both,
+so no tutorial code block can rot silently.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+from typing import Dict, List
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+_FENCE_RE = re.compile(r"```(\w+)\n(.*?)```", re.DOTALL)
+
+
+def fenced_blocks(path: Path, language: str) -> List[str]:
+    """Every fenced block of ``language`` in ``path``, in document order."""
+    text = path.read_text(encoding="utf-8")
+    return [match.group(2) for match in _FENCE_RE.finditer(text)
+            if match.group(1) == language]
+
+
+def execute_python_blocks(path: Path) -> int:
+    """Execute ``path``'s python blocks in order, in one shared namespace.
+
+    A later block may build on an earlier one, exactly as a reader following
+    the document along would.  Fails the test on the first raising block;
+    returns the number of blocks executed.
+    """
+    blocks = fenced_blocks(path, "python")
+    namespace: Dict[str, object] = {}
+    for position, block in enumerate(blocks):
+        try:
+            exec(compile(block, f"{path.name}[python block {position}]",
+                         "exec"),
+                 namespace)
+        except Exception as exc:  # pragma: no cover - failure is the signal
+            pytest.fail(f"{path.name} python block {position} failed: {exc!r}")
+    return len(blocks)

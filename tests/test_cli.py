@@ -61,6 +61,11 @@ class TestParser:
              "--capacity", "8", "--no-baseline", "--json"])
         assert (args.users, args.requests, args.capacity) == (20, 80, 8)
         assert args.no_baseline and args.as_json
+        assert args.shards == 0  # sharded arm disabled by default
+
+    def test_serve_replay_shards_flag(self):
+        args = build_parser().parse_args(["serve-replay", "--shards", "4"])
+        assert args.shards == 4
 
     def test_missing_command_errors(self):
         with pytest.raises(SystemExit):
@@ -135,6 +140,43 @@ class TestJsonOutput:
             scale="tiny", users=6, requests=20, k=3, capacity=4,
             baseline=False, as_json=True))
         assert payload["baseline"] is None
+        assert payload["sharded"] is None and payload["cluster"] is None
+
+    def test_serve_replay_json_reports_per_kind_mutation_counters(self):
+        """The JSON report surfaces the server's per-kind mutation counters
+        (inserts / deletes / tuple_updates), matching the replay arm."""
+        payload = json.loads(run_serve_replay(
+            scale="tiny", users=8, requests=40, k=3, capacity=4, seed=2,
+            baseline=False, as_json=True))
+        mutations = payload["mutations"]
+        assert set(mutations) == {"inserts", "deletes", "tuple_updates"}
+        assert mutations == {
+            kind: payload["server"]["requests"][kind]
+            for kind in ("inserts", "deletes", "tuple_updates")}
+        assert mutations["inserts"] == payload["serving"]["inserts"]
+        assert mutations["deletes"] == payload["serving"]["deletes"]
+        assert mutations["tuple_updates"] == payload["serving"]["data_updates"]
+
+    def test_serve_replay_json_with_sharded_arm(self):
+        payload = json.loads(run_serve_replay(
+            scale="tiny", users=8, requests=30, k=3, capacity=4, shards=2,
+            as_json=True))
+        assert payload["config"]["shards"] == 2
+        sharded = payload["sharded"]
+        assert sharded["label"] == "sharded-2"
+        assert sharded["ops"] == 30
+        # Identical schedule over an identical world: the cluster serves the
+        # same request counts as the single-server arm.
+        assert sharded["reads"] == payload["serving"]["reads"]
+        cluster = payload["cluster"]
+        assert cluster["shards"] == 2
+        assert cluster["parallel_fanout"] is True
+        assert len(cluster["per_shard"]) == 2
+        assert 0.0 <= cluster["warm_rate"] <= 1.0
+
+    def test_serve_replay_rejects_negative_shards(self):
+        with pytest.raises(ValueError, match="--shards"):
+            run_serve_replay(scale="tiny", users=4, requests=10, shards=-1)
 
 
 class TestServeReplayText:
@@ -143,6 +185,13 @@ class TestServeReplayText:
                                 capacity=4)
         assert "serving" in text and "baseline" in text
         assert "SQL statements saved" in text
+        assert "mutations:" in text and "in-place updates" in text
+
+    def test_text_report_includes_sharded_arm_when_requested(self):
+        text = run_serve_replay(scale="tiny", users=8, requests=30, k=3,
+                                capacity=4, shards=2)
+        assert "sharded-2" in text
+        assert "cluster: 2 shards" in text and "warm-rate" in text
 
     def test_unknown_scale_rejected(self):
         with pytest.raises(ValueError):

@@ -31,11 +31,12 @@ class TestPackageSurface:
         import repro.extensions as extensions
         import repro.graphstore as graphstore
         import repro.index as index
+        import repro.serving as serving
         import repro.sqldb as sqldb
         import repro.workload as workload
 
         for module in (algorithms, core, extensions, graphstore, index,
-                       sqldb, workload):
+                       serving, sqldb, workload):
             for name in module.__all__:
                 assert hasattr(module, name), f"{module.__name__}.{name} missing"
 
@@ -47,11 +48,12 @@ class TestPackageSurface:
         import repro.extensions as extensions
         import repro.graphstore as graphstore
         import repro.index as index
+        import repro.serving as serving
         import repro.sqldb as sqldb
         import repro.workload as workload
 
         for module in (repro, algorithms, core, hypre, extensions, graphstore,
-                       index, sqldb, workload):
+                       index, serving, sqldb, workload):
             for name in module.__all__:
                 assert name in module.__doc__, (
                     f"{name} undocumented in {module.__name__}")

@@ -2,56 +2,52 @@
 
 Every fenced ``python`` block in ``README.md`` is executed, in order, in one
 shared namespace (so a later block may build on an earlier one, exactly as a
-reader following along would).  Shell blocks are checked structurally: each
+reader following along would); the same checker runs over every ``docs/*.md``
+in ``test_docs_examples.py``.  Shell blocks are checked structurally: each
 documented command must reference a real entry point.
 """
 
 from __future__ import annotations
 
-import re
-from pathlib import Path
+from mdblocks import REPO_ROOT, execute_python_blocks, fenced_blocks
 
-import pytest
-
-README = Path(__file__).resolve().parent.parent / "README.md"
-
-_FENCE_RE = re.compile(r"```(\w+)\n(.*?)```", re.DOTALL)
-
-
-def fenced_blocks(language: str):
-    text = README.read_text(encoding="utf-8")
-    return [match.group(2) for match in _FENCE_RE.finditer(text)
-            if match.group(1) == language]
+README = REPO_ROOT / "README.md"
 
 
 def test_readme_exists_with_expected_sections():
     text = README.read_text(encoding="utf-8")
     for heading in ("## Install", "## Quickstart", "## Tests and benchmarks",
-                    "## Module map"):
+                    "## Module map", "## Examples"):
         assert heading in text, f"README is missing the {heading!r} section"
 
 
 def test_readme_python_blocks_execute():
-    blocks = fenced_blocks("python")
-    assert blocks, "README must contain executable python examples"
-    namespace: dict = {}
-    for position, block in enumerate(blocks):
-        try:
-            exec(compile(block, f"README.md[python block {position}]", "exec"),
-                 namespace)
-        except Exception as exc:  # pragma: no cover - failure is the signal
-            pytest.fail(f"README python block {position} failed: {exc!r}")
+    executed = execute_python_blocks(README)
+    assert executed, "README must contain executable python examples"
 
 
 def test_readme_shell_commands_reference_real_targets():
-    repo_root = README.parent
-    for block in fenced_blocks("bash"):
+    for block in fenced_blocks(README, "bash"):
         for line in block.splitlines():
             line = line.strip()
             if "repro.cli" in line:
                 # The documented CLI module must be importable.
-                assert (repo_root / "src/repro/cli.py").exists()
+                assert (REPO_ROOT / "src/repro/cli.py").exists()
             if "benchmarks/" in line:
                 target = next(part for part in line.split()
                               if part.startswith("benchmarks/"))
-                assert (repo_root / target).exists(), f"{target} missing"
+                assert (REPO_ROOT / target).exists(), f"{target} missing"
+
+
+def test_readme_examples_table_lists_real_scripts():
+    """Every example the README links must exist on disk, and every example
+    script must be listed in the README's examples table."""
+    import re
+
+    text = README.read_text(encoding="utf-8")
+    on_disk = {path.name for path in (REPO_ROOT / "examples").glob("*.py")}
+    linked = {match.split("/", 1)[1]
+              for match in re.findall(r"examples/\w+\.py", text)}
+    assert linked == on_disk, (
+        f"README examples out of sync: not listed {sorted(on_disk - linked)}, "
+        f"dead links {sorted(linked - on_disk)}")
