@@ -78,6 +78,18 @@ Serving engine (:mod:`repro.serving`)
     multi-user replays with no-cache baseline and sharded arms.
     :func:`fresh_top_k` — from-scratch recomputation (the serving oracle).
 
+Storage backends (:mod:`repro.backend`)
+    :class:`StorageBackend` — the narrow engine protocol every layer above
+    storage is wired against (counts, id lists, joined-view scan, mutation
+    surface with image capture, op accounting, event subscriptions).
+    :class:`SqliteBackend` — the relational engine (the protocol-named
+    entry point over :class:`Database`).
+    :class:`MemoryBackend` — the pure in-memory columnar engine
+    (dict-of-columns + per-attribute inverted index, SQLite-faithful
+    predicate semantics).
+    :func:`create_backend` — engine factory by name (``REPRO_BACKEND``
+    environment default).
+
 Relational substrate and workload
     :class:`Database` — SQLite connection wrapper with the DBLP schema,
     emitting :class:`DataMutation` events on tuple mutations.
@@ -126,6 +138,7 @@ from .algorithms import (
     preferences_from_graph,
     ta_top_k,
 )
+from .backend import MemoryBackend, SqliteBackend, StorageBackend, create_backend
 from .graphstore import PropertyGraph
 from .index import (
     CountCache,
@@ -171,6 +184,7 @@ __all__ = [
     "HypreGraph",
     "HypreGraphBuilder",
     "IncrementalPairIndex",
+    "MemoryBackend",
     "NaiveTopK",
     "PEPSAlgorithm",
     "PairwiseCombinationIndex",
@@ -185,6 +199,8 @@ __all__ = [
     "SelectivityEstimator",
     "SessionRegistry",
     "ShardedTopKServer",
+    "SqliteBackend",
+    "StorageBackend",
     "QualitativePreference",
     "QuantitativePreference",
     "ScoredPreference",
@@ -194,6 +210,7 @@ __all__ = [
     "append_papers",
     "build_hypre_graph",
     "build_workload_database",
+    "create_backend",
     "delete_papers",
     "fresh_top_k",
     "update_papers",

@@ -24,12 +24,11 @@ from ..core.predicate import (
     disjunction,
     ensure_predicate,
 )
+from ..backend.protocol import StorageBackend
 from ..exceptions import EmptyPreferenceListError
 from ..index.count_cache import CountCache
 from ..index.pair_index import preference_sort_key
 from ..index.selectivity import may_match_row
-from ..sqldb.database import Database
-from ..sqldb.query_builder import matching_paper_ids
 
 
 @dataclass(frozen=True)
@@ -122,9 +121,13 @@ class PreferenceQueryRunner:
     a single count store between PEPS, Combine-Two, Partially-Combine-All,
     the TA baseline and the pair indexes; by default each runner owns one.
     Id lists stay memoised per runner.
+
+    ``db`` is any :class:`~repro.backend.protocol.StorageBackend`; the
+    runner only consumes the protocol's count/id query surface, so the
+    algorithms never know which engine answers them.
     """
 
-    def __init__(self, db: Database,
+    def __init__(self, db: StorageBackend,
                  count_cache: Optional[CountCache] = None) -> None:
         self.db = db
         self._owns_cache = count_cache is None
@@ -155,7 +158,7 @@ class PreferenceQueryRunner:
         """Distinct paper ids matching ``predicate`` (cached)."""
         key = predicate.to_sql()
         if key not in self._ids_cache:
-            self._ids_cache[key] = tuple(matching_paper_ids(self.db, predicate))
+            self._ids_cache[key] = tuple(self.db.matching_paper_ids(predicate))
             self.queries_executed += 1
         return self._ids_cache[key]
 

@@ -1,0 +1,37 @@
+"""The SQLite storage backend.
+
+:class:`SqliteBackend` is the protocol-named entry point for the relational
+engine: the implementation lives in :class:`~repro.sqldb.database.Database`
+(kept under its historical name because the whole test suite, the examples
+and downstream code construct it directly), which carries the complete
+:class:`~repro.backend.protocol.StorageBackend` surface — query helpers over
+the canonical join, the mutation methods with joined-view image capture
+(delegated to the ``sqlite_*`` bodies in :mod:`repro.workload.loader`),
+data-mutation subscriptions and the ``statements_executed`` /
+``rows_touched`` op accounting.
+
+This subclass adds nothing behavioural; it exists so
+:func:`repro.backend.create_backend` has a class per engine name and so new
+code can spell the dependency as ``SqliteBackend`` while old code keeps
+working against ``Database``.
+"""
+
+from __future__ import annotations
+
+from ..sqldb.database import Database, PathLike
+
+
+class SqliteBackend(Database):
+    """The relational :class:`~repro.backend.protocol.StorageBackend`.
+
+    One SQLite connection (file-backed or ``":memory:"``) holding the DBLP
+    workload schema; every query is a real SQL statement, so
+    ``statements_executed`` counts round-trips into the engine.  Prefer this
+    backend when the workload must persist to disk, exceeds RAM, or when SQL
+    introspection of the data matters; prefer
+    :class:`~repro.backend.MemoryBackend` for serving-path speed on
+    fits-in-memory workloads (``docs/BACKENDS.md`` has the decision table).
+    """
+
+    def __init__(self, path: PathLike = ":memory:", create: bool = True) -> None:
+        super().__init__(path, create=create)

@@ -10,6 +10,8 @@ Usage::
     python -m repro.cli serve-replay --scale tiny --users 50 --requests 300
     python -m repro.cli serve-replay --scale tiny --delete-weight 1 --data-update-weight 1
     python -m repro.cli serve-replay --scale tiny --shards 4
+    python -m repro.cli topk --scale tiny --backend memory
+    python -m repro.cli serve-replay --scale tiny --backend memory
 
 ``list`` prints every available experiment; ``experiment`` regenerates one
 table/figure and prints the same rows the benchmark harness reports; ``topk``
@@ -23,7 +25,9 @@ mixed via the ``--*-weight`` flags) — and compares it against the no-cache
 baseline (``--shards N`` adds a third arm replaying the same schedule
 through a user-partitioned :class:`~repro.serving.ShardedTopKServer`
 cluster).  ``--json`` on ``topk``/``serve-replay`` switches the output to
-machine-readable JSON.
+machine-readable JSON, and ``--backend {sqlite,memory}`` picks the storage
+engine (:mod:`repro.backend`) the workload lives on — answers are
+engine-independent, so both values produce the same rankings.
 """
 
 from __future__ import annotations
@@ -34,6 +38,7 @@ import sys
 from typing import Any, Callable, Dict, List, Optional, Sequence
 
 from .algorithms import PEPSAlgorithm
+from .backend import BACKEND_NAMES, default_backend_name
 from .experiments import figures, reporting
 from .experiments.context import SCALES, ExperimentContext
 from .serving import ReplayConfig, ReplayDriver, ShardedTopKServer, TopKServer
@@ -138,7 +143,8 @@ def run_experiment(name: str, scale: str = "tiny", uid: Optional[int] = None) ->
 
 
 def run_topk(scale: str, k: int, uid: Optional[int] = None,
-             reuse_index: bool = False, as_json: bool = False) -> str:
+             reuse_index: bool = False, as_json: bool = False,
+             backend: Optional[str] = None) -> str:
     """Run a personalised Top-K query on the synthetic workload.
 
     With ``reuse_index`` the pairwise combination index is the *incremental*
@@ -146,8 +152,12 @@ def run_topk(scale: str, k: int, uid: Optional[int] = None,
     by graph mutation events, and its maintenance statistics are reported
     alongside the ranking.  ``as_json`` renders the ranking and statistics
     as one machine-readable JSON object instead of the text table.
+    ``backend`` picks the storage engine answering the enhanced queries
+    (``sqlite`` / ``memory``; default: the ``REPRO_BACKEND`` environment
+    default) — the ranking is engine-independent.
     """
-    ctx = ExperimentContext.create(scale=scale, profile_users=25)
+    ctx = ExperimentContext.create(scale=scale, profile_users=25,
+                                   backend=backend)
     try:
         user = _resolve_uid(ctx, uid)
         if reuse_index:
@@ -172,6 +182,7 @@ def run_topk(scale: str, k: int, uid: Optional[int] = None,
                            "refreshes": index.refreshes}
         if as_json:
             return json.dumps({"uid": user, "k": k, "scale": scale,
+                               "backend": ctx.db.backend_name,
                                "results": rows, "index": index_stats},
                               indent=2, sort_keys=True)
         report = (f"Top-{k} papers for uid={user}\n"
@@ -201,7 +212,8 @@ def run_serve_replay(scale: str = "tiny",
                      delete_weight: float = _REPLAY_DEFAULTS.delete_weight,
                      data_update_weight: float = (
                          _REPLAY_DEFAULTS.data_update_weight),
-                     as_json: bool = False) -> str:
+                     as_json: bool = False,
+                     backend: Optional[str] = None) -> str:
     """Replay a deterministic multi-user workload through the serving engine.
 
     Builds one world per arm (identical datasets and schedules), runs the
@@ -212,7 +224,10 @@ def run_serve_replay(scale: str = "tiny",
     2+ shards), and reports request counters, SQL statements and cache
     behaviour side by side.  The five weights control the operation mix
     (reads, profile updates, tuple inserts/deletes/in-place updates); a
-    weight of zero removes that kind entirely.
+    weight of zero removes that kind entirely.  ``backend`` picks the
+    storage engine every arm's world is built on (``sqlite`` / ``memory``;
+    default: the ``REPRO_BACKEND`` environment default) — the replay
+    answers are engine-independent, only the cost profile changes.
     """
     if scale not in SCALES:
         raise ValueError(f"unknown scale {scale!r}; pick one of {sorted(SCALES)}")
@@ -223,7 +238,7 @@ def run_serve_replay(scale: str = "tiny",
         read_weight=read_weight, update_weight=update_weight,
         insert_weight=insert_weight, delete_weight=delete_weight,
         data_update_weight=data_update_weight))
-    serving_db = driver.build_world(SCALES[scale])
+    serving_db = driver.build_world(SCALES[scale], backend=backend)
     server = TopKServer(serving_db, capacity=capacity)
     try:
         serving_report = driver.run(server, driver.schedule(serving_db))
@@ -234,7 +249,7 @@ def run_serve_replay(scale: str = "tiny",
 
     baseline_report = None
     if baseline:
-        baseline_db = driver.build_world(SCALES[scale])
+        baseline_db = driver.build_world(SCALES[scale], backend=backend)
         try:
             baseline_report = driver.run_baseline(baseline_db,
                                                   driver.schedule(baseline_db))
@@ -244,7 +259,7 @@ def run_serve_replay(scale: str = "tiny",
     sharded_report = None
     cluster_stats = None
     if shards:
-        sharded_db = driver.build_world(SCALES[scale])
+        sharded_db = driver.build_world(SCALES[scale], backend=backend)
         cluster = ShardedTopKServer(sharded_db, shards=shards,
                                     capacity=capacity,
                                     parallel_fanout=shards > 1)
@@ -266,6 +281,7 @@ def run_serve_replay(scale: str = "tiny",
             "config": {"scale": scale, "users": users, "requests": requests,
                        "k": k, "seed": seed, "capacity": capacity,
                        "shards": shards,
+                       "backend": backend or default_backend_name(),
                        "read_weight": read_weight,
                        "update_weight": update_weight,
                        "insert_weight": insert_weight,
@@ -292,7 +308,8 @@ def run_serve_replay(scale: str = "tiny",
          "seconds": f"{arm.seconds:.3f}"}
         for arm in arms])
     lines = [f"Serve-replay ({users} users, {requests} requests, "
-             f"k={k}, scale={scale})", table]
+             f"k={k}, scale={scale}, "
+             f"backend={backend or default_backend_name()})", table]
     sessions = stats["sessions"]
     results = stats["results"]
     lines.append(
@@ -352,6 +369,9 @@ def build_parser() -> argparse.ArgumentParser:
                            "its maintenance statistics")
     topk.add_argument("--json", action="store_true", dest="as_json",
                       help="emit the ranking and statistics as JSON")
+    topk.add_argument("--backend", default=None, choices=sorted(BACKEND_NAMES),
+                      help="storage engine answering the enhanced queries "
+                           "(default: the REPRO_BACKEND environment default)")
 
     replay = subparsers.add_parser(
         "serve-replay",
@@ -389,6 +409,11 @@ def build_parser() -> argparse.ArgumentParser:
                              "in the mix")
     replay.add_argument("--json", action="store_true", dest="as_json",
                         help="emit the replay reports as JSON")
+    replay.add_argument("--backend", default=None,
+                        choices=sorted(BACKEND_NAMES),
+                        help="storage engine every replay arm's world is "
+                             "built on (default: the REPRO_BACKEND "
+                             "environment default)")
 
     return parser
 
@@ -405,7 +430,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         elif args.command == "topk":
             print(run_topk(args.scale, args.k, uid=args.uid,
                            reuse_index=args.reuse_index,
-                           as_json=args.as_json))
+                           as_json=args.as_json,
+                           backend=args.backend))
         elif args.command == "serve-replay":
             print(run_serve_replay(scale=args.scale, users=args.users,
                                    requests=args.requests, k=args.k,
@@ -417,7 +443,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                                    insert_weight=args.insert_weight,
                                    delete_weight=args.delete_weight,
                                    data_update_weight=args.data_update_weight,
-                                   as_json=args.as_json))
+                                   as_json=args.as_json,
+                                   backend=args.backend))
     except Exception as exc:  # pragma: no cover - defensive top-level handler
         print(f"error: {exc}", file=sys.stderr)
         return 1

@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import re
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import Any, Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
 
 from ..exceptions import PredicateError, PredicateParseError
@@ -42,6 +43,7 @@ def _sql_literal(value: Value) -> str:
     return f"'{escaped}'"
 
 
+@lru_cache(maxsize=4096)
 def attribute_names_match(first: str, second: str) -> bool:
     """Whether two attribute references name the same column.
 
@@ -53,7 +55,9 @@ def attribute_names_match(first: str, second: str) -> bool:
     invalidation (``CountCache.invalidate_attribute`` /
     ``IncrementalPairIndex.invalidate_attribute``) — so a predicate written
     as ``dblp.venue = 'VLDB'`` is never silently spared when ``venue`` is
-    invalidated, and vice versa.
+    invalidated, and vice versa.  Memoised: the selective-invalidation hot
+    path asks this about the same few (predicate attribute, row key) pairs
+    hundreds of thousands of times per replay.
     """
     if first == second:
         return True
@@ -68,6 +72,13 @@ def _lookup(row: Mapping[str, Any], attribute: str) -> Any:
     """Resolve ``attribute`` in a tuple dict, accepting qualified and bare names."""
     if attribute in row:
         return row[attribute]
+    if "." in attribute:
+        # Qualified predicate attribute over a bare-keyed joined-view row —
+        # the common case on the invalidation hot path; same resolution as
+        # the scan below, without walking every key.
+        bare = attribute.split(".", 1)[1]
+        if bare in row:
+            return row[bare]
     for key, value in row.items():
         if attribute_names_match(attribute, key):
             return value
@@ -573,8 +584,30 @@ class _Parser:
         return Condition(attribute, operator, value)
 
 
+@lru_cache(maxsize=8192)
+def _parse_predicate_cached(text: str) -> PredicateExpr:
+    """Memoised parser body (see :func:`parse_predicate`).
+
+    Caching is sound because expression trees are immutable (frozen
+    dataclasses holding tuples), so every caller may share one instance —
+    and it is load-bearing for the serving hot path: the selective
+    invalidation sweep re-derives predicates from their canonical SQL cache
+    keys on *every* data mutation, which without the memo dominated the
+    replay profile.  Parse errors are not cached (``lru_cache`` re-raises by
+    re-running), so failure behaviour is unchanged.
+    """
+    tokens = _tokenize(text)
+    if not tokens:
+        raise PredicateParseError("empty predicate")
+    return _Parser(tokens).parse()
+
+
 def parse_predicate(text: str) -> PredicateExpr:
     """Parse a textual SQL predicate into an expression tree.
+
+    Repeated parses of the same text return one shared immutable tree (the
+    serving layer's invalidation sweeps parse canonical cache keys over and
+    over).
 
     Examples
     --------
@@ -585,10 +618,7 @@ def parse_predicate(text: str) -> PredicateExpr:
     """
     if not text or not text.strip():
         raise PredicateParseError("empty predicate")
-    tokens = _tokenize(text)
-    if not tokens:
-        raise PredicateParseError("empty predicate")
-    return _Parser(tokens).parse()
+    return _parse_predicate_cached(text)
 
 
 def ensure_predicate(value: Union[str, PredicateExpr]) -> PredicateExpr:

@@ -1,11 +1,16 @@
 """Shared experiment context.
 
 Every table/figure reproduction needs the same expensive setup: generate the
-synthetic DBLP workload, load it into SQLite, extract preference profiles,
-and build the HYPRE graph.  :class:`ExperimentContext` performs that setup
-once and exposes the pieces the individual experiments consume; the module
-keeps a small cache keyed by scale so the benchmark suite does not rebuild
-the world for every benchmark.
+synthetic DBLP workload, load it into a storage backend, extract preference
+profiles, and build the HYPRE graph.  :class:`ExperimentContext` performs
+that setup once and exposes the pieces the individual experiments consume;
+the module keeps a small cache keyed by scale so the benchmark suite does
+not rebuild the world for every benchmark.
+
+The workload engine is pluggable: :meth:`ExperimentContext.create` accepts a
+``backend`` factory name (``"sqlite"`` / ``"memory"``), defaulting to the
+``REPRO_BACKEND`` environment variable — which is how the CI matrix replays
+the experiment suite on the in-memory columnar engine.
 """
 
 from __future__ import annotations
@@ -14,10 +19,11 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from ..algorithms.base import PreferenceQueryRunner, ScoredPreference, preferences_from_graph
+from ..backend import create_backend
+from ..backend.protocol import StorageBackend
 from ..core.hypre import BuildReport, HypreGraph, HypreGraphBuilder
 from ..core.preference import ProfileRegistry
 from ..index import CountCache, IncrementalPairIndex
-from ..sqldb.database import Database
 from ..workload.dblp import DblpConfig, DblpDataset, generate_dblp
 from ..workload.extraction import ExtractionConfig, PreferenceExtractor, richest_users
 from ..workload.loader import load_dataset, load_profiles
@@ -37,7 +43,7 @@ class ExperimentContext:
 
     config: DblpConfig
     dataset: DblpDataset
-    db: Database
+    db: StorageBackend
     extractor: PreferenceExtractor
     registry: ProfileRegistry
     hypre: HypreGraph
@@ -62,20 +68,23 @@ class ExperimentContext:
                config: Optional[DblpConfig] = None,
                extraction: ExtractionConfig = ExtractionConfig(),
                profile_users: Optional[int] = 40,
-               focus_count: int = 2) -> "ExperimentContext":
+               focus_count: int = 2,
+               backend: Optional[str] = None) -> "ExperimentContext":
         """Build the workload, profiles and HYPRE graph for one scale.
 
         ``profile_users`` limits how many of the extracted profiles are loaded
         into the graph (the most preference-rich ones are kept); ``None``
         loads every author's profile, which is what the population-level
-        figures (17, Table 10/11) use.
+        figures (17, Table 10/11) use.  ``backend`` picks the storage engine
+        by factory name (``None`` defers to the ``REPRO_BACKEND``
+        environment default, falling back to SQLite).
         """
         if config is None:
             if scale not in SCALES:
                 raise ValueError(f"unknown scale {scale!r}; pick one of {sorted(SCALES)}")
             config = SCALES[scale]
         dataset = generate_dblp(config)
-        db = Database(":memory:")
+        db = create_backend(backend)
         load_dataset(db, dataset)
 
         extractor = PreferenceExtractor(dataset, extraction)
@@ -142,7 +151,7 @@ class ExperimentContext:
         return self.db.total_papers()
 
     def close(self) -> None:
-        """Release the SQLite connection."""
+        """Release the storage backend."""
         self.db.close()
 
 

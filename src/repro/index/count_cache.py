@@ -8,8 +8,9 @@ build.  :class:`CountCache` centralises the answers:
 * counts are memoised by canonical predicate SQL, so any number of algorithm
   instances sharing one cache never repeat a count query;
 * :meth:`CountCache.count_many` resolves a whole batch of predicates with one
-  SQL round-trip per ~200 misses (a compound ``UNION ALL`` statement) instead
-  of one statement per predicate;
+  backend round-trip per ~200 misses (a compound ``UNION ALL`` statement on
+  the SQLite backend, one logical batch op on the memory backend) instead of
+  one operation per predicate;
 * the cache is invalidation-aware: :meth:`invalidate` / :meth:`clear` drop
   entries when the underlying relation changes (the preference *graph*
   changing never invalidates counts — counts depend only on predicates and
@@ -30,22 +31,24 @@ from __future__ import annotations
 import threading
 from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Union
 
+from ..backend.protocol import StorageBackend
 from ..core.predicate import PredicateExpr, attribute_names_match, ensure_predicate
-from ..sqldb.database import Database
-from ..sqldb.query_builder import (
-    BATCH_COUNT_CHUNK,
-    count_matching_papers,
-    count_matching_papers_many,
-)
+from ..sqldb.query_builder import BATCH_COUNT_CHUNK
 from .selectivity import may_match_row
 
 PredicateLike = Union[str, PredicateExpr]
 
 
 class CountCache:
-    """Memoising predicate-count store over one workload database."""
+    """Memoising predicate-count store over one storage backend.
 
-    def __init__(self, db: Database, chunk_size: int = BATCH_COUNT_CHUNK) -> None:
+    ``db`` is any :class:`~repro.backend.protocol.StorageBackend` — the
+    cache only consumes the protocol's ``count_matching`` / ``count_many``
+    surface, so SQLite and the in-memory columnar engine are
+    interchangeable underneath every algorithm sharing this store.
+    """
+
+    def __init__(self, db: StorageBackend, chunk_size: int = BATCH_COUNT_CHUNK) -> None:
         self.db = db
         self.chunk_size = max(1, chunk_size)
         self._counts: Dict[str, int] = {}
@@ -80,7 +83,7 @@ class CountCache:
                 return self._counts[key]
             self.misses += 1
             self.statements += 1
-            value = count_matching_papers(self.db, ensure_predicate(predicate))
+            value = self.db.count_matching(ensure_predicate(predicate))
             self._counts[key] = value
             return value
 
@@ -107,8 +110,7 @@ class CountCache:
                 to_count = [ensure_predicate(predicates[position]) for position in missing]
                 self.misses += len(missing)
                 self.statements += (len(missing) + self.chunk_size - 1) // self.chunk_size
-                values = count_matching_papers_many(self.db, to_count,
-                                                    chunk_size=self.chunk_size)
+                values = self.db.count_many(to_count, chunk_size=self.chunk_size)
                 for position, value in zip(missing, values):
                     self._counts[keys[position]] = value
             return [self._counts[key] for key in keys]

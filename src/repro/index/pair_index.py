@@ -56,7 +56,13 @@ from .selectivity import SelectivityEstimator, may_match_row
 
 
 def _backing_cache(counter) -> Optional[CountCache]:
-    """The :class:`CountCache` behind ``counter`` (itself, or its attribute)."""
+    """The :class:`CountCache` behind ``counter`` (itself, or its attribute).
+
+    ``counter`` is the only storage coupling the pair indexes have: every
+    count flows through it into whichever
+    :class:`~repro.backend.protocol.StorageBackend` the cache/runner wraps,
+    so the indexes are backend-agnostic by construction.
+    """
     if isinstance(counter, CountCache):
         return counter
     return getattr(counter, "count_cache", None)

@@ -18,6 +18,12 @@ questions about a candidate AND pair:
 The split matters: only the provable-zero path may suppress database work,
 because the incremental index must produce results identical to a full
 rebuild.
+
+Nothing in this module touches a storage engine: the estimator consults at
+most an in-memory :class:`~repro.index.count_cache.CountCache`, and
+:func:`may_match_row` evaluates predicates over event-carried rows — which
+is why the same sound relevance test serves every
+:class:`~repro.backend.protocol.StorageBackend` unchanged.
 """
 
 from __future__ import annotations
@@ -88,8 +94,12 @@ def pair_provably_empty(first: PredicateExpr, second: PredicateExpr) -> bool:
 
 def _row_has_attribute(row: Mapping[str, Any], attribute: str) -> bool:
     """Whether ``row`` carries a value for ``attribute`` (qualified or bare)."""
-    return (attribute in row
-            or any(attribute_names_match(attribute, key) for key in row))
+    if attribute in row:
+        return True
+    if "." in attribute and attribute.split(".", 1)[1] in row:
+        # Qualified predicate attribute, bare-keyed row — the hot case.
+        return True
+    return any(attribute_names_match(attribute, key) for key in row)
 
 
 def may_match_row(predicate: Union[str, PredicateExpr],

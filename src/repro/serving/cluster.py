@@ -54,9 +54,9 @@ from typing import (
 
 from typing import Protocol, runtime_checkable
 
+from ..backend.protocol import StorageBackend
 from ..core.preference import UserProfile
 from ..exceptions import ServingError
-from ..sqldb.database import Database
 from ..sqldb.events import DataMutation
 from ..workload.loader import append_papers, delete_papers, update_papers
 from .results import CachedResult
@@ -221,7 +221,8 @@ class ClusterResultsView:
 class ShardedTopKServer:
     """Partition users across N independent :class:`TopKServer` shards.
 
-    All shards serve the same shared :class:`~repro.sqldb.database.Database`;
+    All shards serve the same shared
+    :class:`~repro.backend.protocol.StorageBackend`;
     what is partitioned is the *serving state* — sessions, pair indexes,
     count caches and materialised answers.  ``capacity`` bounds resident
     sessions **per shard**.  With ``parallel_fanout`` broadcast mutations
@@ -236,7 +237,7 @@ class ShardedTopKServer:
     loader API) invalidates every shard exactly once.
     """
 
-    def __init__(self, db: Database,
+    def __init__(self, db: StorageBackend,
                  shards: int = 2,
                  capacity: int = 64,
                  cache_results: bool = True,

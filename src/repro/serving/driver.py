@@ -27,9 +27,10 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
+from ..backend import create_backend
+from ..backend.protocol import StorageBackend
 from ..core.preference import ProfileRegistry, UserProfile
 from ..exceptions import ServingError
-from ..sqldb.database import Database
 from ..workload.dblp import DblpConfig, Paper, generate_dblp
 from ..workload.loader import (
     append_papers,
@@ -149,19 +150,24 @@ class ReplayDriver:
     # -- world construction -------------------------------------------------------
 
     def build_world(self, dblp_config: DblpConfig,
-                    path: str = ":memory:") -> Database:
-        """A fresh workload database with the replay population's profiles.
+                    path: str = ":memory:",
+                    backend: Optional[str] = None) -> StorageBackend:
+        """A fresh workload backend with the replay population's profiles.
 
         Called once per replay *arm*: the server run and the baseline run
         each get their own identical world, so their statement counts are
-        comparable.
+        comparable.  ``backend`` picks the storage engine by factory name
+        (``None`` defers to the ``REPRO_BACKEND`` environment default) —
+        two worlds on *different* engines still produce identical replay
+        schedules, which is what makes the cross-backend differential
+        comparisons of ``bench_backends.py`` attributable to the engine.
         """
-        db = Database(path)
+        db = create_backend(backend, path=path)
         load_dataset(db, generate_dblp(dblp_config))
         self.prepare(db)
         return db
 
-    def prepare(self, db: Database) -> ProfileRegistry:
+    def prepare(self, db: StorageBackend) -> ProfileRegistry:
         """Persist every synthetic user profile into ``db``'s staging tables."""
         venues, lo, hi = self._workload_shape(db)
         registry = ProfileRegistry()
@@ -171,11 +177,8 @@ class ReplayDriver:
         return registry
 
     @staticmethod
-    def _workload_shape(db: Database) -> Tuple[List[str], int, int]:
-        venues = [str(value) for value in db.query_scalars(
-            "SELECT DISTINCT venue FROM dblp ORDER BY venue")]
-        lo = int(db.scalar("SELECT MIN(year) FROM dblp"))
-        hi = int(db.scalar("SELECT MAX(year) FROM dblp"))
+    def _workload_shape(db: StorageBackend) -> Tuple[List[str], int, int]:
+        venues, lo, hi = db.workload_shape()
         if not venues:
             raise ServingError("replay world has no papers loaded")
         return venues, lo, hi
@@ -207,17 +210,18 @@ class ReplayDriver:
 
     # -- schedule -----------------------------------------------------------------
 
-    def schedule(self, db: Database) -> List[ReplayOp]:
+    def schedule(self, db: StorageBackend) -> List[ReplayOp]:
         """The deterministic operation list for one replay arm.
 
         Requires a prepared world (for venues/years and the next free pid);
-        two identical worlds produce the identical schedule, which is what
-        makes server-vs-baseline comparisons fair.
+        two identical worlds produce the identical schedule — regardless of
+        which storage engine holds them — which is what makes
+        server-vs-baseline and sqlite-vs-memory comparisons fair.
         """
         config = self.config
         venues, lo, hi = self._workload_shape(db)
-        next_pid = int(db.scalar("SELECT MAX(pid) FROM dblp")) + 1
-        max_aid = int(db.scalar("SELECT MAX(aid) FROM dblp_author"))
+        next_pid = db.max_paper_id() + 1
+        max_aid = db.max_author_id()
         uids = config.uids()
         zipf = [1.0 / ((rank + 1) ** config.zipf_exponent)
                 for rank in range(len(uids))]
@@ -229,8 +233,7 @@ class ReplayDriver:
         # Deletes and in-place updates must target pids that still exist at
         # that point of the replay; tracking liveness here keeps the payloads
         # pre-generated and the two arms' schedules identical.
-        alive = [int(row[0]) for row in db.query_tuples(
-            "SELECT pid FROM dblp ORDER BY pid")]
+        alive = db.paper_ids()
         update_counts: Dict[int, int] = {}
         ops: List[ReplayOp] = []
         for step in range(config.requests):
@@ -367,7 +370,7 @@ class ReplayDriver:
                     f"recomputation: {served!r} != {fresh!r}")
             report.verified_results += 1
 
-    def run_baseline(self, db: Database,
+    def run_baseline(self, db: StorageBackend,
                      ops: Optional[Sequence[ReplayOp]] = None) -> ReplayReport:
         """Replay the same schedule with no serving layer at all.
 
@@ -425,7 +428,8 @@ class ReplayDriver:
                                    shards: int,
                                    capacity: int = 8,
                                    partitioner: Optional[Partitioner] = None,
-                                   parallel_fanout: bool = False) -> int:
+                                   parallel_fanout: bool = False,
+                                   server_backend: Optional[str] = None) -> int:
         """Lockstep three-way equivalence: cluster == single server == fresh.
 
         Builds three identical worlds, replays the identical schedule
@@ -437,9 +441,15 @@ class ReplayDriver:
         from-scratch recomputation against the baseline world.  Raises
         :class:`~repro.exceptions.ServingError` on the first divergence;
         returns the number of three-way comparisons performed.
+
+        ``server_backend`` puts the single-server arm on a different storage
+        engine (``"memory"`` turns this into the cross-backend sweep: SQLite
+        cluster vs memory single-server vs fresh recomputation, so one run
+        certifies sharding *and* the backend abstraction at once); ``None``
+        keeps all three worlds on the process default engine.
         """
         cluster_db = self.build_world(dblp_config)
-        server_db = self.build_world(dblp_config)
+        server_db = self.build_world(dblp_config, backend=server_backend)
         baseline_db = self.build_world(dblp_config)
         checked = 0
         try:
@@ -490,7 +500,7 @@ class ReplayDriver:
 
     @staticmethod
     def _compare_arms(cluster: ShardedTopKServer, server: TopKServer,
-                      baseline_db: Database,
+                      baseline_db: StorageBackend,
                       uids: Sequence[int], k: int) -> int:
         """Assert all three arms agree on every uid's Top-K; count checks."""
         for uid in uids:

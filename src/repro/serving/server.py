@@ -36,8 +36,8 @@ from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 from ..core.hypre.builder import HypreGraphBuilder
 from ..core.preference import ProfileRegistry, UserProfile
 from ..exceptions import ServingError, UnknownUserError
+from ..backend.protocol import StorageBackend
 from ..index import CountCache
-from ..sqldb.database import Database
 from ..sqldb.events import DataMutation
 from ..workload.dblp import Paper
 from ..workload.loader import (
@@ -145,9 +145,15 @@ def normalise_papers(papers: Sequence[PaperLike],
 
 
 class TopKServer:
-    """Thread-safe multi-user Top-K serving engine over one workload database."""
+    """Thread-safe multi-user Top-K serving engine over one workload backend.
 
-    def __init__(self, db: Database,
+    ``db`` is any :class:`~repro.backend.protocol.StorageBackend` — the
+    SQLite engine and the in-memory columnar engine serve identical answers
+    (asserted by the cross-backend differential harness); the server only
+    consumes the protocol surface.
+    """
+
+    def __init__(self, db: StorageBackend,
                  capacity: int = 64,
                  cache_results: bool = True,
                  count_cache: Optional[CountCache] = None,
@@ -395,7 +401,7 @@ class TopKServer:
         }
 
 
-def fresh_top_k(db: Database, uid: int, k: int) -> List[Tuple[int, float]]:
+def fresh_top_k(db: StorageBackend, uid: int, k: int) -> List[Tuple[int, float]]:
     """Recompute one user's Top-K from scratch — the serving-path oracle.
 
     Reads the profile from the staging tables, builds a fresh HYPRE graph and

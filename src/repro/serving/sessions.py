@@ -26,12 +26,12 @@ from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence
 
 from ..algorithms.base import PreferenceQueryRunner, preferences_from_graph
 from ..algorithms.peps import PEPSAlgorithm
+from ..backend.protocol import StorageBackend
 from ..core.hypre.builder import BuildReport, HypreGraphBuilder
 from ..core.hypre.events import GraphMutation
 from ..core.preference import UserProfile
 from ..exceptions import ServingError
 from ..index import CountCache, IncrementalPairIndex
-from ..sqldb.database import Database
 
 ProfileLoader = Callable[[int], Optional[UserProfile]]
 MutationListener = Callable[[GraphMutation], None]
@@ -127,7 +127,7 @@ class SessionRegistry:
     evicted session's preferences as gone.
     """
 
-    def __init__(self, db: Database,
+    def __init__(self, db: StorageBackend,
                  capacity: int = 64,
                  count_cache: Optional[CountCache] = None,
                  profile_loader: Optional[ProfileLoader] = None) -> None:

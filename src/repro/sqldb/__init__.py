@@ -4,8 +4,11 @@ Public API
 ----------
 Connection (:mod:`repro.sqldb.database`)
     :class:`Database` — SQLite wrapper owning one connection, with
-    execute/query helpers, a statement counter and data-mutation
-    subscriptions.
+    execute/query helpers, statement/row accounting
+    (``statements_executed`` / ``rows_touched``) and data-mutation
+    subscriptions.  Since the backend split it carries the full
+    :class:`~repro.backend.protocol.StorageBackend` surface — it *is* the
+    SQLite engine behind :class:`repro.backend.SqliteBackend`.
 
 Data-update events (:mod:`repro.sqldb.events`)
     :class:`DataMutation` — the tuple-mutation notification carrying the

@@ -15,13 +15,24 @@
 
 It replaces the MySQL + JDBC stack of the paper's prototype with an embedded
 engine while keeping the exact SQL surface used by the algorithms.
+
+Since the backend split (:mod:`repro.backend`) this class is also **the
+SQLite implementation of the** :class:`~repro.backend.protocol.StorageBackend`
+**protocol**: the narrow query surface every consumer is wired against
+(:meth:`count_matching` / :meth:`count_many` / :meth:`matching_paper_ids` /
+:meth:`joined_rows`), the mutation surface with pre-/post-image capture
+(:meth:`load_dataset` / :meth:`append_papers` / :meth:`delete_papers` /
+:meth:`update_papers` / profile round-trips) and the op accounting
+(:attr:`statements_executed`, :attr:`rows_touched`).
+:class:`repro.backend.SqliteBackend` is the protocol-named entry point and
+subclasses this wrapper without changing behaviour.
 """
 
 from __future__ import annotations
 
 import sqlite3
 from pathlib import Path
-from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple, Union
+from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
 
 from ..exceptions import RelationalError
 from . import schema
@@ -32,6 +43,9 @@ PathLike = Union[str, Path]
 
 class Database:
     """An open SQLite database holding the DBLP workload."""
+
+    #: Factory name of this backend (see :func:`repro.backend.create_backend`).
+    backend_name = "sqlite"
 
     def __init__(self, path: PathLike = ":memory:", create: bool = True) -> None:
         self.path = str(path)
@@ -46,8 +60,14 @@ class Database:
         self._connection.row_factory = sqlite3.Row
         #: Number of SQL statements executed through this wrapper; the count
         #: cache and the benchmarks use it to verify batching actually
-        #: collapses many logical counts into few round-trips.
+        #: collapses many logical counts into few round-trips.  A batched
+        #: ``executemany`` counts as **one** statement per non-empty batch.
         self.statements_executed = 0
+        #: Number of rows written by DML through this wrapper (inserts,
+        #: deletes, updates; every row of an ``executemany`` batch counts).
+        #: Statement counts are an artefact of each backend's batching shape,
+        #: so cross-backend comparisons should use this row measure instead.
+        self.rows_touched = 0
         # Data-mutation subscribers (see repro.sqldb.events / repro.serving).
         self._listeners: List[Callable[[DataMutation], None]] = []
         if create:
@@ -137,18 +157,34 @@ class Database:
         connection = self._require_connection()
         try:
             self.statements_executed += 1
-            return connection.execute(sql, tuple(parameters))
+            cursor = connection.execute(sql, tuple(parameters))
         except sqlite3.Error as exc:
             raise RelationalError(f"SQL error in {sql!r}: {exc}") from exc
+        # rowcount is -1 for SELECTs and DDL; only DML contributes real rows.
+        if cursor.rowcount > 0:
+            self.rows_touched += cursor.rowcount
+        return cursor
 
     def executemany(self, sql: str, rows: Iterable[Sequence[Any]]) -> None:
-        """Execute a parametrised statement for every row in ``rows``."""
+        """Execute a parametrised statement for every row in ``rows``.
+
+        Accounting: one *statement* per non-empty batch (an empty batch
+        issues nothing and counts nothing — the historical behaviour counted
+        a phantom statement) plus one *row touched* per affected row, so
+        ``rows_touched`` reflects real work where ``statements_executed``
+        only reflects round-trip shape.
+        """
+        rows = list(rows)
         connection = self._require_connection()
+        if not rows:
+            return
         try:
             self.statements_executed += 1
-            connection.executemany(sql, rows)
+            cursor = connection.executemany(sql, rows)
         except sqlite3.Error as exc:
             raise RelationalError(f"SQL error in {sql!r}: {exc}") from exc
+        if cursor.rowcount > 0:
+            self.rows_touched += cursor.rowcount
 
     def commit(self) -> None:
         """Commit the current transaction."""
@@ -207,3 +243,128 @@ class Database:
         if table not in schema.TABLES:
             raise RelationalError(f"unknown table {table!r}")
         return self.count(f"SELECT COUNT(DISTINCT {column}) FROM {table}")
+
+    # -- StorageBackend query surface ---------------------------------------------
+    #
+    # The narrow read interface every consumer (count cache, query runner,
+    # serving layer, replay driver) is wired against — see
+    # repro.backend.protocol.StorageBackend.  Implemented with the SQL
+    # helpers of repro.sqldb.query_builder; imported lazily so this module
+    # stays importable from query_builder's own dependency chain.
+
+    def count_matching(self, predicate: Optional[Any] = None) -> int:
+        """Distinct papers matching ``predicate`` (whole relation when ``None``)."""
+        from .query_builder import count_matching_papers
+        return count_matching_papers(self, predicate)
+
+    def count_many(self, predicates: Sequence[Any],
+                   chunk_size: Optional[int] = None) -> List[int]:
+        """Counts for many predicates, batched into compound statements.
+
+        One ``UNION ALL`` statement per ``chunk_size`` predicates (default:
+        :data:`~repro.sqldb.query_builder.BATCH_COUNT_CHUNK`); returns one
+        count per input predicate, in input order.
+        """
+        from .query_builder import BATCH_COUNT_CHUNK, count_matching_papers_many
+        return count_matching_papers_many(
+            self, predicates,
+            chunk_size=BATCH_COUNT_CHUNK if chunk_size is None else chunk_size)
+
+    def matching_paper_ids(self, predicate: Optional[Any] = None,
+                           limit: Optional[int] = None) -> List[int]:
+        """Distinct paper ids matching ``predicate``, ordered by pid."""
+        from .query_builder import matching_paper_ids
+        return matching_paper_ids(self, predicate, limit)
+
+    def joined_rows(self, pids: Optional[Sequence[int]] = None
+                    ) -> List[Dict[str, Any]]:
+        """Rows of the canonical ``dblp JOIN dblp_author`` view.
+
+        One dict per (paper, author-link) pair with the joined-view columns
+        ``pid``/``title``/``venue``/``year``/``abstract``/``aid`` — the unit
+        every enhanced query's FROM clause produces and the shape every
+        :class:`DataMutation` image row uses.  ``pids`` restricts the scan to
+        those papers (the loader's pre-/post-image capture path).
+        """
+        sql = ("SELECT dblp.pid AS pid, title, venue, year, abstract, aid"
+               f" FROM {schema.BASE_FROM}")
+        parameters: Sequence[Any] = ()
+        if pids is not None:
+            pids = list(pids)
+            if not pids:
+                return []
+            placeholders = ", ".join("?" for _ in pids)
+            sql += f" WHERE dblp.pid IN ({placeholders})"
+            parameters = pids
+        return self.query(sql, parameters)
+
+    # -- StorageBackend workload-shape surface ------------------------------------
+
+    def workload_shape(self) -> Tuple[List[str], int, int]:
+        """``(sorted distinct venues, min year, max year)`` of the relation.
+
+        Returns ``([], 0, 0)`` for an empty relation — the replay driver
+        turns that into its own "no papers loaded" error.
+        """
+        venues = [str(value) for value in self.query_scalars(
+            "SELECT DISTINCT venue FROM dblp ORDER BY venue")]
+        if not venues:
+            return [], 0, 0
+        lo = int(self.scalar("SELECT MIN(year) FROM dblp"))
+        hi = int(self.scalar("SELECT MAX(year) FROM dblp"))
+        return venues, lo, hi
+
+    def paper_ids(self) -> List[int]:
+        """Every pid currently in the relation, ascending."""
+        return [int(row[0]) for row in self.query_tuples(
+            "SELECT pid FROM dblp ORDER BY pid")]
+
+    def max_paper_id(self) -> int:
+        """The largest pid in the relation (0 when empty)."""
+        value = self.scalar("SELECT MAX(pid) FROM dblp")
+        return int(value) if value is not None else 0
+
+    def max_author_id(self) -> int:
+        """The largest aid referenced by any author link (0 when none)."""
+        value = self.scalar("SELECT MAX(aid) FROM dblp_author")
+        return int(value) if value is not None else 0
+
+    # -- StorageBackend mutation surface ------------------------------------------
+    #
+    # Image capture (the joined-view pre-/post-rows every DataMutation
+    # carries) lives behind these methods so the loader front doors in
+    # repro.workload.loader stay backend-agnostic.  The SQLite bodies are the
+    # sqlite_* functions of that module; imported lazily because the loader
+    # imports this module at its own top level.
+
+    def load_dataset(self, dataset: Any) -> Dict[str, int]:
+        """Bulk-load a generated dataset; returns per-table row counts."""
+        from ..workload.loader import sqlite_load_dataset
+        return sqlite_load_dataset(self, dataset)
+
+    def append_papers(self, papers: Sequence[Any],
+                      paper_authors: Iterable[Tuple[int, int]] = (),
+                      citations: Iterable[Tuple[int, int]] = ()) -> Dict[str, int]:
+        """Append papers/links/citations, then notify with both images."""
+        from ..workload.loader import sqlite_append_papers
+        return sqlite_append_papers(self, papers, paper_authors, citations)
+
+    def delete_papers(self, pids: Iterable[int]) -> Dict[str, int]:
+        """Delete papers (and their links/citations), notifying the pre-image."""
+        from ..workload.loader import sqlite_delete_papers
+        return sqlite_delete_papers(self, pids)
+
+    def update_papers(self, papers: Sequence[Any]) -> Dict[str, int]:
+        """Update papers in place, notifying pre- and post-image."""
+        from ..workload.loader import sqlite_update_papers
+        return sqlite_update_papers(self, papers)
+
+    def load_profiles(self, registry: Any) -> Dict[str, int]:
+        """Persist extracted preference profiles into the staging tables."""
+        from ..workload.loader import sqlite_load_profiles
+        return sqlite_load_profiles(self, registry)
+
+    def read_profiles(self, uids: Optional[Iterable[int]] = None) -> Any:
+        """Rebuild a profile registry from the staging tables."""
+        from ..workload.loader import sqlite_read_profiles
+        return sqlite_read_profiles(self, uids)

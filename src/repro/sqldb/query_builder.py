@@ -9,16 +9,20 @@ The combination algorithms repeatedly build queries of the shape::
 :class:`SelectQuery` provides a small fluent builder for that shape, and the
 module-level helpers run the two variants (count / id list) the algorithms
 need against a :class:`~repro.sqldb.database.Database`.
+
+The helpers take the database as a duck-typed first argument (anything with
+``count`` / ``query_tuples``) rather than importing :class:`Database` — this
+module sits *below* the connection wrapper so the wrapper itself can expose
+the helpers as its :class:`~repro.backend.protocol.StorageBackend` surface.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Union
+from typing import Any, List, Optional, Sequence, Union
 
 from ..core.predicate import PredicateExpr, ensure_predicate
 from ..exceptions import QueryBuildError
-from .database import Database
 from .schema import BASE_FROM
 
 
@@ -102,7 +106,7 @@ def paper_ids_query(predicate: Union[str, PredicateExpr, None] = None,
     return query.to_sql()
 
 
-def count_matching_papers(db: Database,
+def count_matching_papers(db: Any,
                           predicate: Union[str, PredicateExpr, None] = None) -> int:
     """Number of distinct papers matching ``predicate`` (whole table when ``None``)."""
     return db.count(count_query(predicate))
@@ -135,7 +139,7 @@ def batched_count_query(predicates: Sequence[Union[str, PredicateExpr]]) -> str:
     return " UNION ALL ".join(arms)
 
 
-def count_matching_papers_many(db: Database,
+def count_matching_papers_many(db: Any,
                                predicates: Sequence[Union[str, PredicateExpr]],
                                chunk_size: int = BATCH_COUNT_CHUNK) -> List[int]:
     """Counts for many predicates using one statement per ``chunk_size`` arms.
@@ -151,7 +155,7 @@ def count_matching_papers_many(db: Database,
     return counts
 
 
-def matching_paper_ids(db: Database,
+def matching_paper_ids(db: Any,
                        predicate: Union[str, PredicateExpr, None] = None,
                        limit: Optional[int] = None) -> List[int]:
     """Distinct paper ids matching ``predicate``, ordered by pid."""

@@ -1,4 +1,4 @@
-"""Load a synthetic DBLP dataset and extracted preferences into SQLite.
+"""Load a synthetic DBLP dataset and preferences into a storage backend.
 
 The paper parses the DBLP citation dump into four relational tables plus two
 staging tables for extracted preferences (Section 6.1).  This module performs
@@ -6,10 +6,21 @@ the equivalent bulk loading for the synthetic workload, and provides the
 **mutation API** the serving layer uses for the full data-side update
 spectrum: :func:`append_papers` (inserts), :func:`delete_papers` (removals)
 and :func:`update_papers` (in-place attribute changes).  Each commits its
-rows and then notifies the database's
+rows and then notifies the backend's
 :class:`~repro.sqldb.events.DataMutation` subscribers with the *joined-view*
 rows the change added (post-image) and/or removed (pre-image), so
 result/count caches can invalidate selectively yet soundly.
+
+Since the backend split the public functions here are thin **backend-agnostic
+front doors**: each dispatches to the same-named method of the
+:class:`~repro.backend.protocol.StorageBackend` it is handed, so callers keep
+the historical ``loader.append_papers(db, ...)`` spelling while the image
+capture runs inside whichever engine owns the data.  The ``sqlite_*``
+functions below are the SQLite implementation bodies —
+:class:`~repro.sqldb.database.Database` (and therefore
+:class:`~repro.backend.SqliteBackend`) delegates its mutation methods to
+them; :class:`~repro.backend.MemoryBackend` implements the same contract
+natively over its column store.
 """
 
 from __future__ import annotations
@@ -32,6 +43,9 @@ def _joined_rows(papers: Sequence[Paper],
     row: it is invisible to the inner join every count/select runs over, so
     it provably cannot affect any cached result (the notification that later
     adds its first link carries the real joined row).
+
+    Shared by both backends — the synthesized post-image of a brand-new paper
+    depends only on the call's own arguments, never on the engine.
     """
     authors_of: Dict[int, List[int]] = {}
     for pid, aid in paper_authors:
@@ -45,8 +59,87 @@ def _joined_rows(papers: Sequence[Paper],
     return rows
 
 
-def load_dataset(db: Database, dataset: DblpDataset) -> Dict[str, int]:
-    """Insert every dataset row into the workload tables; returns row counts."""
+# ---------------------------------------------------------------------------
+# Backend-agnostic front doors
+# ---------------------------------------------------------------------------
+
+
+def load_dataset(db: Any, dataset: DblpDataset) -> Dict[str, int]:
+    """Insert every dataset row into the workload tables; returns row counts.
+
+    ``db`` is any :class:`~repro.backend.protocol.StorageBackend`; the bulk
+    load commits and then notifies subscribers with one ``TUPLES_INSERTED``
+    event carrying the loaded joined-view rows.
+    """
+    return db.load_dataset(dataset)
+
+
+def append_papers(db: Any,
+                  papers: Sequence[Paper],
+                  paper_authors: Iterable[Tuple[int, int]] = (),
+                  citations: Iterable[Tuple[int, int]] = ()) -> Dict[str, int]:
+    """Append new papers (plus author/citation links) to a loaded workload.
+
+    This is the data-side update path of the serving layer: the rows are
+    committed and then every backend subscriber receives one
+    :class:`~repro.sqldb.events.DataMutation` carrying the joined-view rows,
+    so caches can invalidate exactly the entries whose predicates can match
+    the new tuples (REPLACE'd papers ride along with their pre-image).
+    Returns the number of rows inserted per table.
+    """
+    return db.append_papers(papers, paper_authors, citations)
+
+
+def delete_papers(db: Any, pids: Iterable[int]) -> Dict[str, int]:
+    """Delete papers (plus their author links and citations) from the workload.
+
+    The data-side *removal* path of the serving layer: the **pre-image**
+    joined-view rows are captured before anything is deleted, and after the
+    commit every subscriber receives one
+    :class:`~repro.sqldb.events.DataMutation` of kind ``TUPLES_DELETED``
+    carrying them in ``old_rows`` — a cached count or answer may only be
+    spared when none of its predicates can match a removed row.  Unknown
+    pids are ignored (their deletion is a no-op).  Returns the number of
+    rows removed per table.
+    """
+    return db.delete_papers(pids)
+
+
+def update_papers(db: Any, papers: Sequence[Paper]) -> Dict[str, int]:
+    """Update existing papers' attribute values in place.
+
+    The data-side *in-place update* path of the serving layer: the
+    **pre-image** joined-view rows are captured before the update, the
+    **post-image** after the commit, and subscribers receive both on one
+    :class:`~repro.sqldb.events.DataMutation` of kind ``TUPLES_UPDATED`` —
+    a cached entry is spared only when no predicate can match *either*
+    image.  Every pid must already exist;
+    :class:`~repro.exceptions.WorkloadError` is raised otherwise (use
+    :func:`append_papers` to insert).  Returns the number of papers updated.
+    """
+    return db.update_papers(papers)
+
+
+def load_profiles(db: Any, registry: ProfileRegistry) -> Dict[str, int]:
+    """Insert extracted preferences into the two staging tables.
+
+    Returns the number of quantitative and qualitative rows inserted.
+    """
+    return db.load_profiles(registry)
+
+
+def read_profiles(db: Any, uids: Optional[Iterable[int]] = None) -> ProfileRegistry:
+    """Rebuild a :class:`ProfileRegistry` from the staging tables."""
+    return db.read_profiles(uids)
+
+
+# ---------------------------------------------------------------------------
+# SQLite implementation bodies (Database delegates its mutation methods here)
+# ---------------------------------------------------------------------------
+
+
+def sqlite_load_dataset(db: Database, dataset: DblpDataset) -> Dict[str, int]:
+    """SQLite body of :func:`load_dataset` (see that front door's contract)."""
     db.executemany(
         "INSERT OR REPLACE INTO dblp (pid, title, venue, year, abstract) VALUES (?, ?, ?, ?, ?)",
         [(paper.pid, paper.title, paper.venue, paper.year, paper.abstract)
@@ -71,18 +164,11 @@ def load_dataset(db: Database, dataset: DblpDataset) -> Dict[str, int]:
     return db.table_counts()
 
 
-def append_papers(db: Database,
-                  papers: Sequence[Paper],
-                  paper_authors: Iterable[Tuple[int, int]] = (),
-                  citations: Iterable[Tuple[int, int]] = ()) -> Dict[str, int]:
-    """Append new papers (plus author/citation links) to a loaded workload.
-
-    This is the data-side update path of the serving layer: the rows are
-    committed and then every :meth:`Database.subscribe` listener receives one
-    :class:`~repro.sqldb.events.DataMutation` carrying the joined-view rows,
-    so caches can invalidate exactly the entries whose predicates can match
-    the new tuples.  Returns the number of rows inserted per table.
-    """
+def sqlite_append_papers(db: Database,
+                         papers: Sequence[Paper],
+                         paper_authors: Iterable[Tuple[int, int]] = (),
+                         citations: Iterable[Tuple[int, int]] = ()) -> Dict[str, int]:
+    """SQLite body of :func:`append_papers` (see that front door's contract)."""
     papers = list(papers)
     paper_authors = list(paper_authors)
     citations = list(citations)
@@ -90,7 +176,7 @@ def append_papers(db: Database,
     # replaced paper must ride along in the notification: a cached entry may
     # only be spared when neither the old nor the new tuple values can match
     # its predicates.  Captured before the insert overwrites them.
-    replaced_rows = (_existing_joined_rows(db, [paper.pid for paper in papers])
+    replaced_rows = (db.joined_rows([paper.pid for paper in papers])
                      if papers and db.has_subscribers else [])
     if papers:
         db.executemany(
@@ -123,7 +209,7 @@ def append_papers(db: Database,
             [(pid, aid) for pid, aid in paper_authors
              if pid not in replaced_pids])
         if fetch:
-            post_rows += _existing_joined_rows(db, fetch)
+            post_rows += db.joined_rows(fetch)
         db.notify(DataMutation(
             TUPLES_INSERTED, "dblp",
             rows=post_rows,
@@ -133,22 +219,12 @@ def append_papers(db: Database,
             "citation": len(citations)}
 
 
-def delete_papers(db: Database, pids: Iterable[int]) -> Dict[str, int]:
-    """Delete papers (plus their author links and citations) from the workload.
-
-    The data-side *removal* path of the serving layer: the **pre-image**
-    joined-view rows are captured before anything is deleted, and after the
-    commit every subscriber receives one
-    :class:`~repro.sqldb.events.DataMutation` of kind ``TUPLES_DELETED``
-    carrying them in ``old_rows`` — a cached count or answer may only be
-    spared when none of its predicates can match a removed row.  Unknown
-    pids are ignored (their deletion is a no-op).  Returns the number of
-    rows removed per table.
-    """
+def sqlite_delete_papers(db: Database, pids: Iterable[int]) -> Dict[str, int]:
+    """SQLite body of :func:`delete_papers` (see that front door's contract)."""
     pids = sorted({int(pid) for pid in pids})
     if not pids:
         return {"dblp": 0, "dblp_author": 0, "citation": 0}
-    pre_image = _existing_joined_rows(db, pids) if db.has_subscribers else []
+    pre_image = db.joined_rows(pids) if db.has_subscribers else []
     placeholders = ", ".join("?" for _ in pids)
     removed = {
         "dblp": db.execute(
@@ -167,19 +243,8 @@ def delete_papers(db: Database, pids: Iterable[int]) -> Dict[str, int]:
     return removed
 
 
-def update_papers(db: Database, papers: Sequence[Paper]) -> Dict[str, int]:
-    """Update existing papers' attribute values in place.
-
-    The data-side *in-place update* path of the serving layer: the
-    **pre-image** joined-view rows are captured before the UPDATE, the
-    **post-image** after the commit, and subscribers receive both on one
-    :class:`~repro.sqldb.events.DataMutation` of kind ``TUPLES_UPDATED`` —
-    a cached entry is spared only when no predicate can match *either*
-    image (the update may remove a tuple from a result, add one, or change
-    its score contribution).  Every pid must already exist;
-    :class:`~repro.exceptions.WorkloadError` is raised otherwise (use
-    :func:`append_papers` to insert).  Returns the number of papers updated.
-    """
+def sqlite_update_papers(db: Database, papers: Sequence[Paper]) -> Dict[str, int]:
+    """SQLite body of :func:`update_papers` (see that front door's contract)."""
     papers = list(papers)
     if not papers:
         return {"dblp": 0}
@@ -190,7 +255,7 @@ def update_papers(db: Database, papers: Sequence[Paper]) -> Dict[str, int]:
     missing = sorted(set(pids) - existing)
     if missing:
         raise WorkloadError(f"cannot update unknown papers: {missing}")
-    pre_image = _existing_joined_rows(db, pids) if db.has_subscribers else []
+    pre_image = db.joined_rows(pids) if db.has_subscribers else []
     db.executemany(
         "UPDATE dblp SET title = ?, venue = ?, year = ?, abstract = ?"
         " WHERE pid = ?",
@@ -200,27 +265,14 @@ def update_papers(db: Database, papers: Sequence[Paper]) -> Dict[str, int]:
     if db.has_subscribers:
         db.notify(DataMutation(
             TUPLES_UPDATED, "dblp",
-            rows=_existing_joined_rows(db, pids),
+            rows=db.joined_rows(pids),
             old_rows=pre_image,
             pids=pids))
     return {"dblp": len(papers)}
 
 
-def _existing_joined_rows(db: Database,
-                          pids: Sequence[int]) -> List[Mapping[str, Any]]:
-    """Current joined-view rows of ``pids`` (the pre-image of a REPLACE)."""
-    placeholders = ", ".join("?" for _ in pids)
-    return [dict(row) for row in db.query(
-        "SELECT dblp.pid AS pid, title, venue, year, abstract, aid"
-        " FROM dblp JOIN dblp_author ON dblp.pid = dblp_author.pid"
-        f" WHERE dblp.pid IN ({placeholders})", list(pids))]
-
-
-def load_profiles(db: Database, registry: ProfileRegistry) -> Dict[str, int]:
-    """Insert extracted preferences into the two staging tables.
-
-    Returns the number of quantitative and qualitative rows inserted.
-    """
+def sqlite_load_profiles(db: Database, registry: ProfileRegistry) -> Dict[str, int]:
+    """SQLite body of :func:`load_profiles` (see that front door's contract)."""
     quantitative_rows: List[Tuple[int, str, float]] = []
     qualitative_rows: List[Tuple[int, str, str, float]] = []
     for profile in registry:
@@ -245,8 +297,9 @@ def load_profiles(db: Database, registry: ProfileRegistry) -> Dict[str, int]:
     }
 
 
-def read_profiles(db: Database, uids: Iterable[int] | None = None) -> ProfileRegistry:
-    """Rebuild a :class:`ProfileRegistry` from the staging tables."""
+def sqlite_read_profiles(db: Database,
+                         uids: Optional[Iterable[int]] = None) -> ProfileRegistry:
+    """SQLite body of :func:`read_profiles` (see that front door's contract)."""
     registry = ProfileRegistry()
     params: Tuple = ()
     quant_sql = "SELECT uid, preference, intensity FROM quantitative_pref"
@@ -275,9 +328,17 @@ def read_profiles(db: Database, uids: Iterable[int] | None = None) -> ProfileReg
 
 
 def build_workload_database(config: DblpConfig = DblpConfig(),
-                            path: str = ":memory:") -> Tuple[Database, DblpDataset]:
-    """Generate a dataset for ``config`` and load it into a fresh database."""
+                            path: str = ":memory:",
+                            backend: Optional[str] = None) -> Tuple[Any, DblpDataset]:
+    """Generate a dataset for ``config`` and load it into a fresh backend.
+
+    ``backend`` picks the storage engine by factory name (``"sqlite"`` /
+    ``"memory"``); ``None`` defers to the ``REPRO_BACKEND`` environment
+    variable and falls back to SQLite — see
+    :func:`repro.backend.create_backend`.
+    """
+    from ..backend import create_backend
     dataset = generate_dblp(config)
-    db = Database(path)
+    db = create_backend(backend, path=path)
     load_dataset(db, dataset)
     return db, dataset

@@ -27,6 +27,7 @@ class TestPackageSurface:
 
     def test_subpackage_all_names_resolve(self):
         import repro.algorithms as algorithms
+        import repro.backend as backend
         import repro.core as core
         import repro.extensions as extensions
         import repro.graphstore as graphstore
@@ -35,14 +36,15 @@ class TestPackageSurface:
         import repro.sqldb as sqldb
         import repro.workload as workload
 
-        for module in (algorithms, core, extensions, graphstore, index,
-                       serving, sqldb, workload):
+        for module in (algorithms, backend, core, extensions, graphstore,
+                       index, serving, sqldb, workload):
             for name in module.__all__:
                 assert hasattr(module, name), f"{module.__name__}.{name} missing"
 
     def test_subpackage_all_names_documented(self):
         """Every ``__all__`` symbol appears in its package docstring's API list."""
         import repro.algorithms as algorithms
+        import repro.backend as backend
         import repro.core as core
         import repro.core.hypre as hypre
         import repro.extensions as extensions
@@ -52,8 +54,8 @@ class TestPackageSurface:
         import repro.sqldb as sqldb
         import repro.workload as workload
 
-        for module in (repro, algorithms, core, hypre, extensions, graphstore,
-                       index, serving, sqldb, workload):
+        for module in (repro, algorithms, backend, core, hypre, extensions,
+                       graphstore, index, serving, sqldb, workload):
             for name in module.__all__:
                 assert name in module.__doc__, (
                     f"{name} undocumented in {module.__name__}")

@@ -50,8 +50,7 @@ class TestSchedule:
         db = driver.build_world(DBLP)
         try:
             ops = driver.schedule(db)
-            initial = {int(row[0]) for row in
-                       db.query_tuples("SELECT pid FROM dblp")}
+            initial = set(db.paper_ids())
         finally:
             db.close()
         alive = set(initial)

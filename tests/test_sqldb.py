@@ -376,3 +376,48 @@ class TestQueryExecution:
         memory_ids = {paper.pid for paper in tiny_dataset.papers
                       if predicate.evaluate({"venue": paper.venue, "year": paper.year})}
         assert sql_ids == memory_ids
+
+
+class TestStatementAccounting:
+    """The executemany accounting fix: per-batch statements + rows_touched."""
+
+    def test_executemany_counts_one_statement_per_batch(self):
+        with Database(":memory:") as db:
+            before = db.statements_executed
+            db.executemany(
+                "INSERT INTO dblp (pid, title, venue, year) VALUES (?, ?, ?, ?)",
+                [(1, "A", "V", 2000), (2, "B", "V", 2001), (3, "C", "W", 2002)])
+            assert db.statements_executed - before == 1
+
+    def test_empty_executemany_counts_nothing(self):
+        """An empty batch issues no statement — the historical accounting
+        charged a phantom statement for it."""
+        with Database(":memory:") as db:
+            before = db.statements_executed
+            db.executemany(
+                "INSERT INTO dblp (pid, title, venue, year) VALUES (?, ?, ?, ?)",
+                [])
+            assert db.statements_executed == before
+            assert db.rows_touched == 0
+
+    def test_rows_touched_tracks_dml_rows(self):
+        with Database(":memory:") as db:
+            db.executemany(
+                "INSERT INTO dblp (pid, title, venue, year) VALUES (?, ?, ?, ?)",
+                [(1, "A", "V", 2000), (2, "B", "V", 2001), (3, "C", "W", 2002)])
+            assert db.rows_touched == 3
+            db.execute("DELETE FROM dblp WHERE year >= 2001")
+            assert db.rows_touched == 5
+            # SELECTs touch nothing.
+            db.query("SELECT * FROM dblp")
+            assert db.rows_touched == 5
+
+    def test_load_dataset_skips_empty_batches(self, tiny_dataset):
+        """A dataset bulk load charges one statement per non-empty table."""
+        from dataclasses import replace
+        with Database(":memory:") as db:
+            before = db.statements_executed
+            load_dataset(db, replace(tiny_dataset, citations=[]))
+            # papers + authors + links batches; no citation statement, and
+            # table_counts goes through the raw connection (uncounted).
+            assert db.statements_executed - before == 3
