@@ -31,7 +31,7 @@ from repro.experiments import reporting
 from repro.serving import ReplayConfig, ReplayDriver, TopKServer
 from repro.workload.dblp import DblpConfig
 
-from bench_utils import run_once
+from bench_utils import run_once, write_bench_json
 
 #: The replay world (tiny scale keeps the CI smoke job quick).
 DBLP = DblpConfig(n_papers=300, n_authors=120, n_venues=10, seed=7)
@@ -116,6 +116,18 @@ def test_memory_backend_beats_sqlite_on_serving_replay(benchmark):
              "read_hits": best[backend].read_hits,
              "zero_sql_reads": best[backend].zero_sql_reads}
             for backend in BACKENDS]))
+
+    write_bench_json("backends", {
+        "scale": {"users": REPLAY.users, "requests": REPLAY.requests,
+                  "papers": DBLP.n_papers},
+        "repetitions": REPETITIONS,
+        "arms": [{"backend": backend,
+                  "seconds": best[backend].seconds,
+                  "sql_statements": best[backend].sql_statements,
+                  "read_hits": best[backend].read_hits,
+                  "zero_sql_reads": best[backend].zero_sql_reads}
+                 for backend in BACKENDS],
+    })
 
     sqlite_report, memory_report = best["sqlite"], best["memory"]
     # Same replay behaviour on both engines...

@@ -1,0 +1,101 @@
+"""Concurrent load harness SLO matrix (ISSUE 6).
+
+Runs the :mod:`repro.loadgen` generator closed-loop over every cell of
+``shards x backend`` — a single :class:`~repro.serving.TopKServer` and
+2- and 4-shard :class:`~repro.serving.ShardedTopKServer` clusters, on both
+storage engines — with the background equivalence auditor live, and
+persists the full SLO matrix (p50/p95/p99, throughput at saturation,
+per-shard load skew, lock contention, audit outcome) as the
+schema-versioned ``BENCH_loadgen.json`` at the repository root.
+
+Assertions:
+
+(a) **clean under contention** — every cell finishes with zero worker
+    errors and zero audit mismatches (the auditor quiesced a live
+    mixed-mutation run several times per cell);
+(b) **the artifact is consumable** — the written document passes
+    :func:`repro.loadgen.validate_loadgen_payload`, the same structural
+    check the CI smoke job applies before uploading it;
+(c) **sharding spreads load** — every multi-shard cell reports a finite
+    skew over a full per-shard request vector.
+"""
+
+from __future__ import annotations
+
+from repro.loadgen import (
+    LoadConfig,
+    LoadGenerator,
+    LoadMix,
+    load_and_validate,
+    loadgen_payload,
+)
+from repro.serving import ReplayConfig, ReplayDriver, ShardedTopKServer, TopKServer
+from repro.workload.dblp import DblpConfig
+
+from bench_utils import REPO_ROOT, run_once, write_bench_json
+
+#: The load world (small enough for the CI smoke job, big enough to contend).
+DBLP = DblpConfig(n_papers=220, n_authors=90, n_venues=8, seed=7)
+#: Profile population the workers draw uids from.
+REPLAY = ReplayConfig(users=32, k=5, seed=23)
+CAPACITY = 16
+BACKENDS = ("sqlite", "memory")
+SHARD_COUNTS = (1, 2, 4)
+#: Per-cell closed-loop run shape.
+LOAD = LoadConfig(threads=2, duration_seconds=1.0, seed=23,
+                  mix=LoadMix(k=REPLAY.k), audit_interval=0.3,
+                  audit_sample=6)
+
+
+def _run_cell(backend: str, shards: int):
+    """One matrix cell: build the world, run the load, return the record."""
+    driver = ReplayDriver(REPLAY)
+    db = driver.build_world(DBLP, backend=backend)
+    if shards > 1:
+        server = ShardedTopKServer(db, shards=shards, capacity=CAPACITY,
+                                   parallel_fanout=True)
+    else:
+        server = TopKServer(db, capacity=CAPACITY)
+    try:
+        report = LoadGenerator(LOAD).run(server)
+    finally:
+        server.close()
+        db.close()
+    assert report.clean, (
+        f"load cell backend={backend} shards={shards} was not clean: "
+        f"errors={report.errors} audit={report.audit}")
+    assert report.ops > 0 and report.throughput_ops_per_sec > 0
+    return report.as_dict()
+
+
+def test_loadgen_slo_matrix(benchmark):
+    """Acceptance: clean SLO matrix over shards x backends, artifact valid."""
+    runs = []
+    timed = False
+    for backend in BACKENDS:
+        for shards in SHARD_COUNTS:
+            if not timed:
+                record = run_once(benchmark, _run_cell, backend, shards)
+                timed = True
+            else:
+                record = _run_cell(backend, shards)
+            runs.append(record)
+
+    for record in runs:
+        assert len(record["per_shard_requests"]) == record["shards"]
+        if record["shards"] > 1:
+            assert sum(record["per_shard_requests"]) > 0
+            assert record["shard_skew"] >= 1.0
+
+    write_bench_json("loadgen", loadgen_payload(runs, {
+        "threads": LOAD.threads,
+        "duration_seconds": LOAD.duration_seconds,
+        "seed": LOAD.seed,
+        "users": REPLAY.users,
+        "papers": DBLP.n_papers,
+        "backends": list(BACKENDS),
+        "shard_counts": list(SHARD_COUNTS),
+        "audit_interval": LOAD.audit_interval,
+    }))
+    document = load_and_validate(str(REPO_ROOT / "BENCH_loadgen.json"))
+    assert len(document["payload"]["runs"]) == len(BACKENDS) * len(SHARD_COUNTS)

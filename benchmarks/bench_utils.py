@@ -2,6 +2,15 @@
 
 from __future__ import annotations
 
+from pathlib import Path
+
+from repro.loadgen.report import bench_envelope  # noqa: F401  (re-export)
+from repro.loadgen.report import write_bench_json as _write_bench_json
+
+#: Repository root — every ``BENCH_*.json`` artifact lands here so CI can
+#: upload them and successive commits can diff the numbers.
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
 
 def run_once(benchmark, func, *args, **kwargs):
     """Run ``func`` exactly once under pytest-benchmark timing.
@@ -12,3 +21,15 @@ def run_once(benchmark, func, *args, **kwargs):
     rows.
     """
     return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+def write_bench_json(name, payload):
+    """Persist ``payload`` as ``BENCH_<name>.json`` at the repository root.
+
+    Delegates to :func:`repro.loadgen.report.write_bench_json`, so every
+    benchmark artifact shares one schema-versioned envelope (schema
+    version, bench name, git sha) and one validator; returns the written
+    document.
+    """
+    return _write_bench_json(str(REPO_ROOT / f"BENCH_{name}.json"), name,
+                             payload)

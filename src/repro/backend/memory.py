@@ -11,7 +11,13 @@ surface with pure set algebra:
   thousands) and unions the qualifying buckets,
 * AND intersects child row-id sets, OR unions them,
 
-so a count never touches individual rows.  Every value comparison goes
+so a count never touches individual rows.  Queries take the **read side**
+of a writer-preferring :class:`~repro.concurrency.RWLock` — any number of
+load-generator worker threads count and enumerate concurrently — while
+mutations take the exclusive write side; the serial cost profile is
+unchanged and the concurrent one stops serialising reads on one mutex
+(the refactor the multi-threaded load harness of :mod:`repro.loadgen`
+forced).  Every value comparison goes
 through the same SQLite-faithful coercion rules as
 :meth:`repro.core.predicate.Condition.evaluate` (NUMERIC/TEXT affinity,
 number-before-text ordering, exact integer conversion) — the differential
@@ -47,6 +53,7 @@ from ..core.predicate import (
     ensure_predicate,
 )
 from ..core.preference import ProfileRegistry, QualitativePreference, QuantitativePreference
+from ..concurrency import RWLock
 from ..exceptions import RelationalError, WorkloadError
 from ..sqldb import schema
 from ..sqldb.events import TUPLES_DELETED, TUPLES_INSERTED, TUPLES_UPDATED, DataMutation
@@ -79,9 +86,14 @@ class MemoryBackend:
                 f"the memory backend cannot persist to {path!r}; "
                 "use the sqlite backend for file-backed workloads")
         self.path = ":memory:"
-        # Public operations serialise on one re-entrant lock, mirroring the
-        # cross-thread safety of the SQLite connection wrapper.
-        self._lock = threading.RLock()
+        # Reader/writer split: queries share the read side (pure set algebra
+        # plus a GIL-safe memo store), mutations take the exclusive write
+        # side.  ``_lock`` is the write side so existing ``with self._lock:``
+        # call sites keep their exclusive semantics.
+        self._lock = RWLock("memory-backend")
+        # Op-accounting increments happen on the read path too, so they get
+        # their own tiny mutex instead of racing under concurrent readers.
+        self._stats_lock = threading.Lock()
         self._closed = False
         # Base tables.
         self._papers: Dict[int, Dict[str, Any]] = {}
@@ -145,6 +157,12 @@ class MemoryBackend:
     def commit(self) -> None:
         """No-op (memory writes are immediately visible); raises once closed."""
         self._require_open()
+
+    def _account(self, statements: int = 0, rows: int = 0) -> None:
+        """Bump op accounting under its own mutex (read paths run concurrently)."""
+        with self._stats_lock:
+            self.statements_executed += statements
+            self.rows_touched += rows
 
     # -- data-mutation events -----------------------------------------------------
 
@@ -332,36 +350,37 @@ class MemoryBackend:
 
     def count_matching(self, predicate: Optional[Any] = None) -> int:
         """Distinct papers matching ``predicate`` (whole relation on ``None``)."""
-        with self._lock:
+        with self._lock.read():
             self._require_open()
-            self.statements_executed += 1
+            self._account(statements=1)
             return len(self._matching_pids(predicate))
 
     def count_many(self, predicates: Sequence[Any],
                    chunk_size: Optional[int] = None) -> List[int]:
         """One count per predicate, in order; accounted one op per chunk."""
-        with self._lock:
+        with self._lock.read():
             self._require_open()
             chunk = BATCH_COUNT_CHUNK if chunk_size is None else max(1, chunk_size)
             if predicates:
-                self.statements_executed += (len(predicates) + chunk - 1) // chunk
+                self._account(
+                    statements=(len(predicates) + chunk - 1) // chunk)
             return [len(self._matching_pids(predicate)) for predicate in predicates]
 
     def matching_paper_ids(self, predicate: Optional[Any] = None,
                            limit: Optional[int] = None) -> List[int]:
         """Distinct matching paper ids, ascending, optionally limited."""
-        with self._lock:
+        with self._lock.read():
             self._require_open()
-            self.statements_executed += 1
+            self._account(statements=1)
             pids = sorted(self._matching_pids(predicate))
             return pids[:limit] if limit is not None else pids
 
     def joined_rows(self, pids: Optional[Sequence[int]] = None
                     ) -> List[Dict[str, Any]]:
         """The joined-view rows (restricted to ``pids``), in row-id order."""
-        with self._lock:
+        with self._lock.read():
             self._require_open()
-            self.statements_executed += 1
+            self._account(statements=1)
             return self._joined_rows_unlocked(pids)
 
     def _joined_rows_unlocked(self, pids: Optional[Sequence[int]] = None
@@ -378,7 +397,7 @@ class MemoryBackend:
 
     def table_counts(self) -> Dict[str, int]:
         """Row counts for every workload table (Table 10 statistics)."""
-        with self._lock:
+        with self._lock.read():
             self._require_open()
             return {
                 "dblp": len(self._papers),
@@ -391,13 +410,13 @@ class MemoryBackend:
 
     def total_papers(self) -> int:
         """Number of papers in the relation."""
-        with self._lock:
+        with self._lock.read():
             self._require_open()
             return len(self._papers)
 
     def distinct_count(self, table: str, column: str) -> int:
         """``COUNT(DISTINCT column)`` over a workload table."""
-        with self._lock:
+        with self._lock.read():
             self._require_open()
             if table not in schema.TABLES:
                 raise RelationalError(f"unknown table {table!r}")
@@ -437,9 +456,9 @@ class MemoryBackend:
 
     def workload_shape(self) -> Tuple[List[str], int, int]:
         """``(sorted venues, min year, max year)``; ``([], 0, 0)`` if empty."""
-        with self._lock:
+        with self._lock.read():
             self._require_open()
-            self.statements_executed += 1
+            self._account(statements=1)
             if not self._papers:
                 return [], 0, 0
             venues = sorted({record["venue"] for record in self._papers.values()})
@@ -448,23 +467,23 @@ class MemoryBackend:
 
     def paper_ids(self) -> List[int]:
         """Every pid in the relation, ascending."""
-        with self._lock:
+        with self._lock.read():
             self._require_open()
-            self.statements_executed += 1
+            self._account(statements=1)
             return sorted(self._papers)
 
     def max_paper_id(self) -> int:
         """Largest pid (0 when the relation is empty)."""
-        with self._lock:
+        with self._lock.read():
             self._require_open()
-            self.statements_executed += 1
+            self._account(statements=1)
             return max(self._papers, default=0)
 
     def max_author_id(self) -> int:
         """Largest aid referenced by an author link (0 when none)."""
-        with self._lock:
+        with self._lock.read():
             self._require_open()
-            self.statements_executed += 1
+            self._account(statements=1)
             return max((aid for aids in self._links.values() for aid in aids),
                        default=0)
 
@@ -504,10 +523,10 @@ class MemoryBackend:
                 batches += 1
                 for pid, cid in dataset.citations:
                     self._citations.add((int(pid), int(cid)))
-            self.statements_executed += batches
-            self.rows_touched += (len(dataset.papers) + len(dataset.authors)
-                                  + len(dataset.paper_authors)
-                                  + len(dataset.citations))
+            self._account(statements=batches,
+                          rows=(len(dataset.papers) + len(dataset.authors)
+                                + len(dataset.paper_authors)
+                                + len(dataset.citations)))
             self._condition_memo.clear()
             mutation = (DataMutation(
                 TUPLES_INSERTED, "dblp",
@@ -541,8 +560,8 @@ class MemoryBackend:
             if citations:
                 batches += 1
                 self._citations.update(citations)
-            self.statements_executed += batches
-            self.rows_touched += len(papers) + len(paper_authors) + len(citations)
+            self._account(statements=batches,
+                          rows=len(papers) + len(paper_authors) + len(citations))
             self._condition_memo.clear()
             mutation = None
             if self.has_subscribers and (papers or paper_authors):
@@ -587,8 +606,8 @@ class MemoryBackend:
                                if pair[0] in doomed or pair[1] in doomed}
             removed["citation"] = len(stale_citations)
             self._citations -= stale_citations
-            self.statements_executed += 3  # the three DELETE shapes
-            self.rows_touched += sum(removed.values())
+            self._account(statements=3,  # the three DELETE shapes
+                          rows=sum(removed.values()))
             self._condition_memo.clear()
             mutation = (DataMutation(TUPLES_DELETED, "dblp",
                                      old_rows=pre_image, pids=pids)
@@ -614,8 +633,7 @@ class MemoryBackend:
             for paper in papers:  # in order: a duplicated pid's last write wins
                 self._papers[int(paper.pid)] = self._paper_record(paper)
                 self._rewrite_rows(int(paper.pid))
-            self.statements_executed += 1
-            self.rows_touched += len(papers)
+            self._account(statements=1, rows=len(papers))
             self._condition_memo.clear()
             mutation = (DataMutation(
                 TUPLES_UPDATED, "dblp",
@@ -645,16 +663,16 @@ class MemoryBackend:
                                        float(preference.intensity)))
                     self._next_qual_pfid += 1
                     qual += 1
-            self.statements_executed += (1 if quant else 0) + (1 if qual else 0)
-            self.rows_touched += quant + qual
+            self._account(statements=(1 if quant else 0) + (1 if qual else 0),
+                          rows=quant + qual)
             return {"quantitative_pref": quant, "qualitative_pref": qual}
 
     def read_profiles(self, uids: Optional[Iterable[int]] = None
                       ) -> ProfileRegistry:
         """Rebuild profiles from the staging tables, in insertion order."""
-        with self._lock:
+        with self._lock.read():
             self._require_open()
-            self.statements_executed += 2  # the two staging-table reads
+            self._account(statements=2)  # the two staging-table reads
             wanted = None if uids is None else {int(uid) for uid in uids}
             registry = ProfileRegistry()
             for _, uid, predicate, intensity in self._quant:

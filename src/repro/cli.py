@@ -12,6 +12,9 @@ Usage::
     python -m repro.cli serve-replay --scale tiny --shards 4
     python -m repro.cli topk --scale tiny --backend memory
     python -m repro.cli serve-replay --scale tiny --backend memory
+    python -m repro.cli load --scale tiny --threads 2 --duration 2
+    python -m repro.cli load --scale tiny --threads 4 --qps 500 --shards 4
+    python -m repro.cli load --scale tiny --backend memory --output BENCH_loadgen.json
 
 ``list`` prints every available experiment; ``experiment`` regenerates one
 table/figure and prints the same rows the benchmark harness reports; ``topk``
@@ -24,10 +27,16 @@ and the full tuple-mutation spectrum (inserts, deletes, in-place updates,
 mixed via the ``--*-weight`` flags) — and compares it against the no-cache
 baseline (``--shards N`` adds a third arm replaying the same schedule
 through a user-partitioned :class:`~repro.serving.ShardedTopKServer`
-cluster).  ``--json`` on ``topk``/``serve-replay`` switches the output to
-machine-readable JSON, and ``--backend {sqlite,memory}`` picks the storage
-engine (:mod:`repro.backend`) the workload lives on — answers are
-engine-independent, so both values produce the same rankings.
+cluster); ``load`` drives the concurrent load harness of
+:mod:`repro.loadgen` — N worker threads, closed-loop at saturation or
+open-loop against ``--qps``, optionally sharded via ``--shards``, with a
+background equivalence audit — and reports latency SLOs (p50/p95/p99),
+throughput, per-shard skew and per-lock contention (``--output FILE``
+additionally persists the schema-versioned ``BENCH_loadgen.json``
+document).  ``--json`` on ``topk``/``serve-replay``/``load`` switches the
+output to machine-readable JSON, and ``--backend {sqlite,memory}`` picks
+the storage engine (:mod:`repro.backend`) the workload lives on — answers
+are engine-independent, so both values produce the same rankings.
 """
 
 from __future__ import annotations
@@ -338,6 +347,106 @@ def run_serve_replay(scale: str = "tiny",
     return "\n".join(lines)
 
 
+def run_load(scale: str = "tiny",
+             users: int = 50,
+             threads: int = 2,
+             duration: float = 2.0,
+             qps: Optional[float] = None,
+             shards: int = 0,
+             backend: Optional[str] = None,
+             seed: int = 17,
+             k: int = 5,
+             capacity: int = 16,
+             audit_interval: Optional[float] = 0.5,
+             output: Optional[str] = None,
+             as_json: bool = False) -> str:
+    """Drive the concurrent load harness against a live serving instance.
+
+    Builds one world (``users`` synthetic profiles, persisted up front),
+    fronts it with a :class:`~repro.serving.TopKServer` — or, with
+    ``shards`` >= 2, a :class:`~repro.serving.ShardedTopKServer` with the
+    concurrent fan-out pool enabled — and runs
+    :class:`~repro.loadgen.LoadGenerator` over it: ``threads`` workers in
+    closed loop (``qps`` ``None``; the achieved rate is the throughput at
+    saturation) or open loop against the target arrival rate, with the
+    background equivalence auditor quiescing traffic every
+    ``audit_interval`` seconds (``0`` disables it).  ``output`` persists
+    the schema-versioned ``BENCH_loadgen.json`` document for the run.
+    """
+    from .loadgen import (LoadConfig, LoadGenerator, LoadMix,
+                          loadgen_payload, write_bench_json)
+
+    if scale not in SCALES:
+        raise ValueError(f"unknown scale {scale!r}; pick one of {sorted(SCALES)}")
+    if shards < 0:
+        raise ValueError("--shards must be >= 0 (0/1 run a single server)")
+    driver = ReplayDriver(ReplayConfig(users=users, k=k, seed=seed))
+    db = driver.build_world(SCALES[scale], backend=backend)
+    if shards >= 2:
+        server: Any = ShardedTopKServer(db, shards=shards, capacity=capacity,
+                                        parallel_fanout=True)
+    else:
+        server = TopKServer(db, capacity=capacity)
+    config = LoadConfig(threads=threads, duration_seconds=duration,
+                        target_qps=qps, mix=LoadMix(k=k), seed=seed,
+                        audit_interval=audit_interval or None)
+    try:
+        report = LoadGenerator(config).run(server)
+    finally:
+        server.close()
+        db.close()
+
+    run_record = report.as_dict()
+    config_record = {"scale": scale, "users": users, "threads": threads,
+                     "duration_seconds": duration, "target_qps": qps,
+                     "shards": report.shards,
+                     "backend": backend or default_backend_name(),
+                     "seed": seed, "k": k, "capacity": capacity,
+                     "audit_interval": audit_interval}
+    if output:
+        write_bench_json(output, "loadgen",
+                         loadgen_payload([run_record], config_record))
+
+    if as_json:
+        return json.dumps({"config": config_record, "run": run_record},
+                          indent=2, sort_keys=True)
+
+    latency = report.latency
+    lines = [
+        f"Load run ({report.mode} loop, {threads} threads, "
+        f"{report.duration_seconds:.2f}s, scale={scale}, "
+        f"backend={report.backend}, shards={report.shards})",
+        f"ops: {report.ops} "
+        f"({report.throughput_ops_per_sec:.0f} ops/sec"
+        + (f", target {qps:.0f} QPS, {report.late_starts} late starts)"
+           if qps else " at saturation)"),
+        f"latency: p50 {latency['p50_ms']:.2f} ms, "
+        f"p95 {latency['p95_ms']:.2f} ms, p99 {latency['p99_ms']:.2f} ms "
+        f"(max {latency['max_ms']:.2f} ms)",
+        f"reads: {report.kind_counts.get('read', 0)} "
+        f"({report.read_hit_rate:.0%} warm)",
+    ]
+    if report.shards > 1:
+        lines.append(f"per-shard requests: {report.per_shard_requests} "
+                     f"(skew {report.shard_skew:.2f})")
+    audit = report.audit
+    lines.append(f"audit: {audit['audits']} passes, "
+                 f"{audit['comparisons']} comparisons, "
+                 f"{audit['mismatches']} mismatches")
+    if report.locks:
+        hot = report.locks[0]
+        lines.append(f"hottest lock: {hot['name']} "
+                     f"({hot['contended']}/{hot['acquisitions']} contended, "
+                     f"{hot['wait_seconds']:.3f}s waiting)")
+    if report.errors:
+        lines.append("errors: " + "; ".join(report.errors))
+    if output:
+        lines.append(f"wrote {output}")
+    if not report.clean:
+        raise RuntimeError("\n".join(lines) + "\nload run was NOT clean")
+    return "\n".join(lines)
+
+
 def list_experiments() -> str:
     """Return the formatted list of available experiments."""
     rows = [{"name": name, "description": description, "per-user": "yes" if per_user else "no"}
@@ -415,6 +524,40 @@ def build_parser() -> argparse.ArgumentParser:
                              "built on (default: the REPRO_BACKEND "
                              "environment default)")
 
+    load = subparsers.add_parser(
+        "load",
+        help="hammer a live server with concurrent threads and report SLOs")
+    load.add_argument("--scale", default="tiny", choices=sorted(SCALES))
+    load.add_argument("--users", type=int, default=50,
+                      help="size of the synthetic user population")
+    load.add_argument("--threads", type=int, default=2,
+                      help="number of load-generator worker threads")
+    load.add_argument("--duration", type=float, default=2.0,
+                      help="run length in seconds")
+    load.add_argument("--qps", type=float, default=None,
+                      help="open-loop target arrival rate across all "
+                           "workers (default: closed loop at saturation)")
+    load.add_argument("--shards", type=int, default=0,
+                      help="front the world with an N-shard cluster "
+                           "instead of a single server (0/1 = single)")
+    load.add_argument("--seed", type=int, default=17)
+    load.add_argument("--k", type=int, default=5)
+    load.add_argument("--capacity", type=int, default=16,
+                      help="maximum number of resident user sessions")
+    load.add_argument("--audit-interval", type=float, default=0.5,
+                      help="seconds between background equivalence audits "
+                           "(0 disables auditing)")
+    load.add_argument("--output", default=None, metavar="FILE",
+                      help="also write the schema-versioned "
+                           "BENCH_loadgen.json document to FILE")
+    load.add_argument("--json", action="store_true", dest="as_json",
+                      help="emit the load report as JSON")
+    load.add_argument("--backend", default=None,
+                      choices=sorted(BACKEND_NAMES),
+                      help="storage engine the world is built on "
+                           "(default: the REPRO_BACKEND environment "
+                           "default)")
+
     return parser
 
 
@@ -445,6 +588,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                                    data_update_weight=args.data_update_weight,
                                    as_json=args.as_json,
                                    backend=args.backend))
+        elif args.command == "load":
+            print(run_load(scale=args.scale, users=args.users,
+                           threads=args.threads, duration=args.duration,
+                           qps=args.qps, shards=args.shards,
+                           backend=args.backend, seed=args.seed, k=args.k,
+                           capacity=args.capacity,
+                           audit_interval=args.audit_interval,
+                           output=args.output, as_json=args.as_json))
     except Exception as exc:  # pragma: no cover - defensive top-level handler
         print(f"error: {exc}", file=sys.stderr)
         return 1

@@ -1,0 +1,311 @@
+"""Shared concurrency primitives for the serving and storage layers.
+
+Two lock shapes recur once the system is driven by the multi-threaded load
+harness (:mod:`repro.loadgen`) instead of the strictly serial replay driver:
+
+:class:`RWLock`
+    A writer-preferring reader/writer lock.  The in-memory columnar backend
+    answers counts and id-list queries by pure set algebra — reads that never
+    write shared state except a memo dict — so serialising them on one mutex
+    wastes every core but one.  The reader/writer split lets any number of
+    query threads proceed concurrently while mutations retain exclusive
+    access, and waiting writers block *new* readers so a mutation storm is
+    never starved by a read storm.
+
+:class:`TimedRLock`
+    A drop-in re-entrant lock wrapper that accounts contention: how many
+    acquisitions there were, how many had to wait, how long they waited and
+    how long the lock was held.  The load harness wraps the server lock, the
+    session registry lock, the count-cache lock and the backend lock with it
+    so a load report can name the hot lock instead of guessing — the
+    "lock-hold / contention accounting" the ROADMAP's load-harness item asks
+    for.
+
+Both classes expose a ``stats()`` dict with a common vocabulary
+(``acquisitions`` / ``contended`` / ``wait_seconds`` / ``hold_seconds``) so
+:class:`repro.loadgen.runner.LoadGenerator` can aggregate them uniformly.
+
+Lock ordering across the system (outermost first) stays what it was before
+the split: *server lock → session registry → count cache / result cache →
+backend*.  Notifications are always delivered with no backend-side lock
+held (see :mod:`repro.backend.memory`), which is what keeps the
+server→backend order acyclic.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any, Dict, Optional
+
+
+class RWLock:
+    """A writer-preferring reader/writer lock with contention statistics.
+
+    * Any number of threads may hold the **read** side at once.
+    * The **write** side is exclusive and re-entrant (a writer may nest
+      further write — and read — acquisitions without deadlocking itself).
+    * Writer preference: once a writer is waiting, new readers queue behind
+      it, so heavy read traffic cannot starve mutations.
+
+    Upgrading (acquiring write while holding only read on the same thread)
+    is **not** supported and will deadlock two upgraders against each other;
+    none of the repository's code paths upgrade.
+    """
+
+    def __init__(self, name: str = "rwlock") -> None:
+        self.name = name
+        self._cond = threading.Condition()
+        self._readers = 0
+        self._writer: Optional[int] = None
+        self._writer_depth = 0
+        self._waiting_writers = 0
+        #: Contention statistics (guarded by the condition's lock).
+        self.read_acquisitions = 0
+        self.write_acquisitions = 0
+        self.read_contended = 0
+        self.write_contended = 0
+        self.read_wait_seconds = 0.0
+        self.write_wait_seconds = 0.0
+        self.write_hold_seconds = 0.0
+        self._write_acquired_at = 0.0
+
+    # -- read side ----------------------------------------------------------------
+
+    def acquire_read(self) -> None:
+        """Block until the read side is held (shared)."""
+        me = threading.get_ident()
+        with self._cond:
+            self.read_acquisitions += 1
+            if self._writer == me:
+                # A writer re-entering as a reader: already exclusive.
+                self._readers += 1
+                return
+            if self._writer is not None or self._waiting_writers:
+                self.read_contended += 1
+                start = time.perf_counter()
+                while self._writer is not None or self._waiting_writers:
+                    self._cond.wait()
+                self.read_wait_seconds += time.perf_counter() - start
+            self._readers += 1
+
+    def release_read(self) -> None:
+        """Release one read hold."""
+        with self._cond:
+            self._readers -= 1
+            if self._readers == 0:
+                self._cond.notify_all()
+
+    class _ReadContext:
+        __slots__ = ("_lock",)
+
+        def __init__(self, lock: "RWLock") -> None:
+            self._lock = lock
+
+        def __enter__(self) -> "RWLock":
+            self._lock.acquire_read()
+            return self._lock
+
+        def __exit__(self, *exc_info: object) -> None:
+            self._lock.release_read()
+
+    def read(self) -> "RWLock._ReadContext":
+        """``with lock.read():`` — shared acquisition as a context manager."""
+        return RWLock._ReadContext(self)
+
+    # -- write side ---------------------------------------------------------------
+
+    def acquire_write(self) -> None:
+        """Block until the write side is held (exclusive, re-entrant)."""
+        me = threading.get_ident()
+        with self._cond:
+            self.write_acquisitions += 1
+            if self._writer == me:
+                self._writer_depth += 1
+                return
+            if self._readers or self._writer is not None:
+                self.write_contended += 1
+                start = time.perf_counter()
+                self._waiting_writers += 1
+                try:
+                    while self._readers or self._writer is not None:
+                        self._cond.wait()
+                finally:
+                    self._waiting_writers -= 1
+                self.write_wait_seconds += time.perf_counter() - start
+            self._writer = me
+            self._writer_depth = 1
+            self._write_acquired_at = time.perf_counter()
+
+    def release_write(self) -> None:
+        """Release one write hold (exclusivity ends at depth zero)."""
+        with self._cond:
+            if self._writer != threading.get_ident():
+                raise RuntimeError("release_write() by a thread not holding it")
+            self._writer_depth -= 1
+            if self._writer_depth == 0:
+                self.write_hold_seconds += (time.perf_counter()
+                                            - self._write_acquired_at)
+                self._writer = None
+                self._cond.notify_all()
+
+    class _WriteContext:
+        __slots__ = ("_lock",)
+
+        def __init__(self, lock: "RWLock") -> None:
+            self._lock = lock
+
+        def __enter__(self) -> "RWLock":
+            self._lock.acquire_write()
+            return self._lock
+
+        def __exit__(self, *exc_info: object) -> None:
+            self._lock.release_write()
+
+    def write(self) -> "RWLock._WriteContext":
+        """``with lock.write():`` — exclusive acquisition as a context manager."""
+        return RWLock._WriteContext(self)
+
+    # The plain context-manager protocol acquires the *write* side, so an
+    # ``RWLock`` can drop into code written for ``with self._lock:``.
+    def __enter__(self) -> "RWLock":
+        self.acquire_write()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.release_write()
+
+    # -- introspection ------------------------------------------------------------
+
+    def stats(self) -> Dict[str, Any]:
+        """Contention counters in the shared lock-report vocabulary."""
+        with self._cond:
+            return {
+                "kind": "rwlock",
+                "name": self.name,
+                "acquisitions": self.read_acquisitions + self.write_acquisitions,
+                "contended": self.read_contended + self.write_contended,
+                "wait_seconds": self.read_wait_seconds + self.write_wait_seconds,
+                "hold_seconds": self.write_hold_seconds,
+                "read_acquisitions": self.read_acquisitions,
+                "write_acquisitions": self.write_acquisitions,
+                "read_contended": self.read_contended,
+                "write_contended": self.write_contended,
+                "read_wait_seconds": self.read_wait_seconds,
+                "write_wait_seconds": self.write_wait_seconds,
+            }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (f"RWLock({self.name!r}, readers={self._readers}, "
+                f"writer={self._writer is not None})")
+
+
+class TimedRLock:
+    """A re-entrant lock that accounts waits and holds.
+
+    Drop-in for :class:`threading.RLock` wherever the lock is used through
+    ``acquire`` / ``release`` / ``with`` — which is how every lock in the
+    serving layer is used — so the load harness can swap it into a live
+    server (``server._lock = TimedRLock("server")``) and read contention
+    numbers back out after the run.
+
+    A "contended" acquisition is one that could not take the lock on the
+    first non-blocking attempt; its wait time is measured.  Hold time is
+    measured from the outermost acquisition to the matching release, per
+    thread, so re-entrant nesting is not double-counted.
+    """
+
+    def __init__(self, name: str = "lock",
+                 lock: Optional[threading.RLock] = None) -> None:
+        self.name = name
+        self._inner = lock if lock is not None else threading.RLock()
+        self._local = threading.local()
+        self._stats_lock = threading.Lock()
+        self.acquisitions = 0
+        self.contended = 0
+        self.wait_seconds = 0.0
+        self.hold_seconds = 0.0
+        self.max_wait_seconds = 0.0
+
+    def _depth(self) -> int:
+        return getattr(self._local, "depth", 0)
+
+    def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
+        if not blocking:
+            acquired = self._inner.acquire(blocking=False)
+            if acquired:
+                self._note_acquired(contended=False, waited=0.0)
+            return acquired
+        if self._inner.acquire(blocking=False):
+            self._note_acquired(contended=False, waited=0.0)
+            return True
+        start = time.perf_counter()
+        acquired = self._inner.acquire(timeout=timeout) if timeout >= 0 \
+            else self._inner.acquire()
+        waited = time.perf_counter() - start
+        if acquired:
+            self._note_acquired(contended=True, waited=waited)
+        return acquired
+
+    def _note_acquired(self, contended: bool, waited: float) -> None:
+        depth = self._depth()
+        self._local.depth = depth + 1
+        if depth == 0:
+            self._local.acquired_at = time.perf_counter()
+        with self._stats_lock:
+            self.acquisitions += 1
+            if contended:
+                self.contended += 1
+                self.wait_seconds += waited
+                if waited > self.max_wait_seconds:
+                    self.max_wait_seconds = waited
+
+    def release(self) -> None:
+        depth = self._depth()
+        if depth == 1:
+            held = time.perf_counter() - self._local.acquired_at
+            with self._stats_lock:
+                self.hold_seconds += held
+        self._local.depth = depth - 1
+        self._inner.release()
+
+    def __enter__(self) -> "TimedRLock":
+        self.acquire()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.release()
+
+    # -- Condition-variable support ----------------------------------------------
+    # threading.Condition(lock) calls these to park/resume around wait();
+    # delegating to the inner RLock keeps ``Condition(TimedRLock(...))``
+    # working (the count cache's in-flight coalescing relies on it).  Time
+    # spent parked in wait() stays inside the surrounding hold measurement —
+    # acceptable for a contention report, documented here so nobody chases
+    # the discrepancy.
+
+    def _is_owned(self) -> bool:
+        return self._inner._is_owned()
+
+    def _release_save(self):
+        return self._inner._release_save()
+
+    def _acquire_restore(self, state) -> None:
+        self._inner._acquire_restore(state)
+
+    def stats(self) -> Dict[str, Any]:
+        """Contention counters in the shared lock-report vocabulary."""
+        with self._stats_lock:
+            return {
+                "kind": "rlock",
+                "name": self.name,
+                "acquisitions": self.acquisitions,
+                "contended": self.contended,
+                "wait_seconds": self.wait_seconds,
+                "hold_seconds": self.hold_seconds,
+                "max_wait_seconds": self.max_wait_seconds,
+            }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (f"TimedRLock({self.name!r}, acquisitions={self.acquisitions}, "
+                f"contended={self.contended})")

@@ -21,9 +21,22 @@ benchmarks can assert the batching and reuse actually happen.
 
 The cache is **thread-safe**: the serving layer shares one instance across
 every resident user session and serves requests from worker threads, so all
-lookups and mutations hold an internal re-entrant lock.  Concurrent
-``count_many`` calls over the same predicates therefore never double-execute
-a query or corrupt the ``hits``/``misses``/``statements`` accounting.
+lookups and mutations hold an internal re-entrant lock.  The backend
+round-trip itself, however, runs **outside** that lock — holding it across
+the query would serialise every other session's lookups on the slowest
+count (the dominant contention the multi-threaded load harness measured).
+Two mechanisms keep the released-lock window sound:
+
+* **in-flight coalescing** — a predicate being counted by one thread is
+  marked in flight; concurrent lookups of the same predicate wait on the
+  cache's condition variable instead of issuing a duplicate query, so each
+  unique predicate is still a miss (and a statement) exactly once however
+  many threads race on it;
+* an **invalidation epoch** — every ``invalidate*``/``clear`` bumps it, and
+  a count resolved under an older epoch is returned to its caller but never
+  memoised, closing the check-then-act window where a pre-mutation count
+  could be stored *after* the mutation's invalidation sweep already dropped
+  everything stale.
 """
 
 from __future__ import annotations
@@ -52,9 +65,15 @@ class CountCache:
         self.db = db
         self.chunk_size = max(1, chunk_size)
         self._counts: Dict[str, int] = {}
-        # Serialises lookups, statistics and the underlying SQL round-trips
-        # when many sessions share one cache (see module docstring).
+        # Guards the memo dict, the statistics, the epoch and the in-flight
+        # set; backend round-trips run with it released (module docstring).
         self._lock = threading.RLock()
+        self._cond = threading.Condition(self._lock)
+        #: Predicate keys currently being counted by some thread.
+        self._inflight: set = set()
+        #: Monotonic invalidation epoch — a count resolved while it was
+        #: older than it is now is never memoised.
+        self._epoch = 0
         #: Cache lookups answered without touching the database.
         self.hits = 0
         #: Predicates that had to be counted against the database.
@@ -74,18 +93,44 @@ class CountCache:
         with self._lock:
             return self._counts.get(self.key(predicate))
 
+    @property
+    def epoch(self) -> int:
+        """The current invalidation epoch (see module docstring)."""
+        with self._lock:
+            return self._epoch
+
     def count(self, predicate: PredicateLike) -> int:
         """The number of distinct papers matching ``predicate`` (cached)."""
         key = self.key(predicate)
-        with self._lock:
-            if key in self._counts:
-                self.hits += 1
-                return self._counts[key]
+        with self._cond:
+            while True:
+                if key in self._counts:
+                    self.hits += 1
+                    return self._counts[key]
+                if key not in self._inflight:
+                    break
+                # Another thread is counting this predicate right now —
+                # wait for its answer instead of issuing a duplicate query.
+                self._cond.wait()
+            self._inflight.add(key)
             self.misses += 1
             self.statements += 1
+            epoch = self._epoch
+        done = False
+        try:
+            # Backend round-trip with the lock released: other predicates'
+            # lookups proceed while this count runs.
             value = self.db.count_matching(ensure_predicate(predicate))
-            self._counts[key] = value
-            return value
+            done = True
+        finally:
+            # Store (epoch permitting) and land the flight atomically, so a
+            # waiter can never wake between the two and requery.
+            with self._cond:
+                if done and epoch == self._epoch:
+                    self._counts[key] = value
+                self._inflight.discard(key)
+                self._cond.notify_all()
+        return value
 
     def count_many(self, predicates: Sequence[PredicateLike]) -> List[int]:
         """Counts for ``predicates`` in order, batching every miss.
@@ -94,26 +139,62 @@ class CountCache:
         resolved with one compound statement per :attr:`chunk_size` misses.
         """
         keys = [self.key(predicate) for predicate in predicates]
-        with self._lock:
+        resolved: Dict[str, int] = {}
+        with self._cond:
             missing: List[int] = []
-            seen_keys = set()
+            pending = set()
             for position, key in enumerate(keys):
-                if key in self._counts or key in seen_keys:
-                    # Cached already, or resolved by an earlier occurrence in
-                    # this same batch — either way served without a query, and
-                    # hits + misses stays equal to the number of lookups.
+                if key in self._counts:
+                    self.hits += 1
+                    resolved[key] = self._counts[key]
+                elif key in pending:
+                    # Resolved by an earlier occurrence in this same batch —
+                    # served without a query, and hits + misses stays equal
+                    # to the number of lookups.
                     self.hits += 1
                 else:
-                    seen_keys.add(key)
+                    pending.add(key)
                     missing.append(position)
+            # Wait out predicates another thread is already counting; their
+            # answers arrive as hits, leaving only truly unclaimed misses.
+            # Waiting happens *before* claiming anything, so no thread ever
+            # sleeps while holding a flight (no deadlock between batches).
+            while any(keys[position] in self._inflight for position in missing):
+                self._cond.wait()
+                still_missing: List[int] = []
+                for position in missing:
+                    key = keys[position]
+                    if key in self._counts:
+                        self.hits += 1
+                        resolved[key] = self._counts[key]
+                    else:
+                        still_missing.append(position)
+                missing = still_missing
             if missing:
-                to_count = [ensure_predicate(predicates[position]) for position in missing]
+                for position in missing:
+                    self._inflight.add(keys[position])
                 self.misses += len(missing)
                 self.statements += (len(missing) + self.chunk_size - 1) // self.chunk_size
+                epoch = self._epoch
+        if missing:
+            to_count = [ensure_predicate(predicates[position]) for position in missing]
+            done = False
+            try:
+                # Backend round-trip with the lock released (module docstring).
                 values = self.db.count_many(to_count, chunk_size=self.chunk_size)
-                for position, value in zip(missing, values):
-                    self._counts[keys[position]] = value
-            return [self._counts[key] for key in keys]
+                done = True
+            finally:
+                with self._cond:
+                    for position in missing:
+                        self._inflight.discard(keys[position])
+                    if done:
+                        memoise = epoch == self._epoch
+                        for position, value in zip(missing, values):
+                            resolved[keys[position]] = value
+                            if memoise:
+                                self._counts[keys[position]] = value
+                    self._cond.notify_all()
+        return [resolved[key] for key in keys]
 
     def is_applicable(self, predicate: PredicateLike) -> bool:
         """Definition 15 — the predicate matches at least one tuple."""
@@ -129,6 +210,7 @@ class CountCache:
     def invalidate(self, predicate: PredicateLike) -> None:
         """Drop one entry (call when the relation changed under it)."""
         with self._lock:
+            self._epoch += 1
             self._counts.pop(self.key(predicate), None)
 
     def invalidate_attribute(self, attribute: str) -> int:
@@ -142,6 +224,7 @@ class CountCache:
         count survives on a naming technicality.
         """
         with self._lock:
+            self._epoch += 1
             stale = [key for key in self._counts
                      if any(attribute_names_match(attribute, referenced)
                             for referenced in ensure_predicate(key).attributes())]
@@ -162,6 +245,7 @@ class CountCache:
         """
         rows = list(rows)
         with self._lock:
+            self._epoch += 1
             stale = []
             for key in self._counts:
                 predicate = ensure_predicate(key)  # parse once, not per row
@@ -174,6 +258,7 @@ class CountCache:
     def clear(self) -> None:
         """Drop every cached count and reset the statistics."""
         with self._lock:
+            self._epoch += 1
             self._counts.clear()
             self.hits = 0
             self.misses = 0

@@ -1,0 +1,179 @@
+"""Deterministic per-worker operation streams for the load harness.
+
+Unlike the strictly serial :class:`~repro.serving.driver.ReplayDriver`
+schedule, a concurrent load run cannot pre-generate one shared operation
+list: deletes and in-place updates must target tuples that *exist* at
+execution time, and with many workers racing, no global liveness tracking
+survives.  The harness therefore gives each worker an **owned pid
+namespace**:
+
+* worker *w* inserts papers at ``pid_base + w * PID_STRIDE + serial``;
+* worker *w* deletes and updates **only pids it inserted itself** (falling
+  back to an insert while it owns no live pid);
+
+so a mutation can never race another worker's delete into a
+:class:`~repro.exceptions.WorkloadError`, while every *cache* and *lock* in
+the serving engine still sees fully concurrent mixed traffic — contention is
+on the shared serving state, not on the synthetic payloads.
+
+Reads and profile updates use the whole shared user population with the
+same Zipf skew as the replay driver (hot users dominate), so result-cache
+hits, invalidation sweeps and session-LRU churn all happen across workers.
+Every stream is a pure function of ``(seed, worker_id)`` — two runs with
+the same config issue the identical per-worker op sequences.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from ..core.preference import UserProfile
+from ..exceptions import ServingError
+from ..workload.dblp import Paper
+
+#: Op kinds (shared vocabulary with the replay driver).
+READ = "read"
+UPDATE = "update"
+INSERT = "insert"
+DELETE = "delete"
+DATA_UPDATE = "data_update"
+
+OP_KINDS = (READ, UPDATE, INSERT, DELETE, DATA_UPDATE)
+
+#: Pid-namespace width per worker — no worker may insert more than this
+#: many papers in one run (a 30 s smoke run inserts a few hundred).
+PID_STRIDE = 1_000_000
+
+
+@dataclass(frozen=True)
+class LoadMix:
+    """Relative op-mix weights and skew of one load run (normalised internally)."""
+
+    read_weight: float = 8.0
+    update_weight: float = 1.0
+    insert_weight: float = 1.0
+    delete_weight: float = 0.5
+    data_update_weight: float = 0.5
+    #: Zipf exponent of the per-user request skew.
+    zipf_exponent: float = 1.1
+    k: int = 5
+
+    def weights(self) -> Tuple[float, ...]:
+        """The weights in :data:`OP_KINDS` order (validated)."""
+        weights = (self.read_weight, self.update_weight, self.insert_weight,
+                   self.delete_weight, self.data_update_weight)
+        if any(weight < 0 for weight in weights):
+            raise ServingError("load-mix weights must be non-negative")
+        if not any(weights):
+            raise ServingError("load-mix weights must not all be zero")
+        return weights
+
+
+@dataclass(frozen=True)
+class LoadOp:
+    """One generated operation, payload pre-built (same shape as a ReplayOp)."""
+
+    kind: str
+    uid: int = 0
+    k: int = 0
+    profile: Optional[UserProfile] = None
+    papers: Tuple[Paper, ...] = ()
+    paper_authors: Tuple[Tuple[int, int], ...] = ()
+    pids: Tuple[int, ...] = ()
+
+
+class WorkerStream:
+    """The deterministic operation stream of one load-generator worker.
+
+    ``uids`` is the shared read/update population; ``venues``/``lo``/``hi``
+    the workload shape (as returned by ``db.workload_shape()``);
+    ``pid_base`` the first pid past the loaded dataset.  ``next_op()`` is
+    called from exactly one thread — the worker that owns the stream — so
+    the class needs no locking.
+    """
+
+    def __init__(self, worker_id: int, mix: LoadMix, uids: Sequence[int],
+                 venues: Sequence[str], lo: int, hi: int, max_aid: int,
+                 pid_base: int, seed: int) -> None:
+        if not uids:
+            raise ServingError("a load run needs at least one user")
+        if not venues:
+            raise ServingError("load world has no papers loaded")
+        self.worker_id = worker_id
+        self.mix = mix
+        self.uids = list(uids)
+        self.venues = list(venues)
+        self.lo, self.hi = lo, hi
+        self.max_aid = max(1, max_aid)
+        # Distinct deterministic stream per worker (plain int seed — no
+        # dependence on hash randomisation).
+        self._rng = random.Random(seed * 1_000_003 + worker_id)
+        self._weights = list(mix.weights())
+        self._zipf = [1.0 / ((rank + 1) ** mix.zipf_exponent)
+                      for rank in range(len(self.uids))]
+        self._next_pid = pid_base + worker_id * PID_STRIDE
+        self._alive: List[int] = []
+        self._update_serial = 0
+        self.generated = 0
+
+    # -- generation ---------------------------------------------------------------
+
+    def _pick_uid(self) -> int:
+        return self._rng.choices(self.uids, weights=self._zipf, k=1)[0]
+
+    def _insert_op(self) -> LoadOp:
+        pid = self._next_pid
+        self._next_pid += 1
+        self._alive.append(pid)
+        paper = Paper(pid=pid,
+                      title=f"Load Paper {pid}",
+                      venue=self.venues[pid % len(self.venues)],
+                      year=self.hi - (pid % 4),
+                      abstract="")
+        authors = ((pid, 1 + (pid % self.max_aid)),)
+        return LoadOp(INSERT, papers=(paper,), paper_authors=authors)
+
+    def next_op(self) -> LoadOp:
+        """The next operation of this worker's deterministic stream."""
+        self.generated += 1
+        kind = self._rng.choices(OP_KINDS, weights=self._weights, k=1)[0]
+        if kind in (DELETE, DATA_UPDATE) and not self._alive:
+            # Nothing of ours to mutate yet — seed our namespace instead.
+            kind = INSERT
+        if kind == READ:
+            return LoadOp(READ, uid=self._pick_uid(), k=self.mix.k)
+        if kind == UPDATE:
+            uid = self._pick_uid()
+            serial = self._update_serial
+            self._update_serial += 1
+            profile = UserProfile(uid=uid)
+            venue = self.venues[(uid + 7 * serial + 3) % len(self.venues)]
+            quoted = venue.replace("'", "''")
+            profile.add_quantitative(f"dblp.venue = '{quoted}'",
+                                     0.3 + 0.05 * (serial % 5))
+            return LoadOp(UPDATE, uid=uid, profile=profile)
+        if kind == INSERT:
+            return self._insert_op()
+        if kind == DELETE:
+            target = self._alive.pop(self._rng.randrange(len(self._alive)))
+            return LoadOp(DELETE, pids=(target,))
+        target = self._alive[self._rng.randrange(len(self._alive))]
+        paper = Paper(pid=target,
+                      title=f"Load Paper {target} (rewritten)",
+                      venue=self.venues[(target * 5 + 2) % len(self.venues)],
+                      year=self.lo + (self.generated % max(1, self.hi - self.lo + 1)),
+                      abstract="")
+        return LoadOp(DATA_UPDATE, papers=(paper,))
+
+
+def build_streams(workers: int, mix: LoadMix, uids: Sequence[int],
+                  venues: Sequence[str], lo: int, hi: int, max_aid: int,
+                  pid_base: int, seed: int) -> List[WorkerStream]:
+    """One :class:`WorkerStream` per worker, namespaces pre-partitioned."""
+    if workers < 1:
+        raise ServingError("a load run needs at least one worker")
+    return [WorkerStream(worker_id, mix, uids, venues, lo, hi, max_aid,
+                         pid_base, seed)
+            for worker_id in range(workers)]

@@ -23,10 +23,27 @@ events are the deltas):
 
 Every entry therefore remembers the predicate list it was computed from —
 the same positive-intensity predicates PEPS scored with.
+
+**Thread safety and the re-cache race.**  The cache carries its own
+re-entrant lock, so warm lookups no longer need the server's big lock (the
+multi-threaded load harness showed every warm read serialising on it).
+That exposes a classic check-then-act window: a Top-K computed from
+pre-mutation data could be :meth:`~ResultCache.put` back *after* the
+mutation's invalidation sweep already ran — a stale answer re-cached where
+the sweep can never find it again.  The cache therefore keeps a monotonically
+increasing **invalidation epoch**: every sweep (data mutation, profile
+invalidation, clear) bumps it, and a caller that snapshots
+:attr:`~ResultCache.epoch` *before* computing can pass it to
+:meth:`~ResultCache.put`, which refuses the insert — counting it in
+``stale_puts_rejected`` — when any invalidation ran in between.  Serving
+paths lose nothing (the freshly computed answer is still returned to the
+requester); they only skip materialising an answer that can no longer be
+proven fresh.
 """
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
@@ -66,7 +83,13 @@ class ResultCache:
     """Update-aware cache of materialised Top-K answers keyed by (uid, k)."""
 
     def __init__(self) -> None:
+        # The cache is a shared leaf structure: warm lookups, puts and
+        # invalidation sweeps may arrive from different threads without the
+        # server lock, so every access holds this lock.
+        self._lock = threading.RLock()
         self._entries: Dict[ResultKey, CachedResult] = {}
+        #: Monotonic invalidation epoch (see module docs).
+        self._epoch = 0
         #: Warm requests answered from memory / requests that had to compute.
         self.hits = 0
         self.misses = 0
@@ -75,40 +98,73 @@ class ResultCache:
         self.data_invalidations = 0
         #: Entries a data insert examined but proved unaffected (kept).
         self.data_spared = 0
+        #: Materialisations refused because an invalidation ran since the
+        #: caller snapshotted the epoch (the check-then-act guard firing).
+        self.stale_puts_rejected = 0
 
     # -- lookups ----------------------------------------------------------------
 
+    @property
+    def epoch(self) -> int:
+        """The current invalidation epoch.
+
+        Snapshot it *before* computing an answer and hand the snapshot to
+        :meth:`put`: the put then only materialises when no invalidation
+        sweep ran in between, which is what makes caching safe for callers
+        that compute outside the invalidation lock.
+        """
+        with self._lock:
+            return self._epoch
+
     def get(self, uid: int, k: int) -> Optional[CachedResult]:
         """The cached answer for ``(uid, k)``, counting hit/miss."""
-        entry = self._entries.get((uid, k))
-        if entry is None:
-            self.misses += 1
-        else:
-            self.hits += 1
-        return entry
+        with self._lock:
+            entry = self._entries.get((uid, k))
+            if entry is None:
+                self.misses += 1
+            else:
+                self.hits += 1
+            return entry
 
     def peek(self, uid: int, k: int) -> Optional[CachedResult]:
         """The cached answer without touching the statistics."""
-        return self._entries.get((uid, k))
+        with self._lock:
+            return self._entries.get((uid, k))
 
     def put(self, uid: int, k: int,
             ranking: Sequence[Tuple[int, float]],
-            predicates: Sequence[PredicateExpr]) -> CachedResult:
-        """Materialise a freshly computed answer."""
-        entry = CachedResult(uid=uid, k=k, ranking=tuple(ranking),
-                             predicates=tuple(predicates))
-        self._entries[(uid, k)] = entry
-        return entry
+            predicates: Sequence[PredicateExpr],
+            epoch: Optional[int] = None) -> Optional[CachedResult]:
+        """Materialise a freshly computed answer.
+
+        ``epoch`` is the :attr:`epoch` snapshot taken before the answer was
+        computed; when given and an invalidation sweep has run since, the
+        answer may be stale (computed from pre-sweep data after the sweep
+        already passed) and the put is **refused** — ``None`` is returned
+        and ``stale_puts_rejected`` incremented.  ``epoch=None`` preserves
+        the unguarded behaviour for callers that serialise puts and sweeps
+        externally.
+        """
+        with self._lock:
+            if epoch is not None and epoch != self._epoch:
+                self.stale_puts_rejected += 1
+                return None
+            entry = CachedResult(uid=uid, k=k, ranking=tuple(ranking),
+                                 predicates=tuple(predicates))
+            self._entries[(uid, k)] = entry
+            return entry
 
     # -- invalidation -------------------------------------------------------------
 
     def invalidate_user(self, uid: int) -> int:
         """Drop every cached answer of one user (profile changed)."""
-        stale = [key for key in self._entries if key[0] == uid]
-        for key in stale:
-            del self._entries[key]
-        self.profile_invalidations += len(stale)
-        return len(stale)
+        with self._lock:
+            self._epoch += 1
+            stale = [key for key in self._entries if key[0] == uid]
+            for key in stale:
+                del self._entries[key]
+            self.profile_invalidations += len(stale)
+            return len(stale)
 
     def on_profile_mutation(self, mutation: GraphMutation) -> None:
         """Graph-event handler: a profile mutation stales its user's answers."""
@@ -124,43 +180,53 @@ class ResultCache:
         in :attr:`data_spared` — the benchmark asserts this stays positive,
         i.e. no mutation kind ever blindly flushes the cache.
         """
-        rows = list(mutation.invalidation_rows())
-        stale = [key for key, entry in self._entries.items()
-                 if entry.may_be_affected_by(rows)]
-        for key in stale:
-            del self._entries[key]
-        self.data_invalidations += len(stale)
-        self.data_spared += len(self._entries)
-        return len(stale)
+        rows = mutation.invalidation_rows()
+        with self._lock:
+            self._epoch += 1
+            stale = [key for key, entry in self._entries.items()
+                     if entry.may_be_affected_by(rows)]
+            for key in stale:
+                del self._entries[key]
+            self.data_invalidations += len(stale)
+            self.data_spared += len(self._entries)
+            return len(stale)
 
     def clear(self) -> None:
         """Drop every entry and reset the statistics."""
-        self._entries.clear()
-        self.hits = 0
-        self.misses = 0
-        self.profile_invalidations = 0
-        self.data_invalidations = 0
-        self.data_spared = 0
+        with self._lock:
+            self._epoch += 1
+            self._entries.clear()
+            self.hits = 0
+            self.misses = 0
+            self.profile_invalidations = 0
+            self.data_invalidations = 0
+            self.data_spared = 0
+            self.stale_puts_rejected = 0
 
     # -- introspection ------------------------------------------------------------
 
     def cached_users(self) -> List[int]:
         """Distinct user ids with at least one cached answer."""
-        return sorted({uid for uid, _ in self._entries})
+        with self._lock:
+            return sorted({uid for uid, _ in self._entries})
 
     def stats(self) -> Dict[str, int]:
         """Cache counters for reports and benchmarks."""
-        return {
-            "entries": len(self._entries),
-            "hits": self.hits,
-            "misses": self.misses,
-            "profile_invalidations": self.profile_invalidations,
-            "data_invalidations": self.data_invalidations,
-            "data_spared": self.data_spared,
-        }
+        with self._lock:
+            return {
+                "entries": len(self._entries),
+                "hits": self.hits,
+                "misses": self.misses,
+                "profile_invalidations": self.profile_invalidations,
+                "data_invalidations": self.data_invalidations,
+                "data_spared": self.data_spared,
+                "stale_puts_rejected": self.stale_puts_rejected,
+            }
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def __contains__(self, key: ResultKey) -> bool:
-        return key in self._entries
+        with self._lock:
+            return key in self._entries

@@ -21,9 +21,20 @@
   rows.
 
 Every request returns a metrics record (cache hit, SQL statements issued,
-wall-clock seconds) so benchmarks and operators can attribute cost.  All
-public operations serialise on one re-entrant lock: SQLite, the shared
-caches and the LRU registry are then safe to drive from many threads.
+wall-clock seconds) so benchmarks and operators can attribute cost.
+
+**Locking.**  Cold reads and every mutation serialise on one re-entrant
+server lock: SQLite, the session registry and the LRU eviction path are
+then safe to drive from many threads.  *Warm* reads do **not** take the
+server lock — the :class:`~repro.serving.results.ResultCache` carries its
+own lock, so a cache hit costs one leaf-lock acquisition and zero SQL
+statements however many writers are queued on the big lock (the
+multi-threaded load harness' hot path).  The check-then-act window this
+opens (an answer computed from pre-mutation data materialised *after* the
+mutation's invalidation sweep) is closed by the cache's invalidation
+epoch: ``top_k`` snapshots it before computing and the cache refuses the
+put when a sweep ran in between.  Lock order, outermost first: server
+lock → session registry → count cache / result cache → backend.
 """
 
 from __future__ import annotations
@@ -175,7 +186,9 @@ class TopKServer:
         self._data_listener = (db.subscribe(self._on_data_mutation)
                                if subscribe else None)
         self._last_data_impact: Dict[str, int] = {}
-        #: Request counters.
+        # Request counters are bumped by the lock-free warm path too, so
+        # they get their own little lock instead of riding the big one.
+        self._stats_lock = threading.Lock()
         self.reads = 0
         self.read_hits = 0
         self.updates = 0
@@ -232,7 +245,8 @@ class TopKServer:
                 session.apply_profile(profile)
             elif self.cache_results:
                 self.results.invalidate_user(uid)
-            self.updates += 1
+            with self._stats_lock:
+                self.updates += 1
             return UpdateReport(
                 uid=uid,
                 resident=session is not None,
@@ -249,18 +263,36 @@ class TopKServer:
         """Answer one personalised Top-K request.
 
         Warm requests are served straight from the result cache — zero SQL
-        statements, the acceptance criterion of the serving benchmark.  Cold
-        requests build/refresh the user's session, run PEPS and materialise
-        the answer for the next caller.
+        statements and **no server lock** (see the module docstring), the
+        acceptance criterion of the serving benchmark and the load harness'
+        hot path.  Cold requests take the lock, build/refresh the user's
+        session, run PEPS and materialise the answer for the next caller —
+        unless an invalidation swept past while they computed, in which case
+        the answer is served but not cached (it can no longer be proven
+        fresh).
         """
-        with self._lock:
-            start = time.perf_counter()
-            statements_before = self.db.statements_executed
-            self.reads += 1
-            if self.cache_results:
-                entry = self.results.get(uid, k)
-                if entry is not None:
+        start = time.perf_counter()
+        if self.cache_results:
+            entry = self.results.get(uid, k)
+            if entry is not None:
+                with self._stats_lock:
+                    self.reads += 1
                     self.read_hits += 1
+                return ServeResult(
+                    uid=uid, k=k, ranking=entry.ranking, cache_hit=True,
+                    sql_statements=0,
+                    seconds=time.perf_counter() - start)
+        with self._lock:
+            statements_before = self.db.statements_executed
+            epoch = None
+            if self.cache_results:
+                # Another thread may have materialised the answer while we
+                # queued on the lock — serve it rather than recompute.
+                entry = self.results.peek(uid, k)
+                if entry is not None:
+                    with self._stats_lock:
+                        self.reads += 1
+                        self.read_hits += 1
                     return ServeResult(
                         uid=uid, k=k, ranking=entry.ranking, cache_hit=True,
                         sql_statements=self.db.statements_executed - statements_before,
@@ -269,11 +301,19 @@ class TopKServer:
                 session = self.sessions.get_or_create(uid)
             except ServingError:
                 raise UnknownUserError(uid) from None
+            if self.cache_results:
+                # Snapshot *after* the session exists (building one replays
+                # profile events, which legitimately bump the epoch) but
+                # *before* the data-reading computation the snapshot guards.
+                epoch = self.results.epoch
             ranking = tuple(session.top_k(k))
             if self.cache_results:
                 peps = session.algorithm()
                 self.results.put(uid, k, ranking,
-                                 [pref.predicate for pref in peps.preferences])
+                                 [pref.predicate for pref in peps.preferences],
+                                 epoch=epoch)
+            with self._stats_lock:
+                self.reads += 1
             return ServeResult(
                 uid=uid, k=k, ranking=ranking, cache_hit=False,
                 sql_statements=self.db.statements_executed - statements_before,
@@ -297,7 +337,8 @@ class TopKServer:
             report = self._run_data_mutation(
                 InsertReport, len(records),
                 lambda: append_papers(self.db, records, links, citations))
-            self.inserts += 1
+            with self._stats_lock:
+                self.inserts += 1
             return report
 
     def delete_tuples(self, pids: Iterable[int]) -> DeleteReport:
@@ -314,7 +355,8 @@ class TopKServer:
             report = self._run_data_mutation(
                 DeleteReport, len(pids),
                 lambda: delete_papers(self.db, pids))
-            self.deletes += 1
+            with self._stats_lock:
+                self.deletes += 1
             return report
 
     def update_tuples(self, papers: Sequence[PaperLike]) -> TupleUpdateReport:
@@ -331,7 +373,8 @@ class TopKServer:
             report = self._run_data_mutation(
                 TupleUpdateReport, len(records),
                 lambda: update_papers(self.db, records))
-            self.tuple_updates += 1
+            with self._stats_lock:
+                self.tuple_updates += 1
             return report
 
     def _run_data_mutation(self, report_cls, papers: int, mutate) -> Any:
@@ -384,11 +427,13 @@ class TopKServer:
 
     def stats(self) -> Dict[str, Any]:
         """A nested snapshot of every layer's counters."""
+        with self._stats_lock:
+            requests = {"reads": self.reads, "read_hits": self.read_hits,
+                        "updates": self.updates, "inserts": self.inserts,
+                        "deletes": self.deletes,
+                        "tuple_updates": self.tuple_updates}
         return {
-            "requests": {"reads": self.reads, "read_hits": self.read_hits,
-                         "updates": self.updates, "inserts": self.inserts,
-                         "deletes": self.deletes,
-                         "tuple_updates": self.tuple_updates},
+            "requests": requests,
             "sessions": self.sessions.stats(),
             "results": self.results.stats(),
             "count_cache": {

@@ -12,7 +12,9 @@ learned while serving one user are reused for every other user whose profile
 mentions the same predicate.
 
 :class:`SessionRegistry` bounds how many sessions stay resident: it is an LRU
-keyed by uid with eviction statistics.  Eviction is safe because profiles are
+keyed by uid with eviction statistics, guarded by its own re-entrant lock so
+the registry stays consistent even for callers that bypass the server's big
+lock (and so the load harness can wrap the lock and report its contention).  Eviction is safe because profiles are
 persisted in the relational staging tables — an evicted user's next request
 rebuilds the session from :func:`~repro.workload.loader.read_profiles` (the
 server wires that loader in), paying the build cost again but never losing
@@ -21,6 +23,7 @@ preferences.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence
 
@@ -140,6 +143,10 @@ class SessionRegistry:
         #: the same memo stores, so sessions reuse each other's work.
         self.runner = PreferenceQueryRunner(db, count_cache=self.count_cache)
         self.profile_loader = profile_loader
+        # Guards the LRU dict, the listener list and the counters; the
+        # server's big lock sits strictly outside it (see lock ordering in
+        # :mod:`repro.concurrency`).
+        self._lock = threading.RLock()
         self._sessions: "OrderedDict[int, UserSession]" = OrderedDict()
         self._graph_listeners: List[MutationListener] = []
         #: Registry statistics.
@@ -156,24 +163,27 @@ class SessionRegistry:
         This is how the result cache observes profile mutations across all
         resident users without knowing about sessions.
         """
-        self._graph_listeners.append(listener)
-        for session in self._sessions.values():
-            session.hypre.subscribe(listener)
-        return listener
+        with self._lock:
+            self._graph_listeners.append(listener)
+            for session in self._sessions.values():
+                session.hypre.subscribe(listener)
+            return listener
 
     # -- lookup / creation --------------------------------------------------------
 
     def peek(self, uid: int) -> Optional[UserSession]:
         """The resident session for ``uid`` without touching LRU order."""
-        return self._sessions.get(uid)
+        with self._lock:
+            return self._sessions.get(uid)
 
     def get(self, uid: int) -> Optional[UserSession]:
         """The resident session for ``uid`` (LRU-touched), or ``None``."""
-        session = self._sessions.get(uid)
-        if session is not None:
-            self._sessions.move_to_end(uid)
-            self.hits += 1
-        return session
+        with self._lock:
+            session = self._sessions.get(uid)
+            if session is not None:
+                self._sessions.move_to_end(uid)
+                self.hits += 1
+            return session
 
     def get_or_create(self, uid: int,
                       profile: Optional[UserProfile] = None) -> UserSession:
@@ -184,24 +194,25 @@ class SessionRegistry:
         :class:`~repro.exceptions.ServingError` (the serving engine's
         "unknown user" failure mode lives in the server, which checks first).
         """
-        session = self.get(uid)
-        if session is not None:
-            if profile is not None:
-                session.apply_profile(profile)
+        with self._lock:
+            session = self.get(uid)
+            if session is not None:
+                if profile is not None:
+                    session.apply_profile(profile)
+                return session
+            self.misses += 1
+            if profile is None and self.profile_loader is not None:
+                profile = self.profile_loader(uid)
+            if profile is None or profile.is_empty():
+                raise ServingError(f"cannot build a session for uid={uid}: no profile")
+            session = UserSession(uid, self.runner)
+            for listener in self._graph_listeners:
+                session.hypre.subscribe(listener)
+            session.apply_profile(profile)
+            self._sessions[uid] = session
+            self.sessions_built += 1
+            self._evict_over_capacity()
             return session
-        self.misses += 1
-        if profile is None and self.profile_loader is not None:
-            profile = self.profile_loader(uid)
-        if profile is None or profile.is_empty():
-            raise ServingError(f"cannot build a session for uid={uid}: no profile")
-        session = UserSession(uid, self.runner)
-        for listener in self._graph_listeners:
-            session.hypre.subscribe(listener)
-        session.apply_profile(profile)
-        self._sessions[uid] = session
-        self.sessions_built += 1
-        self._evict_over_capacity()
-        return session
 
     def _evict_over_capacity(self) -> None:
         while len(self._sessions) > self.capacity:
@@ -211,12 +222,13 @@ class SessionRegistry:
 
     def evict(self, uid: int) -> bool:
         """Explicitly evict one session (returns whether it was resident)."""
-        session = self._sessions.pop(uid, None)
-        if session is None:
-            return False
-        session.close()
-        self.evictions += 1
-        return True
+        with self._lock:
+            session = self._sessions.pop(uid, None)
+            if session is None:
+                return False
+            session.close()
+            self.evictions += 1
+            return True
 
     # -- data-update fan-out ------------------------------------------------------
 
@@ -228,30 +240,35 @@ class SessionRegistry:
         Returns the total number of cache entries dropped.
         """
         rows = list(rows)
-        dropped = self.runner.invalidate_matching(rows)
-        for session in self._sessions.values():
-            dropped += session.index.invalidate_matching(rows)
-        return dropped
+        with self._lock:
+            dropped = self.runner.invalidate_matching(rows)
+            for session in self._sessions.values():
+                dropped += session.index.invalidate_matching(rows)
+            return dropped
 
     # -- introspection ------------------------------------------------------------
 
     def resident_uids(self) -> List[int]:
         """Resident user ids, least recently used first."""
-        return list(self._sessions)
+        with self._lock:
+            return list(self._sessions)
 
     def stats(self) -> Dict[str, int]:
         """Registry counters (resident count, hits, misses, evictions)."""
-        return {
-            "resident": len(self._sessions),
-            "capacity": self.capacity,
-            "hits": self.hits,
-            "misses": self.misses,
-            "evictions": self.evictions,
-            "sessions_built": self.sessions_built,
-        }
+        with self._lock:
+            return {
+                "resident": len(self._sessions),
+                "capacity": self.capacity,
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+                "sessions_built": self.sessions_built,
+            }
 
     def __len__(self) -> int:
-        return len(self._sessions)
+        with self._lock:
+            return len(self._sessions)
 
     def __contains__(self, uid: int) -> bool:
-        return uid in self._sessions
+        with self._lock:
+            return uid in self._sessions

@@ -79,8 +79,18 @@ class DataMutation:
         match *any* of these rows: a delete can remove a tuple from a result
         (pre-image), an insert can add one (post-image) and an in-place
         update can do both at once.
+
+        The union is memoised on the (frozen) event: one broadcast mutation
+        is examined by every shard's result cache, count cache and pair
+        index, so the sharded fan-out asks for these rows many times per
+        event — batching the answer is part of keeping the fan-out cheap
+        under concurrent load.
         """
-        return self.rows + self.old_rows
+        cached = getattr(self, "_invalidation_rows", None)
+        if cached is None:
+            cached = self.rows + self.old_rows
+            object.__setattr__(self, "_invalidation_rows", cached)
+        return cached
 
     def __len__(self) -> int:
         return len(self.rows) + len(self.old_rows)

@@ -12,6 +12,7 @@ from repro.cli import (
     list_experiments,
     main,
     run_experiment,
+    run_load,
     run_serve_replay,
     run_topk,
 )
@@ -66,6 +67,26 @@ class TestParser:
     def test_serve_replay_shards_flag(self):
         args = build_parser().parse_args(["serve-replay", "--shards", "4"])
         assert args.shards == 4
+
+    def test_load_defaults(self):
+        args = build_parser().parse_args(["load"])
+        assert args.command == "load"
+        assert args.threads == 2
+        assert args.duration == 2.0
+        assert args.qps is None  # closed loop by default
+        assert args.shards == 0
+        assert args.audit_interval == 0.5
+        assert args.output is None and args.as_json is False
+
+    def test_load_options(self):
+        args = build_parser().parse_args(
+            ["load", "--threads", "4", "--qps", "500", "--duration", "1.5",
+             "--shards", "4", "--backend", "memory",
+             "--output", "BENCH_loadgen.json", "--json"])
+        assert (args.threads, args.qps, args.shards) == (4, 500.0, 4)
+        assert args.duration == 1.5
+        assert args.backend == "memory"
+        assert args.output == "BENCH_loadgen.json" and args.as_json
 
     def test_missing_command_errors(self):
         with pytest.raises(SystemExit):
@@ -198,6 +219,52 @@ class TestServeReplayText:
             run_serve_replay(scale="galactic")
 
 
+class TestLoad:
+    def test_load_json_reports_slos_and_clean_audit(self):
+        payload = json.loads(run_load(
+            scale="tiny", users=8, threads=2, duration=0.4, k=3,
+            audit_interval=0.2, as_json=True))
+        run = payload["run"]
+        assert run["mode"] == "closed"
+        assert run["ops"] > 0 and run["throughput_ops_per_sec"] > 0
+        latency = run["latency"]
+        assert latency["p50_ms"] <= latency["p95_ms"] <= latency["p99_ms"]
+        assert run["audit"]["mismatches"] == 0 and run["errors"] == []
+        assert payload["config"]["threads"] == 2
+
+    def test_load_open_loop_with_shards(self):
+        payload = json.loads(run_load(
+            scale="tiny", users=8, threads=2, duration=0.4, qps=100.0,
+            shards=2, k=3, audit_interval=0.2, as_json=True))
+        run = payload["run"]
+        assert run["mode"] == "open" and run["shards"] == 2
+        assert len(run["per_shard_requests"]) == 2
+        assert run["shard_skew"] >= 1.0
+
+    def test_load_text_report_names_the_slos(self):
+        text = run_load(scale="tiny", users=8, threads=2, duration=0.4,
+                        k=3, audit_interval=0.2)
+        assert "p50" in text and "p95" in text and "p99" in text
+        assert "at saturation" in text
+        assert "audit:" in text and "0 mismatches" in text
+
+    def test_load_writes_a_valid_bench_document(self, tmp_path):
+        from repro.loadgen import load_and_validate
+        path = tmp_path / "BENCH_loadgen.json"
+        run_load(scale="tiny", users=8, threads=2, duration=0.4, k=3,
+                 audit_interval=0.2, output=str(path))
+        document = load_and_validate(str(path))
+        assert len(document["payload"]["runs"]) == 1
+
+    def test_load_rejects_unknown_scale(self):
+        with pytest.raises(ValueError):
+            run_load(scale="galactic")
+
+    def test_load_rejects_negative_shards(self):
+        with pytest.raises(ValueError, match="--shards"):
+            run_load(scale="tiny", shards=-1)
+
+
 class TestMainEntryPoint:
     def test_main_list(self, capsys):
         assert main(["list"]) == 0
@@ -222,3 +289,11 @@ class TestMainEntryPoint:
                      "--requests", "20", "--capacity", "4", "--json"]) == 0
         payload = json.loads(capsys.readouterr().out)
         assert payload["config"]["users"] == 6
+
+    def test_main_load(self, capsys):
+        assert main(["load", "--scale", "tiny", "--users", "8",
+                     "--threads", "2", "--duration", "0.4", "--k", "3",
+                     "--audit-interval", "0.2", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["run"]["ops"] > 0
+        assert payload["run"]["audit"]["mismatches"] == 0

@@ -1,0 +1,345 @@
+"""Concurrency stress tests: the serving stack under real thread contention.
+
+Three layers of proof, each bounded by an explicit deadline (threads are
+daemons and joined with a timeout, so a deadlock fails the test in seconds
+instead of hanging the suite — the repo has no pytest-timeout plugin):
+
+* **mixed load through the harness** — :class:`repro.loadgen.LoadGenerator`
+  drives reads + every mutation kind concurrently on both storage backends
+  with the background equivalence auditor live; the run must finish clean;
+* **readers vs writers, frozen-copy equivalence** — hand-rolled reader and
+  writer threads race on one server while the main thread repeatedly
+  quiesces traffic through a :class:`~repro.loadgen.TrafficGate` and
+  recomputes every materialised answer from scratch on the quiesced
+  (frozen) database: no torn read may survive a quiesce point;
+* **cluster fan-out equivalence** — concurrent ``top_k`` calls against a
+  ``parallel_fanout`` sharded cluster must return exactly the rankings a
+  single serial server computes for the same world;
+
+plus barrier-provoked regression tests for the invalidation races the
+epoch guards in :class:`~repro.serving.results.ResultCache` and
+:class:`~repro.index.count_cache.CountCache` exist to close: an
+invalidation sweep landing *mid-computation* must prevent the stale answer
+from being (re-)cached after the sweep.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.core.predicate import equals
+from repro.index.count_cache import CountCache
+from repro.loadgen import LoadConfig, LoadGenerator, LoadMix, TrafficGate
+from repro.loadgen.workload import (
+    DATA_UPDATE,
+    DELETE,
+    INSERT,
+    READ,
+    UPDATE,
+    WorkerStream,
+)
+from repro.serving import ReplayConfig, ReplayDriver, ShardedTopKServer, TopKServer
+from repro.serving.results import ResultCache
+from repro.serving.server import fresh_top_k
+from repro.workload.dblp import DblpConfig
+
+#: Upper bound on any single concurrent phase; generous on purpose — it
+#: only ever bites when something deadlocks.
+DEADLINE_SECONDS = 60.0
+
+DBLP = DblpConfig(n_papers=180, n_authors=80, n_venues=8, seed=11)
+REPLAY = ReplayConfig(users=16, k=5, seed=31)
+
+
+@pytest.fixture(params=("sqlite", "memory"))
+def backend(request):
+    return request.param
+
+
+@pytest.fixture()
+def world(backend):
+    driver = ReplayDriver(REPLAY)
+    db = driver.build_world(DBLP, backend=backend)
+    yield db
+    db.close()
+
+
+def join_with_deadline(threads, timeout=DEADLINE_SECONDS):
+    """Join daemon ``threads``; returns the names still alive at timeout."""
+    deadline = time.monotonic() + timeout
+    for thread in threads:
+        thread.join(max(0.1, deadline - time.monotonic()))
+    return [thread.name for thread in threads if thread.is_alive()]
+
+
+def start_and_join(threads, timeout=DEADLINE_SECONDS):
+    for thread in threads:
+        thread.start()
+    stuck = join_with_deadline(threads, timeout)
+    assert not stuck, f"threads still running at the deadline: {stuck}"
+
+
+def test_join_with_deadline_detects_a_hung_thread():
+    """The suite's deadlock guard itself: a stuck thread is reported, the
+    test process is not wedged (daemon threads die with the process)."""
+    release = threading.Event()
+    hung = threading.Thread(target=release.wait, name="hung", daemon=True)
+    hung.start()
+    assert join_with_deadline([hung], timeout=0.2) == ["hung"]
+    release.set()
+    assert join_with_deadline([hung], timeout=5.0) == []
+
+
+# -- mixed load through the harness ------------------------------------------
+
+
+def test_mixed_load_finishes_clean_under_contention(world):
+    """Reads + all mutation kinds, 3 threads, auditor live: clean finish."""
+    server = TopKServer(world, capacity=12)
+    config = LoadConfig(threads=3, duration_seconds=1.0, seed=31,
+                        mix=LoadMix(k=REPLAY.k), audit_interval=0.25,
+                        audit_sample=6)
+    outcome = {}
+
+    def run():
+        outcome["report"] = LoadGenerator(config).run(server)
+
+    try:
+        start_and_join([threading.Thread(target=run, name="loadgen-run",
+                                         daemon=True)])
+    finally:
+        server.close()
+    report = outcome["report"]
+    assert report.clean, (report.errors, report.audit)
+    assert report.ops > 0
+    assert report.audit["audits"] >= 1
+    # Every mutation kind actually ran against the server.
+    for kind in (UPDATE, INSERT, DELETE, DATA_UPDATE):
+        assert report.kind_counts[kind] > 0, f"no {kind} ops in the mix"
+    assert report.kind_counts[READ] > 0
+
+
+# -- readers vs writers: no torn reads ---------------------------------------
+
+
+def _apply(server, op):
+    if op.kind == READ:
+        server.top_k(op.uid, op.k)
+    elif op.kind == UPDATE:
+        server.update_profile(op.uid, op.profile)
+    elif op.kind == INSERT:
+        server.insert_tuples(op.papers, op.paper_authors)
+    elif op.kind == DELETE:
+        server.delete_tuples(op.pids)
+    else:
+        server.update_tuples(op.papers)
+
+
+def test_readers_and_writers_no_torn_reads(world):
+    """2 writers + 2 readers race; every quiesce point must find every
+    materialised ranking equal to a from-scratch recomputation on the
+    frozen (quiesced) database."""
+    server = TopKServer(world, capacity=12)
+    uids = sorted(profile.uid for profile in world.read_profiles())
+    venues, lo, hi = world.workload_shape()
+    gate = TrafficGate()
+    stop = threading.Event()
+    errors = []
+
+    def worker(stream):
+        try:
+            while not stop.is_set():
+                op = stream.next_op()
+                with gate.request():
+                    _apply(server, op)
+        except Exception as exc:
+            errors.append(f"{stream.worker_id}: {type(exc).__name__}: {exc}")
+
+    write_only = LoadMix(read_weight=0.0, update_weight=1.0,
+                         insert_weight=1.0, delete_weight=0.5,
+                         data_update_weight=0.5, k=REPLAY.k)
+    read_only = LoadMix(read_weight=1.0, update_weight=0.0,
+                        insert_weight=0.0, delete_weight=0.0,
+                        data_update_weight=0.0, k=REPLAY.k)
+    streams = [
+        WorkerStream(worker_id, mix, uids, venues, lo, hi,
+                     max_aid=world.max_author_id(),
+                     pid_base=world.max_paper_id() + 1, seed=31)
+        for worker_id, mix in enumerate([write_only, write_only,
+                                         read_only, read_only])]
+    threads = [threading.Thread(target=worker, args=(stream,),
+                                name=f"rw-{stream.worker_id}", daemon=True)
+               for stream in streams]
+    for thread in threads:
+        thread.start()
+
+    torn = []
+    try:
+        deadline = time.monotonic() + 1.2
+        quiesce_points = 0
+        while time.monotonic() < deadline:
+            time.sleep(0.15)
+            with gate.quiesce():
+                quiesce_points += 1
+                for uid in server.results.cached_users():
+                    entry = server.results.peek(uid, REPLAY.k)
+                    if entry is None:
+                        continue
+                    fresh = fresh_top_k(world, uid, REPLAY.k)
+                    if list(entry.ranking) != list(fresh):
+                        torn.append((uid, list(entry.ranking), list(fresh)))
+    finally:
+        stop.set()
+        stuck = join_with_deadline(threads)
+        server.close()
+    assert not stuck, f"reader/writer threads deadlocked: {stuck}"
+    assert not errors, errors
+    assert not torn, f"torn reads survived a quiesce point: {torn[:3]}"
+    assert quiesce_points >= 2
+
+
+# -- cluster fan-out equivalence ---------------------------------------------
+
+
+def test_cluster_parallel_fanout_concurrent_topk_equivalence(backend):
+    """Concurrent reads through a parallel-fan-out cluster == the serial
+    single-server rankings for the same world."""
+    driver = ReplayDriver(REPLAY)
+
+    reference_db = driver.build_world(DBLP, backend=backend)
+    single = TopKServer(reference_db, capacity=32)
+    expected = {}
+    uids = sorted(profile.uid for profile in reference_db.read_profiles())
+    for uid in uids:
+        expected[uid] = tuple(single.top_k(uid, REPLAY.k).ranking)
+    single.close()
+    reference_db.close()
+
+    cluster_db = driver.build_world(DBLP, backend=backend)
+    cluster = ShardedTopKServer(cluster_db, shards=3, capacity=32,
+                                parallel_fanout=True)
+    served = {}
+    errors = []
+
+    def reader(worker_id):
+        try:
+            # Each thread walks the uids from a different offset, so shards
+            # field overlapping requests for the same uid concurrently.
+            mine = {}
+            for step in range(len(uids) * 2):
+                uid = uids[(worker_id * 5 + step) % len(uids)]
+                mine[uid] = tuple(cluster.top_k(uid, REPLAY.k).ranking)
+            served[worker_id] = mine
+        except Exception as exc:
+            errors.append(f"reader {worker_id}: {type(exc).__name__}: {exc}")
+
+    try:
+        start_and_join([threading.Thread(target=reader, args=(worker_id,),
+                                         name=f"cluster-reader-{worker_id}",
+                                         daemon=True)
+                        for worker_id in range(4)])
+    finally:
+        cluster.close()
+        cluster_db.close()
+    assert not errors, errors
+    assert len(served) == 4
+    for mine in served.values():
+        for uid, ranking in mine.items():
+            assert ranking == expected[uid], f"uid {uid} diverged"
+
+
+# -- invalidation-race regressions -------------------------------------------
+
+
+class TestInvalidationRaceRegression:
+    """Mid-computation invalidation must never let a stale entry re-cache."""
+
+    def test_result_cache_refuses_put_after_mid_compute_sweep(self):
+        """Thread A snapshots the epoch and 'computes'; thread B runs an
+        invalidation sweep in the window; A's put must be refused."""
+        cache = ResultCache()
+        computed = threading.Barrier(2, timeout=DEADLINE_SECONDS)
+        swept = threading.Barrier(2, timeout=DEADLINE_SECONDS)
+        outcome = {}
+
+        def compute_and_put():
+            epoch = cache.epoch  # snapshot before reading any data
+            ranking = ((1, 0.9), (2, 0.5))  # "computed" from pre-sweep data
+            computed.wait()  # hand the window to the invalidator...
+            swept.wait()     # ...and resume only after the sweep ran
+            outcome["entry"] = cache.put(7, 2, ranking, predicates=(),
+                                         epoch=epoch)
+
+        def invalidate():
+            computed.wait()
+            cache.invalidate_user(7)
+            swept.wait()
+
+        start_and_join([
+            threading.Thread(target=compute_and_put, name="putter",
+                             daemon=True),
+            threading.Thread(target=invalidate, name="sweeper", daemon=True)])
+
+        assert outcome["entry"] is None, "stale put was accepted"
+        assert cache.get(7, 2) is None
+        assert cache.stats()["stale_puts_rejected"] == 1
+
+    def test_result_cache_put_without_race_is_accepted(self):
+        cache = ResultCache()
+        epoch = cache.epoch
+        assert cache.put(7, 2, ((1, 0.9),), predicates=(),
+                         epoch=epoch) is not None
+        assert cache.peek(7, 2) is not None
+        assert cache.stats()["stale_puts_rejected"] == 0
+
+    def test_count_cache_does_not_memoise_across_invalidation(self):
+        """The backend round-trip runs with the lock released; a sweep
+        landing inside that window must keep the result out of the cache."""
+        predicate = equals("venue", "VLDB")
+        in_query = threading.Event()
+        release_query = threading.Event()
+        answers = iter([41, 42])
+
+        class BlockingBackend:
+            def count_matching(self, _predicate):
+                in_query.set()
+                assert release_query.wait(DEADLINE_SECONDS)
+                return next(answers)
+
+        cache = CountCache(BlockingBackend())
+        outcome = {}
+
+        def count():
+            outcome["value"] = cache.count(predicate)
+
+        counter = threading.Thread(target=count, name="counter", daemon=True)
+        counter.start()
+        assert in_query.wait(DEADLINE_SECONDS)
+        # The relation changes while the count query is in flight.
+        cache.invalidate(predicate)
+        release_query.set()
+        assert join_with_deadline([counter]) == []
+
+        assert outcome["value"] == 41  # the caller still gets its answer...
+        assert cache.peek(predicate) is None  # ...but it was not memoised
+        release_query.set()
+        assert cache.count(predicate) == 42  # a fresh query, not 41 replayed
+        assert cache.misses == 2
+
+    def test_count_cache_memoises_without_a_sweep(self):
+        class CountingBackend:
+            calls = 0
+
+            def count_matching(self, _predicate):
+                type(self).calls += 1
+                return 17
+
+        cache = CountCache(CountingBackend())
+        predicate = equals("venue", "SIGMOD")
+        assert cache.count(predicate) == 17
+        assert cache.count(predicate) == 17
+        assert CountingBackend.calls == 1
+        assert cache.peek(predicate) == 17

@@ -1,0 +1,375 @@
+"""Unit tests for the load-harness machinery itself.
+
+The concurrency stress suite (``test_loadgen_concurrency.py``) proves the
+serving stack under the harness; this file pins down the harness's own
+parts in isolation — the traffic gate's pause-and-drain protocol, the
+equivalence auditor's sampling and verdicts, deterministic workload
+streams, lock instrumentation, run configuration validation, and the
+schema-versioned ``BENCH_loadgen.json`` envelope CI validates before
+uploading.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+
+import pytest
+
+from repro.concurrency import RWLock, TimedRLock
+from repro.exceptions import ServingError
+from repro.loadgen import (
+    SCHEMA_VERSION,
+    EquivalenceAuditor,
+    LoadConfig,
+    LoadGenerator,
+    LoadMix,
+    TrafficGate,
+    WorkerStream,
+    bench_envelope,
+    build_streams,
+    instrument_server,
+    load_and_validate,
+    loadgen_payload,
+    lock_report,
+    validate_loadgen_payload,
+    write_bench_json,
+)
+from repro.loadgen.workload import DELETE, INSERT, OP_KINDS, PID_STRIDE, READ
+from repro.serving import ReplayConfig, ReplayDriver, TopKServer
+from repro.workload.dblp import DblpConfig
+
+DBLP = DblpConfig(n_papers=150, n_authors=60, n_venues=6, seed=11)
+REPLAY = ReplayConfig(users=8, k=4, seed=31)
+
+STREAM_SHAPE = dict(uids=[1, 2, 3], venues=["VLDB", "SIGMOD"],
+                    lo=1990, hi=2015, max_aid=40, pid_base=10_000, seed=5)
+
+
+@pytest.fixture()
+def server():
+    db = ReplayDriver(REPLAY).build_world(DBLP, backend="sqlite")
+    instance = TopKServer(db, capacity=8)
+    yield instance
+    instance.close()
+    db.close()
+
+
+# -- traffic gate ------------------------------------------------------------
+
+
+class TestTrafficGate:
+    def test_requests_pass_and_are_counted(self):
+        gate = TrafficGate()
+        with gate.request():
+            with gate.request():  # re-entrant across logical requests
+                pass
+        assert gate.stats()["requests_gated"] == 2
+        assert gate.stats()["quiesces"] == 0
+
+    def test_quiesce_waits_for_inflight_and_blocks_new_requests(self):
+        gate = TrafficGate()
+        inside = threading.Event()
+        release = threading.Event()
+        passed_during_quiesce = []
+
+        def long_request():
+            with gate.request():
+                inside.set()
+                release.wait(30)
+
+        def late_request():
+            inside.wait(30)
+            time.sleep(0.05)  # give the quiescer time to raise the flag
+            with gate.request():
+                passed_during_quiesce.append(gate.stats()["quiesces"])
+
+        worker = threading.Thread(target=long_request, daemon=True)
+        late = threading.Thread(target=late_request, daemon=True)
+        worker.start()
+        late.start()
+        inside.wait(30)
+
+        quiesced = threading.Event()
+
+        def quiesce():
+            with gate.quiesce():
+                quiesced.set()
+
+        quiescer = threading.Thread(target=quiesce, daemon=True)
+        quiescer.start()
+        # The quiescer cannot finish while the long request is in flight.
+        assert not quiesced.wait(0.15)
+        release.set()
+        assert quiesced.wait(30)
+        for thread in (worker, late, quiescer):
+            thread.join(30)
+            assert not thread.is_alive()
+        # The late request only got through after the quiesce completed.
+        assert passed_during_quiesce == [1]
+        assert gate.stats()["paused_seconds"] > 0.0
+
+
+# -- auditor -----------------------------------------------------------------
+
+
+class TestEquivalenceAuditor:
+    def test_clean_on_a_consistent_server(self, server):
+        uids = sorted(profile.uid for profile in server.db.read_profiles())
+        for uid in uids[:4]:
+            server.top_k(uid, REPLAY.k)
+        auditor = EquivalenceAuditor(server, TrafficGate(), k=REPLAY.k)
+        assert auditor.audit_once() > 0
+        assert auditor.clean
+        assert auditor.stats()["mismatches"] == 0
+
+    def test_flags_a_corrupted_cached_answer(self, server):
+        uids = sorted(profile.uid for profile in server.db.read_profiles())
+        server.top_k(uids[0], REPLAY.k)
+        entry = server.results.peek(uids[0], REPLAY.k)
+        # Corrupt the materialised ranking behind the cache's back.
+        object.__setattr__(entry, "ranking", ((999_999, 1.0),))
+        auditor = EquivalenceAuditor(server, TrafficGate(), k=REPLAY.k)
+        auditor.audit_once()
+        assert not auditor.clean
+        assert auditor.stats()["mismatches"] == 1
+        assert auditor.mismatches[0]["uid"] == uids[0]
+
+    def test_round_robin_covers_the_population(self, server):
+        uids = sorted(profile.uid for profile in server.db.read_profiles())
+        for uid in uids:
+            server.top_k(uid, REPLAY.k)
+        auditor = EquivalenceAuditor(server, TrafficGate(), k=REPLAY.k,
+                                     sample=3)
+        passes = 0
+        while auditor.comparisons < len(uids) and passes < 10:
+            auditor.audit_once()
+            passes += 1
+        assert auditor.comparisons >= len(uids)
+
+    def test_start_stop_lifecycle(self, server):
+        auditor = EquivalenceAuditor(server, TrafficGate(), k=REPLAY.k,
+                                     interval=0.05)
+        auditor.start()
+        time.sleep(0.2)
+        auditor.stop()
+        assert not auditor.is_alive()
+        assert auditor.audits >= 1
+        assert auditor.clean
+
+    def test_rejects_non_positive_interval(self, server):
+        with pytest.raises(ValueError):
+            EquivalenceAuditor(server, TrafficGate(), k=3, interval=0.0)
+
+
+# -- workload streams --------------------------------------------------------
+
+
+class TestWorkerStream:
+    def test_streams_are_deterministic(self):
+        mix = LoadMix()
+        ops_a = [WorkerStream(0, mix, **STREAM_SHAPE).next_op()
+                 for _ in range(50)]
+        ops_b = [WorkerStream(0, mix, **STREAM_SHAPE).next_op()
+                 for _ in range(50)]
+        assert ops_a == ops_b
+
+    def test_workers_own_disjoint_pid_namespaces(self):
+        streams = build_streams(3, LoadMix(), **STREAM_SHAPE)
+        pids = {}
+        for stream in streams:
+            mine = set()
+            for _ in range(200):
+                op = stream.next_op()
+                if op.kind == INSERT:
+                    mine.update(paper.pid for paper in op.papers)
+                elif op.kind == DELETE:
+                    # Deletes only ever name the worker's own inserts.
+                    assert set(op.pids) <= mine
+            base = STREAM_SHAPE["pid_base"] + stream.worker_id * PID_STRIDE
+            assert all(base <= pid < base + PID_STRIDE for pid in mine)
+            pids[stream.worker_id] = mine
+        assert not (pids[0] & pids[1]) and not (pids[1] & pids[2])
+
+    def test_zero_weight_removes_a_kind(self):
+        mix = LoadMix(read_weight=1.0, update_weight=0.0, insert_weight=0.0,
+                      delete_weight=0.0, data_update_weight=0.0)
+        stream = WorkerStream(0, mix, **STREAM_SHAPE)
+        assert {stream.next_op().kind for _ in range(100)} == {READ}
+
+    def test_all_kinds_appear_in_the_default_mix(self):
+        stream = WorkerStream(0, LoadMix(), **STREAM_SHAPE)
+        kinds = {stream.next_op().kind for _ in range(600)}
+        assert kinds == set(OP_KINDS)
+
+    def test_empty_population_is_rejected(self):
+        shape = dict(STREAM_SHAPE, uids=[])
+        with pytest.raises(ServingError):
+            WorkerStream(0, LoadMix(), **shape)
+
+
+# -- lock instrumentation ----------------------------------------------------
+
+
+class TestInstrumentation:
+    def test_single_server_locks_are_swapped_and_reported(self, server):
+        locks = instrument_server(server)
+        names = {lock.stats()["name"] for lock in locks}
+        assert {"server", "sessions", "count-cache", "result-cache"} <= names
+        # The instrumented server still serves (and the condition variable
+        # over the count cache still coalesces).
+        uid = sorted(profile.uid for profile in server.db.read_profiles())[0]
+        assert server.top_k(uid, REPLAY.k).ranking
+        report = lock_report(locks)
+        assert report[0]["wait_seconds"] >= report[-1]["wait_seconds"]
+        assert any(record["acquisitions"] > 0 for record in report)
+
+    def test_memory_backend_rwlock_is_included(self):
+        db = ReplayDriver(REPLAY).build_world(DBLP, backend="memory")
+        instance = TopKServer(db, capacity=8)
+        try:
+            locks = instrument_server(instance)
+            assert any(isinstance(lock, RWLock) for lock in locks)
+        finally:
+            instance.close()
+            db.close()
+
+    def test_timed_rlock_counts_contention(self):
+        lock = TimedRLock("probe")
+        held = threading.Event()
+        release = threading.Event()
+
+        def holder():
+            with lock:
+                held.set()
+                release.wait(30)
+
+        thread = threading.Thread(target=holder, daemon=True)
+        thread.start()
+        held.wait(30)
+        acquired = threading.Event()
+
+        def contender():
+            with lock:
+                acquired.set()
+
+        contender_thread = threading.Thread(target=contender, daemon=True)
+        contender_thread.start()
+        time.sleep(0.05)
+        release.set()
+        assert acquired.wait(30)
+        thread.join(30)
+        contender_thread.join(30)
+        stats = lock.stats()
+        assert stats["acquisitions"] == 2
+        assert stats["contended"] == 1
+        assert stats["wait_seconds"] > 0.0
+
+
+# -- configuration validation ------------------------------------------------
+
+
+class TestLoadConfig:
+    def test_rejects_zero_threads(self):
+        with pytest.raises(ServingError):
+            LoadConfig(threads=0)
+
+    def test_rejects_non_positive_duration(self):
+        with pytest.raises(ServingError):
+            LoadConfig(duration_seconds=0.0)
+
+    def test_rejects_non_positive_qps(self):
+        with pytest.raises(ServingError):
+            LoadConfig(target_qps=-5.0)
+
+    def test_mix_rejects_all_zero_weights(self):
+        with pytest.raises(ServingError):
+            LoadMix(read_weight=0.0, update_weight=0.0, insert_weight=0.0,
+                    delete_weight=0.0, data_update_weight=0.0).weights()
+
+
+# -- report persistence and validation ---------------------------------------
+
+
+def _minimal_run(**overrides):
+    latency = {"count": 10, "p50_ms": 1.0, "p95_ms": 2.0, "p99_ms": 3.0,
+               "min_ms": 0.5, "mean_ms": 1.2, "max_ms": 4.0}
+    run = {
+        "mode": "closed", "backend": "sqlite", "shards": 1, "threads": 2,
+        "duration_seconds": 1.0, "ops": 10, "throughput_ops_per_sec": 10.0,
+        "latency": dict(latency),
+        "latency_by_kind": {"read": dict(latency)},
+        "per_shard_requests": [10], "shard_skew": 1.0,
+        "locks": [{"name": "server", "acquisitions": 1, "contended": 0,
+                   "wait_seconds": 0.0, "hold_seconds": 0.1}],
+        "audit": {"audits": 1, "comparisons": 2, "mismatches": 0,
+                  "errors": []},
+        "errors": [],
+    }
+    run.update(overrides)
+    return run
+
+
+class TestReportSchema:
+    def test_envelope_carries_schema_version_and_sha(self, tmp_path):
+        document = write_bench_json(str(tmp_path / "BENCH_loadgen.json"),
+                                    "loadgen",
+                                    loadgen_payload([_minimal_run()], {}))
+        assert document["schema_version"] == SCHEMA_VERSION
+        assert document["bench"] == "loadgen"
+        assert isinstance(document["git_sha"], str)
+        on_disk = json.loads((tmp_path / "BENCH_loadgen.json").read_text())
+        assert on_disk == document
+
+    def test_load_and_validate_roundtrip(self, tmp_path):
+        path = str(tmp_path / "BENCH_loadgen.json")
+        write_bench_json(path, "loadgen",
+                         loadgen_payload([_minimal_run()], {"threads": 2}))
+        document = load_and_validate(path)
+        assert len(document["payload"]["runs"]) == 1
+
+    def test_envelope_helper_alone(self):
+        document = bench_envelope("backends", {"arms": []})
+        assert document["payload"] == {"arms": []}
+        assert document["created_by"] == "repro"
+
+    @pytest.mark.parametrize("mutate, fragment", [
+        (lambda run: run.pop("latency"), "missing 'latency'"),
+        (lambda run: run["latency"].update(p50_ms=9.0), "not monotone"),
+        (lambda run: run.update(per_shard_requests=[1, 2]),
+         "per_shard_requests"),
+        (lambda run: run.update(mode="sideways"), "mode"),
+        (lambda run: run["audit"].pop("mismatches"), "audit"),
+        (lambda run: run["locks"][0].pop("wait_seconds"), "locks"),
+    ])
+    def test_validation_rejects_malformed_runs(self, mutate, fragment):
+        run = _minimal_run()
+        mutate(run)
+        document = bench_envelope("loadgen", loadgen_payload([run], {}))
+        with pytest.raises(ValueError, match="invalid loadgen report"):
+            validate_loadgen_payload(document)
+
+    def test_validation_rejects_wrong_bench_name(self):
+        document = bench_envelope("backends",
+                                  loadgen_payload([_minimal_run()], {}))
+        with pytest.raises(ValueError, match="bench"):
+            validate_loadgen_payload(document)
+
+    def test_validation_rejects_empty_runs(self):
+        document = bench_envelope("loadgen", loadgen_payload([], {}))
+        with pytest.raises(ValueError, match="runs"):
+            validate_loadgen_payload(document)
+
+
+# -- end-to-end: the generator's report validates ----------------------------
+
+
+def test_generator_report_passes_the_schema_validator(server):
+    config = LoadConfig(threads=2, duration_seconds=0.4, seed=31,
+                        mix=LoadMix(k=REPLAY.k), audit_interval=0.2)
+    report = LoadGenerator(config).run(server)
+    assert report.clean, (report.errors, report.audit)
+    document = bench_envelope("loadgen",
+                              loadgen_payload([report.as_dict()], {}))
+    assert validate_loadgen_payload(document) == 1

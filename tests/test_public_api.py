@@ -32,12 +32,13 @@ class TestPackageSurface:
         import repro.extensions as extensions
         import repro.graphstore as graphstore
         import repro.index as index
+        import repro.loadgen as loadgen
         import repro.serving as serving
         import repro.sqldb as sqldb
         import repro.workload as workload
 
         for module in (algorithms, backend, core, extensions, graphstore,
-                       index, serving, sqldb, workload):
+                       index, loadgen, serving, sqldb, workload):
             for name in module.__all__:
                 assert hasattr(module, name), f"{module.__name__}.{name} missing"
 
@@ -50,12 +51,13 @@ class TestPackageSurface:
         import repro.extensions as extensions
         import repro.graphstore as graphstore
         import repro.index as index
+        import repro.loadgen as loadgen
         import repro.serving as serving
         import repro.sqldb as sqldb
         import repro.workload as workload
 
         for module in (repro, algorithms, backend, core, hypre, extensions,
-                       graphstore, index, serving, sqldb, workload):
+                       graphstore, index, loadgen, serving, sqldb, workload):
             for name in module.__all__:
                 assert name in module.__doc__, (
                     f"{name} undocumented in {module.__name__}")
