@@ -30,6 +30,7 @@ from repro.loadgen import (
     loadgen_payload,
 )
 from repro.serving import ReplayConfig, ReplayDriver, ShardedTopKServer, TopKServer
+from repro.telemetry import Telemetry
 from repro.workload.dblp import DblpConfig
 
 from bench_utils import REPO_ROOT, run_once, write_bench_json
@@ -57,7 +58,7 @@ def _run_cell(backend: str, shards: int):
     else:
         server = TopKServer(db, capacity=CAPACITY)
     try:
-        report = LoadGenerator(LOAD).run(server)
+        report = LoadGenerator(LOAD).run(server, telemetry=Telemetry())
     finally:
         server.close()
         db.close()
@@ -65,6 +66,7 @@ def _run_cell(backend: str, shards: int):
         f"load cell backend={backend} shards={shards} was not clean: "
         f"errors={report.errors} audit={report.audit}")
     assert report.ops > 0 and report.throughput_ops_per_sec > 0
+    assert report.telemetry["metrics"], "telemetry snapshot came back empty"
     return report.as_dict()
 
 

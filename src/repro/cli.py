@@ -15,6 +15,10 @@ Usage::
     python -m repro.cli load --scale tiny --threads 2 --duration 2
     python -m repro.cli load --scale tiny --threads 4 --qps 500 --shards 4
     python -m repro.cli load --scale tiny --backend memory --output BENCH_loadgen.json
+    python -m repro.cli serve-replay --scale tiny --telemetry --json
+    python -m repro.cli load --scale tiny --telemetry --json
+    python -m repro.cli stats --scale tiny --json
+    python -m repro.cli stats --scale tiny --shards 2 --prometheus
 
 ``list`` prints every available experiment; ``experiment`` regenerates one
 table/figure and prints the same rows the benchmark harness reports; ``topk``
@@ -33,7 +37,15 @@ open-loop against ``--qps``, optionally sharded via ``--shards``, with a
 background equivalence audit — and reports latency SLOs (p50/p95/p99),
 throughput, per-shard skew and per-lock contention (``--output FILE``
 additionally persists the schema-versioned ``BENCH_loadgen.json``
-document).  ``--json`` on ``topk``/``serve-replay``/``load`` switches the
+document); ``stats`` drives a short replay under full observability
+(:mod:`repro.telemetry` — request tracing, the unified metrics registry
+and instrumented locks) and prints the schema-versioned JSON snapshot
+(default / ``--json``) or the Prometheus text exposition
+(``--prometheus``), with every layer — serving counters, cache behaviour,
+lock contention and backend statement accounting — under one naming
+scheme.  ``--telemetry`` on ``serve-replay``/``load`` attaches the same
+observability to those runs and adds the snapshot to their reports.
+``--json`` on ``topk``/``serve-replay``/``load`` switches the
 output to machine-readable JSON, and ``--backend {sqlite,memory}`` picks
 the storage engine (:mod:`repro.backend`) the workload lives on — answers
 are engine-independent, so both values produce the same rankings.
@@ -51,6 +63,7 @@ from .backend import BACKEND_NAMES, default_backend_name
 from .experiments import figures, reporting
 from .experiments.context import SCALES, ExperimentContext
 from .serving import ReplayConfig, ReplayDriver, ShardedTopKServer, TopKServer
+from .telemetry import Telemetry
 
 #: Single source of truth for the replay op-mix defaults (the CLI flags and
 #: run_serve_replay must not drift from the dataclass).
@@ -222,7 +235,8 @@ def run_serve_replay(scale: str = "tiny",
                      data_update_weight: float = (
                          _REPLAY_DEFAULTS.data_update_weight),
                      as_json: bool = False,
-                     backend: Optional[str] = None) -> str:
+                     backend: Optional[str] = None,
+                     telemetry: bool = False) -> str:
     """Replay a deterministic multi-user workload through the serving engine.
 
     Builds one world per arm (identical datasets and schedules), runs the
@@ -237,6 +251,9 @@ def run_serve_replay(scale: str = "tiny",
     storage engine every arm's world is built on (``sqlite`` / ``memory``;
     default: the ``REPRO_BACKEND`` environment default) — the replay
     answers are engine-independent, only the cost profile changes.
+    ``telemetry`` attaches a :class:`~repro.telemetry.Telemetry` (request
+    tracing, unified metrics, instrumented locks) to the serving arm and
+    reports its end-of-run snapshot alongside the arm comparison.
     """
     if scale not in SCALES:
         raise ValueError(f"unknown scale {scale!r}; pick one of {sorted(SCALES)}")
@@ -249,10 +266,21 @@ def run_serve_replay(scale: str = "tiny",
         data_update_weight=data_update_weight))
     serving_db = driver.build_world(SCALES[scale], backend=backend)
     server = TopKServer(serving_db, capacity=capacity)
+    observer = None
+    handle = None
+    snapshot = None
+    if telemetry:
+        observer = Telemetry()
+        observer.observe(server)
+        handle = observer.instrument_locks(server)
     try:
         serving_report = driver.run(server, driver.schedule(serving_db))
         stats = server.stats()
+        if observer is not None:
+            snapshot = observer.json_snapshot()
     finally:
+        if handle is not None:
+            handle.uninstrument()
         server.close()
         serving_db.close()
 
@@ -302,6 +330,7 @@ def run_serve_replay(scale: str = "tiny",
             "server": stats,
             "cluster": cluster_stats,
             "mutations": mutations,
+            "telemetry": snapshot,
         }
         return json.dumps(payload, indent=2, sort_keys=True)
 
@@ -344,6 +373,12 @@ def run_serve_replay(scale: str = "tiny",
             f"{cluster_stats['results']['data_invalidations']} "
             f"data-invalidated, {cluster_stats['results']['data_spared']} "
             f"spared across shards")
+    if snapshot is not None:
+        traces = snapshot["traces"]["buffer"]
+        lines.append(
+            f"telemetry: {len(snapshot['metrics'])} metrics, "
+            f"{traces['recorded']} traces recorded "
+            f"({traces['slow_recorded']} slow)")
     return "\n".join(lines)
 
 
@@ -359,7 +394,8 @@ def run_load(scale: str = "tiny",
              capacity: int = 16,
              audit_interval: Optional[float] = 0.5,
              output: Optional[str] = None,
-             as_json: bool = False) -> str:
+             as_json: bool = False,
+             telemetry: bool = False) -> str:
     """Drive the concurrent load harness against a live serving instance.
 
     Builds one world (``users`` synthetic profiles, persisted up front),
@@ -372,6 +408,9 @@ def run_load(scale: str = "tiny",
     background equivalence auditor quiescing traffic every
     ``audit_interval`` seconds (``0`` disables it).  ``output`` persists
     the schema-versioned ``BENCH_loadgen.json`` document for the run.
+    ``telemetry`` runs under a :class:`~repro.telemetry.Telemetry`, so the
+    report (and the persisted document) carries the unified metrics/trace
+    snapshot for the run.
     """
     from .loadgen import (LoadConfig, LoadGenerator, LoadMix,
                           loadgen_payload, write_bench_json)
@@ -391,7 +430,8 @@ def run_load(scale: str = "tiny",
                         target_qps=qps, mix=LoadMix(k=k), seed=seed,
                         audit_interval=audit_interval or None)
     try:
-        report = LoadGenerator(config).run(server)
+        report = LoadGenerator(config).run(
+            server, telemetry=Telemetry() if telemetry else None)
     finally:
         server.close()
         db.close()
@@ -438,6 +478,11 @@ def run_load(scale: str = "tiny",
         lines.append(f"hottest lock: {hot['name']} "
                      f"({hot['contended']}/{hot['acquisitions']} contended, "
                      f"{hot['wait_seconds']:.3f}s waiting)")
+    if report.telemetry:
+        buffer = report.telemetry["traces"]["buffer"]
+        lines.append(f"telemetry: {len(report.telemetry['metrics'])} metrics, "
+                     f"{buffer['recorded']} traces recorded "
+                     f"({buffer['slow_recorded']} slow)")
     if report.errors:
         lines.append("errors: " + "; ".join(report.errors))
     if output:
@@ -445,6 +490,57 @@ def run_load(scale: str = "tiny",
     if not report.clean:
         raise RuntimeError("\n".join(lines) + "\nload run was NOT clean")
     return "\n".join(lines)
+
+
+def run_stats(scale: str = "tiny",
+              users: int = 25,
+              requests: int = 120,
+              k: int = 5,
+              seed: int = 17,
+              capacity: int = 16,
+              shards: int = 0,
+              backend: Optional[str] = None,
+              prometheus: bool = False,
+              slow_ms: float = 250.0) -> str:
+    """Drive a short replay under full observability and export the metrics.
+
+    Builds one world, fronts it with a :class:`~repro.serving.TopKServer`
+    (or an N-shard cluster for ``shards`` >= 2), attaches a
+    :class:`~repro.telemetry.Telemetry` — request-scoped tracing, the
+    unified metrics registry, instrumented locks — replays a deterministic
+    mixed workload, and returns the end-of-run export: the schema-versioned
+    JSON snapshot by default, or the Prometheus text exposition with
+    ``prometheus``.  Requests slower than ``slow_ms`` land in the slow-trace
+    capture, so the snapshot attributes their latency span by span.
+    """
+    if scale not in SCALES:
+        raise ValueError(f"unknown scale {scale!r}; pick one of {sorted(SCALES)}")
+    if shards < 0:
+        raise ValueError("--shards must be >= 0 (0/1 run a single server)")
+    driver = ReplayDriver(ReplayConfig(users=users, requests=requests,
+                                       k=k, seed=seed))
+    db = driver.build_world(SCALES[scale], backend=backend)
+    if shards >= 2:
+        server: Any = ShardedTopKServer(db, shards=shards, capacity=capacity,
+                                        parallel_fanout=True)
+    else:
+        server = TopKServer(db, capacity=capacity)
+    observer = Telemetry(slow_threshold=slow_ms / 1000.0)
+    observer.observe(server)
+    handle = observer.instrument_locks(server)
+    try:
+        schedule = driver.schedule(db)
+        if shards >= 2:
+            driver.run_sharded(server, schedule)
+        else:
+            driver.run(server, schedule)
+        if prometheus:
+            return observer.prometheus()
+        return json.dumps(observer.json_snapshot(), indent=2, sort_keys=True)
+    finally:
+        handle.uninstrument()
+        server.close()
+        db.close()
 
 
 def list_experiments() -> str:
@@ -518,6 +614,10 @@ def build_parser() -> argparse.ArgumentParser:
                              "in the mix")
     replay.add_argument("--json", action="store_true", dest="as_json",
                         help="emit the replay reports as JSON")
+    replay.add_argument("--telemetry", action="store_true",
+                        help="attach request tracing, the unified metrics "
+                             "registry and lock instrumentation to the "
+                             "serving arm and report its snapshot")
     replay.add_argument("--backend", default=None,
                         choices=sorted(BACKEND_NAMES),
                         help="storage engine every replay arm's world is "
@@ -552,11 +652,44 @@ def build_parser() -> argparse.ArgumentParser:
                            "BENCH_loadgen.json document to FILE")
     load.add_argument("--json", action="store_true", dest="as_json",
                       help="emit the load report as JSON")
+    load.add_argument("--telemetry", action="store_true",
+                      help="run under full observability and carry the "
+                           "metrics/trace snapshot in the report")
     load.add_argument("--backend", default=None,
                       choices=sorted(BACKEND_NAMES),
                       help="storage engine the world is built on "
                            "(default: the REPRO_BACKEND environment "
                            "default)")
+
+    stats = subparsers.add_parser(
+        "stats",
+        help="replay a short workload under telemetry and export the metrics")
+    stats.add_argument("--scale", default="tiny", choices=sorted(SCALES))
+    stats.add_argument("--users", type=int, default=25,
+                       help="size of the synthetic user population")
+    stats.add_argument("--requests", type=int, default=120,
+                       help="number of operations in the replay schedule")
+    stats.add_argument("--k", type=int, default=5)
+    stats.add_argument("--seed", type=int, default=17)
+    stats.add_argument("--capacity", type=int, default=16,
+                       help="maximum number of resident user sessions")
+    stats.add_argument("--shards", type=int, default=0,
+                       help="front the world with an N-shard cluster "
+                            "instead of a single server (0/1 = single)")
+    stats.add_argument("--slow-ms", type=float, default=250.0,
+                       help="slow-request capture threshold in milliseconds")
+    output_format = stats.add_mutually_exclusive_group()
+    output_format.add_argument("--json", action="store_true", dest="as_json",
+                               help="emit the schema-versioned JSON snapshot "
+                                    "(the default)")
+    output_format.add_argument("--prometheus", action="store_true",
+                               help="emit the Prometheus text exposition "
+                                    "instead of JSON")
+    stats.add_argument("--backend", default=None,
+                       choices=sorted(BACKEND_NAMES),
+                       help="storage engine the world is built on "
+                            "(default: the REPRO_BACKEND environment "
+                            "default)")
 
     return parser
 
@@ -587,7 +720,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                                    delete_weight=args.delete_weight,
                                    data_update_weight=args.data_update_weight,
                                    as_json=args.as_json,
-                                   backend=args.backend))
+                                   backend=args.backend,
+                                   telemetry=args.telemetry))
         elif args.command == "load":
             print(run_load(scale=args.scale, users=args.users,
                            threads=args.threads, duration=args.duration,
@@ -595,7 +729,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                            backend=args.backend, seed=args.seed, k=args.k,
                            capacity=args.capacity,
                            audit_interval=args.audit_interval,
-                           output=args.output, as_json=args.as_json))
+                           output=args.output, as_json=args.as_json,
+                           telemetry=args.telemetry))
+        elif args.command == "stats":
+            print(run_stats(scale=args.scale, users=args.users,
+                            requests=args.requests, k=args.k,
+                            seed=args.seed, capacity=args.capacity,
+                            shards=args.shards, backend=args.backend,
+                            prometheus=args.prometheus,
+                            slow_ms=args.slow_ms))
     except Exception as exc:  # pragma: no cover - defensive top-level handler
         print(f"error: {exc}", file=sys.stderr)
         return 1

@@ -156,6 +156,15 @@ class UnknownUserError(ServingError):
 
 
 # ---------------------------------------------------------------------------
+# Telemetry
+# ---------------------------------------------------------------------------
+
+
+class TelemetryError(ReproError):
+    """Base class for metrics-registry and tracing errors."""
+
+
+# ---------------------------------------------------------------------------
 # Workload generation
 # ---------------------------------------------------------------------------
 

@@ -47,6 +47,7 @@ from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Union
 from ..backend.protocol import StorageBackend
 from ..core.predicate import PredicateExpr, attribute_names_match, ensure_predicate
 from ..sqldb.query_builder import BATCH_COUNT_CHUNK
+from ..telemetry import span
 from .selectivity import may_match_row
 
 PredicateLike = Union[str, PredicateExpr]
@@ -120,7 +121,8 @@ class CountCache:
         try:
             # Backend round-trip with the lock released: other predicates'
             # lookups proceed while this count runs.
-            value = self.db.count_matching(ensure_predicate(predicate))
+            with span("count_cache.backend_query", self.db):
+                value = self.db.count_matching(ensure_predicate(predicate))
             done = True
         finally:
             # Store (epoch permitting) and land the flight atomically, so a
@@ -181,7 +183,10 @@ class CountCache:
             done = False
             try:
                 # Backend round-trip with the lock released (module docstring).
-                values = self.db.count_many(to_count, chunk_size=self.chunk_size)
+                with span("count_cache.backend_query", self.db) as trace:
+                    trace.annotate("predicates", len(to_count))
+                    values = self.db.count_many(to_count,
+                                                chunk_size=self.chunk_size)
                 done = True
             finally:
                 with self._cond:

@@ -1,55 +1,27 @@
-"""Lock instrumentation: swap timed wrappers into a live serving engine.
+"""Lock instrumentation for load runs (compat shim over telemetry).
 
-The load report's "name the hot lock" section comes from here.  Before a
-run (while the engine is idle), :func:`instrument_server` replaces each
-serving-layer lock with a :class:`~repro.concurrency.TimedRLock` carrying
-the same semantics plus wait/hold accounting:
+The mechanics moved to :mod:`repro.telemetry.locks`, which made the swap
+reversible (a :class:`~repro.telemetry.locks.LockInstrumentation` handle
+restores every original lock) and idempotent (re-instrumenting an
+instrumented engine returns the active handle instead of stacking
+wrappers).  This module keeps the historical load-harness surface:
 
-* the server's big lock (cold reads + mutations),
-* the session registry's lock,
-* the shared count cache's lock (its condition variable is rebuilt on the
-  wrapper, so in-flight coalescing keeps working),
-* the result cache's lock;
+* :func:`instrument_server` — the one-way spelling; returns the plain
+  trackable-lock list as it always did (the handle stays parked on the
+  server, so a later :func:`~repro.telemetry.locks.instrument_locks` call
+  still finds it);
+* :func:`lock_report` — the uniform hottest-first contention records.
 
-for a sharded cluster, each shard's set plus the cluster's own broadcast
-lock.  The in-memory backend's :class:`~repro.concurrency.RWLock` already
-accounts its own contention and is reported as-is; SQLite has no
-Python-side backend lock (serialisation happens in the C library and at the
-serving layer), so its arm simply reports one lock fewer.
-
-:func:`lock_report` reads everything back in one uniform list — every entry
-speaks the shared ``stats()`` vocabulary (``acquisitions`` / ``contended``
-/ ``wait_seconds`` / ``hold_seconds``).
+New code should call :func:`repro.telemetry.locks.instrument_locks` (or
+:meth:`repro.telemetry.Telemetry.instrument_locks`, which also exports the
+locks into the metrics registry) and keep the handle.
 """
 
 from __future__ import annotations
 
-import threading
 from typing import Any, Dict, List
 
-from ..concurrency import RWLock, TimedRLock
-
-
-def _wrap_count_cache(cache: Any, name: str) -> TimedRLock:
-    """Swap a count cache's lock for a timed one, rebuilding its condition."""
-    lock = TimedRLock(name)
-    cache._lock = lock
-    cache._cond = threading.Condition(lock)
-    return lock
-
-
-def _instrument_single(server: Any, prefix: str = "") -> List[Any]:
-    """Instrument one TopKServer's locks; returns the trackables."""
-    locks: List[Any] = []
-    server._lock = TimedRLock(f"{prefix}server")
-    locks.append(server._lock)
-    server.sessions._lock = TimedRLock(f"{prefix}sessions")
-    locks.append(server.sessions._lock)
-    locks.append(_wrap_count_cache(server.sessions.count_cache,
-                                   f"{prefix}count-cache"))
-    server.results._lock = TimedRLock(f"{prefix}result-cache")
-    locks.append(server.results._lock)
-    return locks
+from ..telemetry.locks import instrument_locks
 
 
 def instrument_server(server: Any) -> List[Any]:
@@ -59,19 +31,7 @@ def instrument_server(server: Any) -> List[Any]:
     after the run.  The backend's own :class:`~repro.concurrency.RWLock`
     (memory engine) is appended un-swapped: it already accounts itself.
     """
-    locks: List[Any] = []
-    shard_servers = getattr(server, "shard_servers", None)
-    if shard_servers is not None:
-        server._lock = TimedRLock("cluster-broadcast")
-        locks.append(server._lock)
-        for index, shard in enumerate(shard_servers):
-            locks.extend(_instrument_single(shard, prefix=f"shard{index}-"))
-    else:
-        locks.extend(_instrument_single(server))
-    backend_lock = getattr(server.db, "_lock", None)
-    if isinstance(backend_lock, RWLock):
-        locks.append(backend_lock)
-    return locks
+    return instrument_locks(server).locks
 
 
 def lock_report(locks: List[Any]) -> List[Dict[str, Any]]:

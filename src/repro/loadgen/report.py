@@ -26,7 +26,9 @@ from pathlib import Path
 from typing import Any, Dict, List, Mapping, Optional, Sequence
 
 #: Bump when a consumer-visible key of the envelope or payload changes.
-SCHEMA_VERSION = 1
+#: v2 added the per-run ``telemetry`` section (the unified metrics/trace
+#: snapshot from :mod:`repro.telemetry`; ``{}`` for runs made without it).
+SCHEMA_VERSION = 2
 
 #: Keys every per-run record must carry, with their required types.
 RUN_REQUIRED_KEYS: Dict[str, type] = {
@@ -44,6 +46,7 @@ RUN_REQUIRED_KEYS: Dict[str, type] = {
     "locks": list,
     "audit": dict,
     "errors": list,
+    "telemetry": dict,
 }
 
 #: Keys every latency summary must carry (see LatencyHistogram.as_dict).
@@ -144,6 +147,12 @@ def validate_loadgen_payload(document: Mapping[str, Any]) -> int:
                 _require(key in record, f"{label}.locks missing {key!r}")
         for key in ("audits", "comparisons", "mismatches"):
             _require(key in run["audit"], f"{label}.audit missing {key!r}")
+        if run["telemetry"]:
+            # Non-empty means the run carried a Telemetry — hold the section
+            # to the exporter's own envelope contract.
+            for key in ("schema_version", "metrics"):
+                _require(key in run["telemetry"],
+                         f"{label}.telemetry missing {key!r}")
     return len(runs)
 
 

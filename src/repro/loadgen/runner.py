@@ -39,8 +39,10 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence
 
 from ..exceptions import ServingError
+from ..telemetry import Telemetry
+from ..telemetry.locks import LockInstrumentation, instrument_locks
 from .audit import EquivalenceAuditor, TrafficGate
-from .instrument import instrument_server, lock_report
+from .instrument import lock_report
 from .stats import LatencyHistogram
 from .workload import (
     DATA_UPDATE,
@@ -136,6 +138,10 @@ class LoadReport:
     audit: Dict[str, Any]
     server_stats: Dict[str, Any]
     errors: List[str]
+    #: The run's telemetry JSON snapshot (unified metrics + trace-buffer
+    #: state) when the run was given a :class:`~repro.telemetry.Telemetry`;
+    #: empty otherwise.
+    telemetry: Dict[str, Any] = field(default_factory=dict)
 
     @property
     def clean(self) -> bool:
@@ -164,6 +170,7 @@ class LoadReport:
             "audit": dict(self.audit),
             "server_stats": self.server_stats,
             "errors": list(self.errors),
+            "telemetry": dict(self.telemetry),
         }
 
 
@@ -237,14 +244,22 @@ class LoadGenerator:
 
     # -- orchestration ------------------------------------------------------------
 
-    def run(self, server: Any) -> LoadReport:
+    def run(self, server: Any,
+            telemetry: Optional[Telemetry] = None) -> LoadReport:
         """Run the configured load against ``server`` and report.
 
         ``server`` must be idle (no concurrent external traffic): lock
         instrumentation swaps lock objects in place before the first worker
-        starts.  The population driven is whatever profiles are already
-        persisted in ``server.db`` — prepare the world first (e.g. with
+        starts (and restores the originals once the report is assembled).
+        The population driven is whatever profiles are already persisted in
+        ``server.db`` — prepare the world first (e.g. with
         :meth:`~repro.serving.driver.ReplayDriver.prepare`).
+
+        Pass a :class:`~repro.telemetry.Telemetry` to run under full
+        observability: the server (and the gate/auditor pair) is registered
+        with its metrics registry, requests are traced into its
+        :class:`~repro.telemetry.TraceBuffer`, and the report gains a
+        ``telemetry`` section holding the end-of-run JSON snapshot.
         """
         config = self.config
         db = server.db
@@ -255,13 +270,25 @@ class LoadGenerator:
             max_aid=db.max_author_id(), pid_base=db.max_paper_id() + 1,
             seed=config.seed)
 
-        locks = instrument_server(server) if config.instrument_locks else []
+        if telemetry is not None:
+            telemetry.observe(server)
+        handle: Optional[LockInstrumentation] = None
+        locks: List[Any] = []
+        if config.instrument_locks:
+            handle = instrument_locks(
+                server,
+                registry=telemetry.registry if telemetry is not None else None)
+            locks = handle.locks
         gate = TrafficGate()
         auditor = None
         if config.audit_interval is not None:
             auditor = EquivalenceAuditor(server, gate, k=config.mix.k,
                                          interval=config.audit_interval,
                                          sample=config.audit_sample)
+        if telemetry is not None:
+            telemetry.observe_gate(gate)
+            if auditor is not None:
+                telemetry.observe_auditor(auditor)
 
         results = [WorkerResult(worker_id=stream.worker_id)
                    for stream in streams]
@@ -287,14 +314,22 @@ class LoadGenerator:
             # One final audit over the fully quiesced end state.
             auditor.audit_once()
 
-        return self._assemble(server, results, locks, gate, auditor, elapsed)
+        try:
+            return self._assemble(server, results, locks, gate, auditor,
+                                  elapsed, telemetry)
+        finally:
+            # Hand the server back the exact locks it started with — load
+            # runs observe, they don't permanently rewire.
+            if handle is not None:
+                handle.uninstrument()
 
     # -- report assembly ----------------------------------------------------------
 
     def _assemble(self, server: Any, results: Sequence[WorkerResult],
                   locks: List[Any], gate: TrafficGate,
                   auditor: Optional[EquivalenceAuditor],
-                  elapsed: float) -> LoadReport:
+                  elapsed: float,
+                  telemetry: Optional[Telemetry] = None) -> LoadReport:
         config = self.config
         overall = LatencyHistogram.merged(result.overall for result in results)
         by_kind: Dict[str, LatencyHistogram] = {}
@@ -348,4 +383,6 @@ class LoadGenerator:
                          "errors": []}),
             server_stats=server.stats(),
             errors=[result.error for result in results if result.error],
+            telemetry=(telemetry.json_snapshot()
+                       if telemetry is not None else {}),
         )

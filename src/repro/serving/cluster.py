@@ -37,6 +37,7 @@ cached state overlaps the mutation.
 
 from __future__ import annotations
 
+import contextvars
 import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
@@ -50,6 +51,7 @@ from typing import (
     Optional,
     Sequence,
     Tuple,
+    Union,
 )
 
 from typing import Protocol, runtime_checkable
@@ -58,9 +60,11 @@ from ..backend.protocol import StorageBackend
 from ..core.preference import UserProfile
 from ..exceptions import ServingError
 from ..sqldb.events import DataMutation
+from ..telemetry import Telemetry, span
 from ..workload.loader import append_papers, delete_papers, update_papers
 from .results import CachedResult
 from .server import (
+    STATS_ALIASES,
     PaperLike,
     ServeResult,
     TopKServer,
@@ -268,7 +272,16 @@ class ShardedTopKServer:
                                           int, str]] = None
         #: Broadcast mutations delivered to every shard.
         self.broadcasts = 0
+        #: The adopted telemetry bundle (set by :meth:`Telemetry.observe`,
+        #: which also sets every shard's, so routed requests trace there).
+        self.telemetry: Optional[Telemetry] = None
         self._data_listener = db.subscribe(self._on_data_mutation)
+
+    def _trace(self, name: str):
+        """A root span for a cluster front door (ambient child otherwise)."""
+        if self.telemetry is not None:
+            return self.telemetry.trace(name, self.db)
+        return span(name, self.db)
 
     # -- lifecycle ----------------------------------------------------------------
 
@@ -306,11 +319,18 @@ class ShardedTopKServer:
 
     def top_k(self, uid: int, k: int) -> ServeResult:
         """Answer one Top-K request on the owning shard."""
-        return self.shard_for(uid).top_k(uid, k)
+        shard = self.shard_of(uid)
+        with self._trace("cluster.top_k") as trace:
+            trace.annotate("shard", shard)
+            # The shard's own front-door span nests under this root.
+            return self.shard_servers[shard].top_k(uid, k)
 
     def update_profile(self, uid: int, profile: UserProfile) -> UpdateReport:
         """Persist and apply a profile update on the owning shard."""
-        return self.shard_for(uid).update_profile(uid, profile)
+        shard = self.shard_of(uid)
+        with self._trace("cluster.update_profile") as trace:
+            trace.annotate("shard", shard)
+            return self.shard_servers[shard].update_profile(uid, profile)
 
     def register_user(self, uid: int, profile: UserProfile) -> UpdateReport:
         """Persist a new user's profile (alias of :meth:`update_profile`)."""
@@ -358,7 +378,9 @@ class ShardedTopKServer:
         start = time.perf_counter()
         statements_before = self.db.statements_executed
         self._last_fanout = None
-        mutate()
+        with self._trace(f"cluster.{kind}") as trace:
+            trace.annotate("papers", papers)
+            mutate()
         fanout = self._last_fanout
         self._last_fanout = None
         if fanout is None:
@@ -396,8 +418,14 @@ class ShardedTopKServer:
     def _fan_out(self, mutation: DataMutation
                  ) -> Tuple[ShardMutationReport, ...]:
         if self._executor is not None:
-            futures = [self._executor.submit(server._on_data_mutation, mutation)
-                       for server in self.shard_servers]
+            # Each task runs under a fresh copy of the caller's contextvars
+            # context (one Context object cannot be entered concurrently),
+            # so a shard's invalidation span lands as a child of the
+            # broadcasting request's span instead of orphaned worker state.
+            futures = [
+                self._executor.submit(contextvars.copy_context().run,
+                                      server._on_data_mutation, mutation)
+                for server in self.shard_servers]
             impacts = [future.result() for future in futures]
         else:
             impacts = [server._on_data_mutation(mutation)
@@ -417,34 +445,58 @@ class ShardedTopKServer:
         return {index: server.sessions.resident_uids()
                 for index, server in enumerate(self.shard_servers)}
 
+    def metrics(self) -> Dict[str, Union[int, float]]:
+        """Cluster-wide counters as one flat unified-name mapping.
+
+        The primary introspection surface (see
+        :meth:`TopKServer.metrics`): per-shard counters are summed under
+        the same unified names a single server reports, plus the
+        cluster-level ``serving.cluster.*`` metrics.  The statement
+        counter lives on the shared database, so it appears exactly once
+        (summing the shards' copies would read N× the truth).
+        """
+        flat: Dict[str, Union[int, float]] = {}
+        backend_key = f"backend.{self.db.backend_name}.statements_executed"
+        for server in self.shard_servers:
+            for name, value in server.metrics().items():
+                if name == backend_key:
+                    continue
+                flat[name] = flat.get(name, 0) + value
+        reads = flat.get("serving.server.reads", 0)
+        hits = flat.get("serving.server.read_hits", 0)
+        flat["serving.cluster.shards"] = self.shards
+        flat["serving.cluster.broadcasts"] = self.broadcasts
+        flat["serving.cluster.warm_rate"] = (hits / reads) if reads else 0.0
+        flat[backend_key] = self.db.statements_executed
+        return flat
+
     def stats(self) -> Dict[str, Any]:
-        """Aggregated cluster metrics: totals, warm-rate and per-shard detail."""
+        """The legacy nested cluster snapshot, as documented aliases.
+
+        Deprecated in favour of :meth:`metrics`; kept for one release.
+        The aggregate sections are reconstructed *from* :meth:`metrics`
+        through :data:`~repro.serving.server.STATS_ALIASES` (so the two
+        surfaces cannot drift apart); the non-numeric identification
+        fields and the per-shard breakdown are appended as before.
+        """
+        flat = self.metrics()
+        nested: Dict[str, Any] = {}
+        for unified, (section, key) in STATS_ALIASES.items():
+            nested.setdefault(section, {})[key] = flat[unified]
         per_shard = []
         for index, server in enumerate(self.shard_servers):
             shard_stats = server.stats()
             shard_stats["shard"] = index
-            # The statement counter lives on the shared database: repeating
-            # it per shard would read as attributable (and sum to N× the
-            # truth), so it appears only at the cluster level below.
             shard_stats.pop("sql_statements_total", None)
             per_shard.append(shard_stats)
-        requests = {key: sum(stats["requests"][key] for stats in per_shard)
-                    for key in per_shard[0]["requests"]}
-        reads, hits = requests["reads"], requests["read_hits"]
-        return {
+        nested.update({
             "shards": self.shards,
             "partitioner": type(self.partitioner).__name__,
             "parallel_fanout": self.parallel_fanout,
-            "broadcasts": self.broadcasts,
-            "requests": requests,
-            "warm_rate": (hits / reads) if reads else 0.0,
-            "results": self.results.stats(),
-            "sessions": {
-                key: sum(stats["sessions"][key] for stats in per_shard)
-                for key in per_shard[0]["sessions"]},
-            "count_cache": {
-                key: sum(stats["count_cache"][key] for stats in per_shard)
-                for key in per_shard[0]["count_cache"]},
-            "sql_statements_total": self.db.statements_executed,
+            "broadcasts": flat["serving.cluster.broadcasts"],
+            "warm_rate": flat["serving.cluster.warm_rate"],
+            "sql_statements_total":
+                flat[f"backend.{self.db.backend_name}.statements_executed"],
             "per_shard": per_shard,
-        }
+        })
+        return nested

@@ -51,6 +51,7 @@ from ..core.hypre.events import RESULT_AFFECTING_KINDS, GraphMutation
 from ..core.predicate import PredicateExpr
 from ..index.selectivity import may_match_row
 from ..sqldb.events import DataMutation
+from ..telemetry import annotate
 
 ResultKey = Tuple[int, int]
 
@@ -124,7 +125,8 @@ class ResultCache:
                 self.misses += 1
             else:
                 self.hits += 1
-            return entry
+        annotate("result_cache", "miss" if entry is None else "hit")
+        return entry
 
     def peek(self, uid: int, k: int) -> Optional[CachedResult]:
         """The cached answer without touching the statistics."""
@@ -148,11 +150,13 @@ class ResultCache:
         with self._lock:
             if epoch is not None and epoch != self._epoch:
                 self.stale_puts_rejected += 1
+                annotate("result_cache_put", "stale_rejected")
                 return None
             entry = CachedResult(uid=uid, k=k, ranking=tuple(ranking),
                                  predicates=tuple(predicates))
             self._entries[(uid, k)] = entry
-            return entry
+        annotate("result_cache_put", "materialised")
+        return entry
 
     # -- invalidation -------------------------------------------------------------
 

@@ -50,6 +50,7 @@ from ..exceptions import ServingError, UnknownUserError
 from ..backend.protocol import StorageBackend
 from ..index import CountCache
 from ..sqldb.events import DataMutation
+from ..telemetry import Telemetry, span
 from ..workload.dblp import Paper
 from ..workload.loader import (
     append_papers,
@@ -62,6 +63,36 @@ from .results import ResultCache
 from .sessions import SessionRegistry
 
 PaperLike = Union[Paper, Mapping[str, Any]]
+
+#: Unified metric name → its path in the legacy nested ``stats()`` dict.
+#: ``metrics()`` is the primary surface; ``stats()`` is reconstructed from
+#: it through this mapping (the old keys are deprecated aliases, kept for
+#: one release), so the two can never drift apart.
+STATS_ALIASES: Dict[str, Tuple[str, str]] = {
+    "serving.server.reads": ("requests", "reads"),
+    "serving.server.read_hits": ("requests", "read_hits"),
+    "serving.server.updates": ("requests", "updates"),
+    "serving.server.inserts": ("requests", "inserts"),
+    "serving.server.deletes": ("requests", "deletes"),
+    "serving.server.tuple_updates": ("requests", "tuple_updates"),
+    "serving.sessions.resident": ("sessions", "resident"),
+    "serving.sessions.capacity": ("sessions", "capacity"),
+    "serving.sessions.hits": ("sessions", "hits"),
+    "serving.sessions.misses": ("sessions", "misses"),
+    "serving.sessions.evictions": ("sessions", "evictions"),
+    "serving.sessions.sessions_built": ("sessions", "sessions_built"),
+    "serving.results.entries": ("results", "entries"),
+    "serving.results.hits": ("results", "hits"),
+    "serving.results.misses": ("results", "misses"),
+    "serving.results.profile_invalidations": ("results", "profile_invalidations"),
+    "serving.results.data_invalidations": ("results", "data_invalidations"),
+    "serving.results.data_spared": ("results", "data_spared"),
+    "serving.results.stale_puts_rejected": ("results", "stale_puts_rejected"),
+    "index.count_cache.entries": ("count_cache", "entries"),
+    "index.count_cache.hits": ("count_cache", "hits"),
+    "index.count_cache.misses": ("count_cache", "misses"),
+    "index.count_cache.statements": ("count_cache", "statements"),
+}
 
 
 @dataclass(frozen=True)
@@ -186,6 +217,9 @@ class TopKServer:
         self._data_listener = (db.subscribe(self._on_data_mutation)
                                if subscribe else None)
         self._last_data_impact: Dict[str, int] = {}
+        self._telemetry: Optional[Telemetry] = None
+        self._read_latency = None
+        self._mutation_latency = None
         # Request counters are bumped by the lock-free warm path too, so
         # they get their own little lock instead of riding the big one.
         self._stats_lock = threading.Lock()
@@ -195,6 +229,38 @@ class TopKServer:
         self.inserts = 0
         self.deletes = 0
         self.tuple_updates = 0
+
+    # -- telemetry ----------------------------------------------------------------
+
+    @property
+    def telemetry(self) -> Optional[Telemetry]:
+        """The adopted telemetry bundle (set by :meth:`Telemetry.observe`)."""
+        return self._telemetry
+
+    @telemetry.setter
+    def telemetry(self, telemetry: Optional[Telemetry]) -> None:
+        # Latency instruments are resolved once here so the request paths
+        # never pay a registry lookup (the warm read path stays lock-free
+        # apart from the instrument's own leaf lock).
+        self._telemetry = telemetry
+        if telemetry is None:
+            self._read_latency = None
+            self._mutation_latency = None
+        else:
+            registry = telemetry.registry
+            self._read_latency = registry.histogram(
+                "serving.server.read_latency")
+            self._mutation_latency = registry.histogram(
+                "serving.server.mutation_latency")
+
+    def _trace(self, name: str):
+        """A root span when telemetry is adopted; an ambient child span
+        otherwise (so an unobserved shard still nests under a traced
+        cluster request, and a bare server pays a no-op)."""
+        telemetry = self._telemetry
+        if telemetry is not None:
+            return telemetry.trace(name, self.db)
+        return span(name, self.db)
 
     # -- lifecycle ----------------------------------------------------------------
 
@@ -233,29 +299,34 @@ class TopKServer:
         if profile.uid != uid:
             raise ServingError(
                 f"profile for uid={profile.uid} passed to update_profile(uid={uid})")
-        with self._lock:
-            start = time.perf_counter()
-            statements_before = self.db.statements_executed
-            invalidated_before = self.results.profile_invalidations
-            registry = ProfileRegistry()
-            registry.add(profile)
-            load_profiles(self.db, registry)
-            session = self.sessions.get(uid)
-            if session is not None:
-                session.apply_profile(profile)
-            elif self.cache_results:
-                self.results.invalidate_user(uid)
-            with self._stats_lock:
-                self.updates += 1
-            return UpdateReport(
-                uid=uid,
-                resident=session is not None,
-                quantitative=len(profile.quantitative),
-                qualitative=len(profile.qualitative),
-                results_invalidated=(self.results.profile_invalidations
-                                     - invalidated_before),
-                sql_statements=self.db.statements_executed - statements_before,
-                seconds=time.perf_counter() - start)
+        with self._trace("server.update_profile") as trace:
+            trace.annotate("uid", uid)
+            with self._lock:
+                start = time.perf_counter()
+                statements_before = self.db.statements_executed
+                invalidated_before = self.results.profile_invalidations
+                registry = ProfileRegistry()
+                registry.add(profile)
+                load_profiles(self.db, registry)
+                session = self.sessions.get(uid)
+                if session is not None:
+                    session.apply_profile(profile)
+                elif self.cache_results:
+                    self.results.invalidate_user(uid)
+                with self._stats_lock:
+                    self.updates += 1
+                report = UpdateReport(
+                    uid=uid,
+                    resident=session is not None,
+                    quantitative=len(profile.quantitative),
+                    qualitative=len(profile.qualitative),
+                    results_invalidated=(self.results.profile_invalidations
+                                         - invalidated_before),
+                    sql_statements=self.db.statements_executed - statements_before,
+                    seconds=time.perf_counter() - start)
+            if self._mutation_latency is not None:
+                self._mutation_latency.record(report.seconds)
+            return report
 
     # -- reads --------------------------------------------------------------------
 
@@ -271,6 +342,16 @@ class TopKServer:
         the answer is served but not cached (it can no longer be proven
         fresh).
         """
+        with self._trace("server.top_k") as trace:
+            trace.annotate("uid", uid)
+            result = self._serve_top_k(uid, k)
+            trace.annotate("cache_hit", result.cache_hit)
+        if self._read_latency is not None:
+            self._read_latency.record(result.seconds)
+        return result
+
+    def _serve_top_k(self, uid: int, k: int) -> ServeResult:
+        """The uninstrumented ``top_k`` body (see :meth:`top_k`)."""
         start = time.perf_counter()
         if self.cache_results:
             entry = self.results.get(uid, k)
@@ -298,7 +379,8 @@ class TopKServer:
                         sql_statements=self.db.statements_executed - statements_before,
                         seconds=time.perf_counter() - start)
             try:
-                session = self.sessions.get_or_create(uid)
+                with span("sessions.get_or_create", self.db):
+                    session = self.sessions.get_or_create(uid)
             except ServingError:
                 raise UnknownUserError(uid) from None
             if self.cache_results:
@@ -306,7 +388,8 @@ class TopKServer:
                 # profile events, which legitimately bump the epoch) but
                 # *before* the data-reading computation the snapshot guards.
                 epoch = self.results.epoch
-            ranking = tuple(session.top_k(k))
+            with span("peps.top_k", self.db):
+                ranking = tuple(session.top_k(k))
             if self.cache_results:
                 peps = session.algorithm()
                 self.results.put(uid, k, ranking,
@@ -332,13 +415,17 @@ class TopKServer:
         and then notifies, so by the time this returns every stale cache
         entry is gone and every provably fresh one survived.
         """
-        with self._lock:
-            records, links = normalise_papers(papers, paper_authors)
-            report = self._run_data_mutation(
-                InsertReport, len(records),
-                lambda: append_papers(self.db, records, links, citations))
-            with self._stats_lock:
-                self.inserts += 1
+        with self._trace("server.insert_tuples") as trace:
+            with self._lock:
+                records, links = normalise_papers(papers, paper_authors)
+                report = self._run_data_mutation(
+                    InsertReport, len(records),
+                    lambda: append_papers(self.db, records, links, citations))
+                with self._stats_lock:
+                    self.inserts += 1
+            trace.annotate("papers", report.papers)
+            if self._mutation_latency is not None:
+                self._mutation_latency.record(report.seconds)
             return report
 
     def delete_tuples(self, pids: Iterable[int]) -> DeleteReport:
@@ -350,13 +437,17 @@ class TopKServer:
         including id-list memos, which deletes shrink in a way counts alone
         would not reveal — and everything provably unaffected survived.
         """
-        with self._lock:
-            pids = list(pids)
-            report = self._run_data_mutation(
-                DeleteReport, len(pids),
-                lambda: delete_papers(self.db, pids))
-            with self._stats_lock:
-                self.deletes += 1
+        with self._trace("server.delete_tuples") as trace:
+            with self._lock:
+                pids = list(pids)
+                report = self._run_data_mutation(
+                    DeleteReport, len(pids),
+                    lambda: delete_papers(self.db, pids))
+                with self._stats_lock:
+                    self.deletes += 1
+            trace.annotate("papers", report.papers)
+            if self._mutation_latency is not None:
+                self._mutation_latency.record(report.seconds)
             return report
 
     def update_tuples(self, papers: Sequence[PaperLike]) -> TupleUpdateReport:
@@ -368,13 +459,17 @@ class TopKServer:
         spared only when no predicate can match either version of a changed
         tuple.
         """
-        with self._lock:
-            records = [_as_paper(row) for row in papers]
-            report = self._run_data_mutation(
-                TupleUpdateReport, len(records),
-                lambda: update_papers(self.db, records))
-            with self._stats_lock:
-                self.tuple_updates += 1
+        with self._trace("server.update_tuples") as trace:
+            with self._lock:
+                records = [_as_paper(row) for row in papers]
+                report = self._run_data_mutation(
+                    TupleUpdateReport, len(records),
+                    lambda: update_papers(self.db, records))
+                with self._stats_lock:
+                    self.tuple_updates += 1
+            trace.annotate("papers", report.papers)
+            if self._mutation_latency is not None:
+                self._mutation_latency.record(report.seconds)
             return report
 
     def _run_data_mutation(self, report_cls, papers: int, mutate) -> Any:
@@ -409,11 +504,13 @@ class TopKServer:
         impact record (also kept in ``_last_data_impact``) so the sharded
         cluster can collect per-shard reports when it delivers the event.
         """
-        with self._lock:
+        with self._lock, span("server.on_data_mutation") as trace:
             rows = mutation.invalidation_rows()
             results_invalidated = (self.results.on_data_mutation(mutation)
                                    if self.cache_results else 0)
             dropped = self.sessions.invalidate_matching(rows)
+            trace.annotate("kind", mutation.kind)
+            trace.annotate("results_invalidated", results_invalidated)
             self._last_data_impact = {
                 "kind": mutation.kind,
                 "joined_rows": len(rows),
@@ -425,25 +522,52 @@ class TopKServer:
 
     # -- introspection ------------------------------------------------------------
 
-    def stats(self) -> Dict[str, Any]:
-        """A nested snapshot of every layer's counters."""
+    def metrics(self) -> Dict[str, Union[int, float]]:
+        """Every layer's counters as one flat unified-name mapping.
+
+        The primary introspection surface: names follow the telemetry
+        naming scheme (``serving.server.reads``,
+        ``serving.results.hits``, ``index.count_cache.misses``,
+        ``backend.<name>.statements_executed``), so the mapping plugs
+        straight into a :class:`~repro.telemetry.MetricsRegistry` as a
+        snapshot adapter.  :meth:`stats` is derived from this.
+        """
         with self._stats_lock:
-            requests = {"reads": self.reads, "read_hits": self.read_hits,
-                        "updates": self.updates, "inserts": self.inserts,
-                        "deletes": self.deletes,
-                        "tuple_updates": self.tuple_updates}
-        return {
-            "requests": requests,
-            "sessions": self.sessions.stats(),
-            "results": self.results.stats(),
-            "count_cache": {
-                "entries": len(self.sessions.count_cache),
-                "hits": self.sessions.count_cache.hits,
-                "misses": self.sessions.count_cache.misses,
-                "statements": self.sessions.count_cache.statements,
-            },
-            "sql_statements_total": self.db.statements_executed,
-        }
+            flat: Dict[str, Union[int, float]] = {
+                "serving.server.reads": self.reads,
+                "serving.server.read_hits": self.read_hits,
+                "serving.server.updates": self.updates,
+                "serving.server.inserts": self.inserts,
+                "serving.server.deletes": self.deletes,
+                "serving.server.tuple_updates": self.tuple_updates,
+            }
+        for key, value in self.sessions.stats().items():
+            flat[f"serving.sessions.{key}"] = value
+        for key, value in self.results.stats().items():
+            flat[f"serving.results.{key}"] = value
+        count_cache = self.sessions.count_cache
+        flat["index.count_cache.entries"] = len(count_cache)
+        flat["index.count_cache.hits"] = count_cache.hits
+        flat["index.count_cache.misses"] = count_cache.misses
+        flat["index.count_cache.statements"] = count_cache.statements
+        flat[f"backend.{self.db.backend_name}.statements_executed"] = \
+            self.db.statements_executed
+        return flat
+
+    def stats(self) -> Dict[str, Any]:
+        """The legacy nested snapshot, as documented aliases.
+
+        Deprecated in favour of :meth:`metrics`; kept for one release.
+        Reconstructed *from* :meth:`metrics` through
+        :data:`STATS_ALIASES`, so the two surfaces cannot drift apart.
+        """
+        flat = self.metrics()
+        nested: Dict[str, Any] = {}
+        for unified, (section, key) in STATS_ALIASES.items():
+            nested.setdefault(section, {})[key] = flat[unified]
+        nested["sql_statements_total"] = \
+            flat[f"backend.{self.db.backend_name}.statements_executed"]
+        return nested
 
 
 def fresh_top_k(db: StorageBackend, uid: int, k: int) -> List[Tuple[int, float]]:

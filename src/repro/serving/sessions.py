@@ -35,6 +35,7 @@ from ..core.hypre.events import GraphMutation
 from ..core.preference import UserProfile
 from ..exceptions import ServingError
 from ..index import CountCache, IncrementalPairIndex
+from ..telemetry import span
 
 ProfileLoader = Callable[[int], Optional[UserProfile]]
 MutationListener = Callable[[GraphMutation], None]
@@ -205,10 +206,12 @@ class SessionRegistry:
                 profile = self.profile_loader(uid)
             if profile is None or profile.is_empty():
                 raise ServingError(f"cannot build a session for uid={uid}: no profile")
-            session = UserSession(uid, self.runner)
-            for listener in self._graph_listeners:
-                session.hypre.subscribe(listener)
-            session.apply_profile(profile)
+            with span("sessions.build", self.db) as trace:
+                trace.annotate("uid", uid)
+                session = UserSession(uid, self.runner)
+                for listener in self._graph_listeners:
+                    session.hypre.subscribe(listener)
+                session.apply_profile(profile)
             self._sessions[uid] = session
             self.sessions_built += 1
             self._evict_over_capacity()

@@ -1,0 +1,116 @@
+"""Exporters: one snapshot, two wire formats.
+
+Everything observability-shaped leaves the process through here, in the
+registry's unified vocabulary:
+
+* :func:`json_snapshot` — a schema-versioned JSON document carrying the
+  flat metrics mapping plus the trace buffer's state (buffer counters, the
+  most recent traces and every retained slow-request capture, rendered as
+  plain dict trees).  ``schema_version`` is bumped on any breaking change
+  to the envelope, mirroring the benchmark JSON convention in
+  :mod:`repro.loadgen.report`.
+* :func:`prometheus_text` — the Prometheus text exposition format.  Names
+  are mechanical: ``serving.server.reads`` → ``repro_serving_server_reads``
+  (the ``repro_`` prefix namespaces the process; dots become underscores).
+  Histogram summaries flatten into one sample per summary field
+  (``..._count``, ``..._p95_ms``), so any scrape-and-graph pipeline can
+  consume a dump without custom parsing.
+
+Both functions take plain data (a metrics mapping, optionally a
+:class:`~repro.telemetry.trace.TraceBuffer`), so they are equally usable
+from :class:`~repro.telemetry.Telemetry`, the ``repro stats`` CLI command,
+and tests.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Mapping, Optional, Union
+
+from .trace import TraceBuffer
+
+#: Version of the JSON snapshot envelope; bump on breaking shape changes.
+SNAPSHOT_SCHEMA_VERSION = 1
+
+#: Keys every JSON snapshot carries at the top level.
+SNAPSHOT_REQUIRED_KEYS = ("schema_version", "metrics", "traces")
+
+
+def json_snapshot(metrics: Mapping[str, Any],
+                  traces: Optional[TraceBuffer] = None,
+                  recent_limit: int = 5) -> Dict[str, Any]:
+    """The schema-versioned JSON snapshot document as a plain dict.
+
+    ``metrics`` is a registry snapshot (flat unified-name mapping);
+    ``traces`` contributes buffer counters, the newest ``recent_limit``
+    traces and all retained slow captures.  Without a buffer the ``traces``
+    section is present but empty, so consumers need no existence checks.
+    """
+    traces_section: Dict[str, Any] = {
+        "buffer": traces.stats() if traces is not None else {},
+        "recent": [],
+        "slow": [],
+    }
+    if traces is not None:
+        recent = traces.snapshot()
+        if recent_limit >= 0:
+            recent = recent[-recent_limit:] if recent_limit else []
+        traces_section["recent"] = [record.as_dict() for record in recent]
+        traces_section["slow"] = [record.as_dict()
+                                  for record in traces.slow()]
+    return {
+        "schema_version": SNAPSHOT_SCHEMA_VERSION,
+        "metrics": dict(metrics),
+        "traces": traces_section,
+    }
+
+
+def validate_snapshot(snapshot: Mapping[str, Any]) -> Dict[str, Any]:
+    """Structurally check a snapshot document; returns it as a dict."""
+    from ..exceptions import TelemetryError
+
+    missing = [key for key in SNAPSHOT_REQUIRED_KEYS if key not in snapshot]
+    if missing:
+        raise TelemetryError(f"snapshot is missing keys: {missing}")
+    if snapshot["schema_version"] != SNAPSHOT_SCHEMA_VERSION:
+        raise TelemetryError(
+            f"snapshot schema_version {snapshot['schema_version']!r} != "
+            f"supported {SNAPSHOT_SCHEMA_VERSION}")
+    if not isinstance(snapshot["metrics"], Mapping):
+        raise TelemetryError("snapshot 'metrics' must be a mapping")
+    return dict(snapshot)
+
+
+def _prometheus_name(name: str) -> str:
+    """``layer.component.metric`` → ``repro_layer_component_metric``."""
+    return "repro_" + name.replace(".", "_")
+
+
+def _format_value(value: Union[int, float]) -> str:
+    """A number in exposition format (integers without trailing '.0')."""
+    if isinstance(value, bool):  # bool is an int subclass; be explicit
+        return "1" if value else "0"
+    if isinstance(value, int):
+        return str(value)
+    return repr(float(value))
+
+
+def prometheus_text(metrics: Mapping[str, Any]) -> str:
+    """The metrics mapping in Prometheus text exposition format.
+
+    Numeric values become one sample each; histogram summary dicts flatten
+    into one sample per field.  Non-numeric values are skipped (the text
+    format has no representation for them).  Ends with a newline, as the
+    exposition format requires.
+    """
+    lines: List[str] = []
+    for name in sorted(metrics):
+        value = metrics[name]
+        if isinstance(value, Mapping):
+            for field in sorted(value):
+                sub = value[field]
+                if isinstance(sub, (int, float)):
+                    lines.append(f"{_prometheus_name(name)}_{field} "
+                                 f"{_format_value(sub)}")
+        elif isinstance(value, (int, float)):
+            lines.append(f"{_prometheus_name(name)} {_format_value(value)}")
+    return "\n".join(lines) + "\n"

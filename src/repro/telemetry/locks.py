@@ -1,0 +1,178 @@
+"""Reversible lock instrumentation with registry integration.
+
+The load harness has always answered "name the hot lock" by swapping
+:class:`~repro.concurrency.TimedRLock` wrappers into a live serving engine.
+The historical :func:`repro.loadgen.instrument.instrument_server` did the
+swap irreversibly — fine for a load run that owns the server, wrong for a
+long-lived process that wants contention numbers for a while and then its
+plain locks back.  This module makes the swap a *handle*:
+
+* :func:`instrument_locks` swaps the same lock set as before (server big
+  lock, session registry, shared count cache + rebuilt condition variable,
+  result cache; per shard plus the broadcast lock for a cluster; the memory
+  backend's self-accounting :class:`~repro.concurrency.RWLock` is tracked
+  un-swapped) and returns a :class:`LockInstrumentation` recording every
+  ``(owner, attribute, original)`` it touched;
+* :meth:`LockInstrumentation.uninstrument` restores every original object
+  in reverse order — including the count cache's original condition
+  variable, so in-flight coalescing waiters are never left parked on a
+  condition nobody notifies;
+* instrumenting an already-instrumented server returns the **same active
+  handle** instead of stacking wrappers on wrappers, so repeated
+  instrumentation is idempotent;
+* given a :class:`~repro.telemetry.registry.MetricsRegistry`, the handle
+  registers a snapshot adapter exporting every tracked lock under
+  ``concurrency.lock.<name>.<metric>`` (the wrapper names are sanitised
+  into legal segments, e.g. ``shard0-server`` → ``shard0_server``), and
+  unregisters it again on restore.
+
+The swap still requires an **idle** engine: a thread blocked inside an old
+lock object at swap time would hold a lock nobody else looks at.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Dict, List, Tuple, Union
+
+from ..concurrency import RWLock, TimedRLock
+from .registry import MetricsRegistry, sanitize_component
+
+#: The attribute the active handle parks on, making repeats idempotent.
+_HANDLE_ATTR = "_telemetry_lock_instrumentation"
+
+#: The stats() keys exported per lock (the shared lock-report vocabulary).
+LOCK_METRIC_KEYS = ("acquisitions", "contended", "wait_seconds",
+                    "hold_seconds")
+
+
+class LockInstrumentation:
+    """A reversible record of one engine-wide lock swap.
+
+    ``locks`` is the uniform trackable list the historical API returned
+    (every entry answers ``stats()``); :meth:`uninstrument` puts every
+    original object back and deregisters the registry adapter.
+    """
+
+    def __init__(self, server: Any) -> None:
+        self._server = server
+        self._swaps: List[Tuple[Any, str, Any]] = []
+        self._registry: Union[MetricsRegistry, None] = None
+        self._adapter_key: Union[str, None] = None
+        self._active = True
+        self.locks: List[Any] = []
+
+    # -- building (module-internal) ------------------------------------------------
+
+    def _swap(self, owner: Any, attribute: str, replacement: Any) -> Any:
+        """Replace ``owner.attribute``, remembering the original."""
+        self._swaps.append((owner, attribute, getattr(owner, attribute)))
+        setattr(owner, attribute, replacement)
+        return replacement
+
+    def _export(self, registry: MetricsRegistry, key: str) -> None:
+        """Register the per-lock adapter under ``key`` on ``registry``."""
+        registry.register_adapter(key, self._adapter)
+        self._registry = registry
+        self._adapter_key = key
+
+    def _adapter(self) -> Dict[str, float]:
+        """Live ``concurrency.lock.<name>.<metric>`` values for snapshots."""
+        values: Dict[str, float] = {}
+        for lock in self.locks:
+            stats = lock.stats()
+            component = sanitize_component(stats["name"])
+            for key in LOCK_METRIC_KEYS:
+                values[f"concurrency.lock.{component}.{key}"] = stats[key]
+        return values
+
+    # -- lifecycle -----------------------------------------------------------------
+
+    @property
+    def active(self) -> bool:
+        """Whether the timed wrappers are currently installed."""
+        return self._active
+
+    def report(self) -> List[Dict[str, Any]]:
+        """Uniform per-lock contention records, hottest first."""
+        records = [lock.stats() for lock in self.locks]
+        records.sort(key=lambda record: record.get("wait_seconds", 0.0),
+                     reverse=True)
+        return records
+
+    def uninstrument(self) -> None:
+        """Restore every swapped lock (idempotent; engine must be idle)."""
+        if not self._active:
+            return
+        self._active = False
+        for owner, attribute, original in reversed(self._swaps):
+            setattr(owner, attribute, original)
+        if getattr(self._server, _HANDLE_ATTR, None) is self:
+            delattr(self._server, _HANDLE_ATTR)
+        if self._registry is not None and self._adapter_key is not None:
+            self._registry.unregister_adapter(self._adapter_key)
+
+    def __enter__(self) -> "LockInstrumentation":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.uninstrument()
+
+
+def _instrument_count_cache(handle: LockInstrumentation, cache: Any,
+                            name: str) -> None:
+    """Swap a count cache's lock, rebuilding its condition on the wrapper."""
+    lock = TimedRLock(name)
+    handle._swap(cache, "_lock", lock)
+    handle._swap(cache, "_cond", threading.Condition(lock))
+    handle.locks.append(lock)
+
+
+def _instrument_single(handle: LockInstrumentation, server: Any,
+                       prefix: str = "") -> None:
+    """Swap one TopKServer's lock set into the handle."""
+    handle.locks.append(
+        handle._swap(server, "_lock", TimedRLock(f"{prefix}server")))
+    handle.locks.append(
+        handle._swap(server.sessions, "_lock",
+                     TimedRLock(f"{prefix}sessions")))
+    _instrument_count_cache(handle, server.sessions.count_cache,
+                            f"{prefix}count-cache")
+    handle.locks.append(
+        handle._swap(server.results, "_lock",
+                     TimedRLock(f"{prefix}result-cache")))
+
+
+def instrument_locks(server: Any,
+                     registry: Union[MetricsRegistry, None] = None,
+                     adapter_key: str = "locks") -> LockInstrumentation:
+    """Swap timed locks into ``server`` (single or sharded); must be idle.
+
+    Returns the :class:`LockInstrumentation` handle.  Calling this on a
+    server whose handle is still active returns that handle unchanged (no
+    wrapper stacking); after :meth:`~LockInstrumentation.uninstrument` a new
+    call instruments afresh.  With ``registry``, the handle's lock metrics
+    join every snapshot until the handle is restored.
+    """
+    existing = getattr(server, _HANDLE_ATTR, None)
+    if existing is not None and existing.active:
+        if registry is not None and existing._registry is None:
+            existing._export(registry, adapter_key)
+        return existing
+    handle = LockInstrumentation(server)
+    shard_servers = getattr(server, "shard_servers", None)
+    if shard_servers is not None:
+        handle.locks.append(
+            handle._swap(server, "_lock", TimedRLock("cluster-broadcast")))
+        for index, shard in enumerate(shard_servers):
+            _instrument_single(handle, shard, prefix=f"shard{index}-")
+    else:
+        _instrument_single(handle, server)
+    backend_lock = getattr(server.db, "_lock", None)
+    if isinstance(backend_lock, RWLock):
+        # The memory backend's RWLock accounts itself; track, don't swap.
+        handle.locks.append(backend_lock)
+    setattr(server, _HANDLE_ATTR, handle)
+    if registry is not None:
+        handle._export(registry, adapter_key)
+    return handle

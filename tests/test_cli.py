@@ -297,3 +297,67 @@ class TestMainEntryPoint:
         payload = json.loads(capsys.readouterr().out)
         assert payload["run"]["ops"] > 0
         assert payload["run"]["audit"]["mismatches"] == 0
+
+
+class TestStats:
+    def test_stats_json_snapshot_covers_every_layer(self):
+        from repro.cli import run_stats
+        from repro.telemetry import validate_snapshot
+        document = json.loads(run_stats(scale="tiny", users=8, requests=30,
+                                        k=3))
+        assert validate_snapshot(document)
+        layers = {name.split(".", 1)[0] for name in document["metrics"]}
+        assert {"serving", "index", "backend", "concurrency",
+                "telemetry"} <= layers
+        assert document["traces"]["buffer"]["recorded"] > 0
+
+    def test_stats_prometheus_exposition(self):
+        from repro.cli import run_stats
+        text = run_stats(scale="tiny", users=8, requests=30, k=3,
+                         prometheus=True)
+        assert "repro_serving_server_reads " in text
+        assert "repro_concurrency_lock_server_acquisitions " in text
+        assert text.endswith("\n")
+
+    def test_stats_sharded_names_every_shard(self):
+        from repro.cli import run_stats
+        document = json.loads(run_stats(scale="tiny", users=8, requests=30,
+                                        k=3, shards=2))
+        metrics = document["metrics"]
+        assert metrics["serving.cluster.shards"] == 2
+        assert "concurrency.lock.shard0_server.acquisitions" in metrics
+        assert "concurrency.lock.shard1_server.acquisitions" in metrics
+
+    def test_main_stats(self, capsys):
+        assert main(["stats", "--scale", "tiny", "--users", "8",
+                     "--requests", "30", "--k", "3", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["schema_version"] >= 1
+
+    def test_parser_rejects_json_with_prometheus(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["stats", "--json", "--prometheus"])
+
+
+class TestTelemetryFlags:
+    def test_serve_replay_telemetry_json_section(self):
+        payload = json.loads(run_serve_replay(
+            scale="tiny", users=6, requests=20, capacity=4, baseline=False,
+            as_json=True, telemetry=True))
+        snapshot = payload["telemetry"]
+        assert snapshot is not None
+        assert snapshot["metrics"]["serving.server.reads"] > 0
+        assert snapshot["traces"]["buffer"]["recorded"] > 0
+
+    def test_serve_replay_text_mentions_telemetry(self):
+        text = run_serve_replay(scale="tiny", users=6, requests=20,
+                                capacity=4, baseline=False, telemetry=True)
+        assert "telemetry:" in text and "traces recorded" in text
+
+    def test_load_telemetry_carries_snapshot(self):
+        payload = json.loads(run_load(
+            scale="tiny", users=8, threads=2, duration=0.4, k=3,
+            audit_interval=0.2, as_json=True, telemetry=True))
+        snapshot = payload["run"]["telemetry"]
+        assert snapshot["metrics"]["loadgen.audit.mismatches"] == 0
+        assert snapshot["traces"]["buffer"]["recorded"] > 0

@@ -306,6 +306,7 @@ def _minimal_run(**overrides):
         "audit": {"audits": 1, "comparisons": 2, "mismatches": 0,
                   "errors": []},
         "errors": [],
+        "telemetry": {},
     }
     run.update(overrides)
     return run
@@ -342,6 +343,9 @@ class TestReportSchema:
         (lambda run: run.update(mode="sideways"), "mode"),
         (lambda run: run["audit"].pop("mismatches"), "audit"),
         (lambda run: run["locks"][0].pop("wait_seconds"), "locks"),
+        (lambda run: run.pop("telemetry"), "missing 'telemetry'"),
+        (lambda run: run.update(telemetry={"schema_version": 1}),
+         "telemetry missing 'metrics'"),
     ])
     def test_validation_rejects_malformed_runs(self, mutate, fragment):
         run = _minimal_run()

@@ -35,10 +35,11 @@ class TestPackageSurface:
         import repro.loadgen as loadgen
         import repro.serving as serving
         import repro.sqldb as sqldb
+        import repro.telemetry as telemetry
         import repro.workload as workload
 
         for module in (algorithms, backend, core, extensions, graphstore,
-                       index, loadgen, serving, sqldb, workload):
+                       index, loadgen, serving, sqldb, telemetry, workload):
             for name in module.__all__:
                 assert hasattr(module, name), f"{module.__name__}.{name} missing"
 
@@ -54,10 +55,12 @@ class TestPackageSurface:
         import repro.loadgen as loadgen
         import repro.serving as serving
         import repro.sqldb as sqldb
+        import repro.telemetry as telemetry
         import repro.workload as workload
 
         for module in (repro, algorithms, backend, core, hypre, extensions,
-                       graphstore, index, loadgen, serving, sqldb, workload):
+                       graphstore, index, loadgen, serving, sqldb, telemetry,
+                       workload):
             for name in module.__all__:
                 assert name in module.__doc__, (
                     f"{name} undocumented in {module.__name__}")
