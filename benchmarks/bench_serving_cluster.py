@@ -103,26 +103,31 @@ def test_cluster_scales_and_invalidates_selectively(benchmark):
         assert report.zero_sql_reads == report.read_hits
         assert report.sql_statements < baseline.sql_statements
 
-        # (b) Broadcasts invalidate selectively across shards: an insert
-        # (which touches one venue) that meets a warm multi-shard cache
-        # drops a strict subset cluster-wide (a delete/update of one hot
-        # tuple may legitimately touch every cached user)...
+        # (b) Broadcasts react selectively across shards: an insert (which
+        # touches one venue) that meets a warm multi-shard cache touches —
+        # repairs or drops — a strict subset cluster-wide (a delete/update
+        # of one hot tuple may legitimately touch every cached user)...
         multi_shard_events = []
         split_events = []
         for event in report.mutation_events:
             per_shard = event["shards"]
             assert len(per_shard) == shards
+
+            def touched(shard):
+                return (shard["results_invalidated"]
+                        + shard["results_repaired"])
+
             warm_shards = [shard for shard in per_shard
-                           if shard["results_invalidated"]
-                           + shard["results_spared"] > 0]
+                           if touched(shard) + shard["results_spared"] > 0]
             if len(warm_shards) >= 2:
                 multi_shard_events.append(event)
                 if event["kind"] == "insert" and event["cached_before"] >= 2:
                     assert (event["results_invalidated"]
+                            + event["results_repaired"]
                             < event["cached_before"]), event
-            # ...and some broadcasts hit one shard while sparing another.
-            if (any(shard["results_invalidated"] > 0 for shard in per_shard)
-                    and any(shard["results_invalidated"] == 0
+            # ...and some broadcasts touch one shard while sparing another.
+            if (any(touched(shard) > 0 for shard in per_shard)
+                    and any(touched(shard) == 0
                             and shard["results_spared"] > 0
                             for shard in per_shard)):
                 split_events.append(event)
@@ -130,7 +135,7 @@ def test_cluster_scales_and_invalidates_selectively(benchmark):
             assert multi_shard_events, (
                 f"{shards} shards: no broadcast met a warm multi-shard cache")
             assert split_events, (
-                f"{shards} shards: no broadcast invalidated on one shard "
+                f"{shards} shards: no broadcast touched one shard "
                 f"while sparing another")
 
         # (c) Every mutation kind spares entries somewhere in the replay.

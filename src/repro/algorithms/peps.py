@@ -30,9 +30,12 @@ from __future__ import annotations
 
 from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
 
+from typing import Any, Mapping
+
 from ..core.intensity import combine_and, min_preferences_to_beat
 from ..core.predicate import conjunction
 from ..exceptions import EmptyPreferenceListError, TopKError
+from ..index.selectivity import exact_match_row
 from ..index.pair_index import (
     IncrementalPairIndex,
     PairCombination,
@@ -194,6 +197,46 @@ class PEPSAlgorithm:
         if not matched:
             return 0.0
         return combine_and(matched)
+
+    def score_row(self, row: Mapping[str, Any]) -> Optional[float]:
+        """Exact score one joined-view row earns its tuple, without the backend.
+
+        Evaluates every positive-intensity preference predicate against
+        ``row`` in memory and combines the matched intensities exactly as
+        :meth:`top_k`'s scoring pass would — the entry point the result
+        cache's repair path uses to place a delta row into a maintained
+        ranking.  Returns ``None`` when some predicate references an
+        attribute the row does not carry (the verdict would be a guess, so
+        the caller must fall back to invalidation).  Note a *tuple* matches a
+        predicate when **any** of its joined rows does, so a multi-row
+        tuple's score is the fold over its full row image, not one call.
+        """
+        matched: List[float] = []
+        for pref in self.preferences:
+            if pref.intensity <= 0.0:
+                continue
+            verdict = exact_match_row(pref.predicate, row)
+            if verdict is None:
+                return None
+            if verdict:
+                matched.append(pref.intensity)
+        return combine_and(matched) if matched else 0.0
+
+    def top_k_buffer(self, k: int, delta: int = 0
+                     ) -> Tuple[List[Tuple[int, float]], bool]:
+        """Over-fetched Top-K: the exact ``k + delta`` prefix plus completeness.
+
+        Returns ``(buffer, complete)`` where ``buffer`` is :meth:`top_k`'s
+        answer for depth ``k + delta`` — an exact prefix of the total order
+        over all covered tuples — and ``complete`` is ``True`` when the
+        buffer holds the *entire* covered universe (the fetch came back
+        short), so a maintainer never needs floor reasoning.  Over-fetching
+        is free here: the scoring pass already scores every covered tuple,
+        the depth only moves the truncation point.
+        """
+        depth = k + max(0, delta)
+        buffer = self.top_k(depth)
+        return buffer, len(buffer) < depth
 
     def top_k(self, k: int,
               min_intensity: Optional[float] = None) -> List[Tuple[int, float]]:

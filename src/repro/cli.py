@@ -236,7 +236,8 @@ def run_serve_replay(scale: str = "tiny",
                          _REPLAY_DEFAULTS.data_update_weight),
                      as_json: bool = False,
                      backend: Optional[str] = None,
-                     telemetry: bool = False) -> str:
+                     telemetry: bool = False,
+                     repair_delta: Optional[int] = None) -> str:
     """Replay a deterministic multi-user workload through the serving engine.
 
     Builds one world per arm (identical datasets and schedules), runs the
@@ -265,7 +266,8 @@ def run_serve_replay(scale: str = "tiny",
         insert_weight=insert_weight, delete_weight=delete_weight,
         data_update_weight=data_update_weight))
     serving_db = driver.build_world(SCALES[scale], backend=backend)
-    server = TopKServer(serving_db, capacity=capacity)
+    server = TopKServer(serving_db, capacity=capacity,
+                        repair_delta=repair_delta)
     observer = None
     handle = None
     snapshot = None
@@ -299,7 +301,8 @@ def run_serve_replay(scale: str = "tiny",
         sharded_db = driver.build_world(SCALES[scale], backend=backend)
         cluster = ShardedTopKServer(sharded_db, shards=shards,
                                     capacity=capacity,
-                                    parallel_fanout=shards > 1)
+                                    parallel_fanout=shards > 1,
+                                    repair_delta=repair_delta)
         try:
             sharded_report = driver.run_sharded(cluster,
                                                 driver.schedule(sharded_db))
@@ -395,7 +398,8 @@ def run_load(scale: str = "tiny",
              audit_interval: Optional[float] = 0.5,
              output: Optional[str] = None,
              as_json: bool = False,
-             telemetry: bool = False) -> str:
+             telemetry: bool = False,
+             repair_delta: Optional[int] = None) -> str:
     """Drive the concurrent load harness against a live serving instance.
 
     Builds one world (``users`` synthetic profiles, persisted up front),
@@ -423,9 +427,10 @@ def run_load(scale: str = "tiny",
     db = driver.build_world(SCALES[scale], backend=backend)
     if shards >= 2:
         server: Any = ShardedTopKServer(db, shards=shards, capacity=capacity,
-                                        parallel_fanout=True)
+                                        parallel_fanout=True,
+                                        repair_delta=repair_delta)
     else:
-        server = TopKServer(db, capacity=capacity)
+        server = TopKServer(db, capacity=capacity, repair_delta=repair_delta)
     config = LoadConfig(threads=threads, duration_seconds=duration,
                         target_qps=qps, mix=LoadMix(k=k), seed=seed,
                         audit_interval=audit_interval or None)
@@ -612,6 +617,11 @@ def build_parser() -> argparse.ArgumentParser:
                         default=_REPLAY_DEFAULTS.data_update_weight,
                         help="relative weight of in-place tuple updates "
                              "in the mix")
+    replay.add_argument("--repair-delta", type=int, default=None,
+                        metavar="N",
+                        help="over-fetch margin for in-place answer repair "
+                             "(default: 2*k per request; negative disables "
+                             "repair, restoring invalidate-and-recompute)")
     replay.add_argument("--json", action="store_true", dest="as_json",
                         help="emit the replay reports as JSON")
     replay.add_argument("--telemetry", action="store_true",
@@ -647,6 +657,10 @@ def build_parser() -> argparse.ArgumentParser:
     load.add_argument("--audit-interval", type=float, default=0.5,
                       help="seconds between background equivalence audits "
                            "(0 disables auditing)")
+    load.add_argument("--repair-delta", type=int, default=None, metavar="N",
+                      help="over-fetch margin for in-place answer repair "
+                           "(default: 2*k per request; negative disables "
+                           "repair, restoring invalidate-and-recompute)")
     load.add_argument("--output", default=None, metavar="FILE",
                       help="also write the schema-versioned "
                            "BENCH_loadgen.json document to FILE")
@@ -721,7 +735,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                                    data_update_weight=args.data_update_weight,
                                    as_json=args.as_json,
                                    backend=args.backend,
-                                   telemetry=args.telemetry))
+                                   telemetry=args.telemetry,
+                                   repair_delta=args.repair_delta))
         elif args.command == "load":
             print(run_load(scale=args.scale, users=args.users,
                            threads=args.threads, duration=args.duration,
@@ -730,7 +745,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                            capacity=args.capacity,
                            audit_interval=args.audit_interval,
                            output=args.output, as_json=args.as_json,
-                           telemetry=args.telemetry))
+                           telemetry=args.telemetry,
+                           repair_delta=args.repair_delta))
         elif args.command == "stats":
             print(run_stats(scale=args.scale, users=args.users,
                             requests=args.requests, k=args.k,

@@ -35,6 +35,12 @@ Public API
     of an in-place update — can satisfy a predicate, so the cached entry
     keyed by it may survive the mutation (the rules every consumer must
     follow are written down in ``docs/INVALIDATION.md``).
+:func:`exact_match_row`
+    Three-valued exact row evaluation: ``True``/``False`` when every
+    attribute the predicate references is present on the row, ``None``
+    when the verdict cannot be decided from the row alone.  The repair
+    path uses it to re-score cached answers without SQL, falling back to
+    invalidation whenever it returns ``None``.
 :class:`GraphMutation`
     The mutation event record emitted by the HYPRE graph (re-exported from
     :mod:`repro.core.hypre.events`).
@@ -60,6 +66,7 @@ from .selectivity import (
     SelectivityEstimator,
     any_may_match,
     estimate_selectivity,
+    exact_match_row,
     may_match_row,
     pair_provably_empty,
 )
@@ -78,6 +85,7 @@ __all__ = [
     "SelectivityEstimator",
     "any_may_match",
     "estimate_selectivity",
+    "exact_match_row",
     "may_match_row",
     "pair_provably_empty",
 ]

@@ -102,6 +102,25 @@ def _row_has_attribute(row: Mapping[str, Any], attribute: str) -> bool:
     return any(attribute_names_match(attribute, key) for key in row)
 
 
+def exact_match_row(predicate: Union[str, PredicateExpr],
+                    row: Mapping[str, Any]) -> Optional[bool]:
+    """Three-valued membership test: does the tuple ``row`` satisfy ``predicate``?
+
+    Returns ``True``/``False`` — an **exact** in-memory verdict — when the
+    row carries every attribute the predicate references, and ``None`` when
+    some referenced attribute is absent, i.e. the question cannot be decided
+    from the row alone.  The repair path of the result cache distinguishes
+    the two: a ``None`` forces fallback to invalidation (the delta cannot be
+    scored exactly), whereas :func:`may_match_row` folds it into a
+    conservative ``True`` because invalidation only needs soundness.
+    """
+    predicate = ensure_predicate(predicate)
+    if not all(_row_has_attribute(row, attribute)
+               for attribute in predicate.attributes()):
+        return None
+    return predicate.evaluate(row)
+
+
 def may_match_row(predicate: Union[str, PredicateExpr],
                   row: Mapping[str, Any]) -> bool:
     """Sound check: can the tuple ``row`` satisfy ``predicate``?
@@ -114,11 +133,8 @@ def may_match_row(predicate: Union[str, PredicateExpr],
     conservative, never unsound — when some referenced attribute is absent
     from the row, so a ``False`` always proves the tuple irrelevant.
     """
-    predicate = ensure_predicate(predicate)
-    if not all(_row_has_attribute(row, attribute)
-               for attribute in predicate.attributes()):
-        return True
-    return predicate.evaluate(row)
+    verdict = exact_match_row(predicate, row)
+    return True if verdict is None else verdict
 
 
 def any_may_match(predicates: Iterable[Union[str, PredicateExpr]],

@@ -131,13 +131,17 @@ class ShardMutationReport:
     results_invalidated: int
     results_spared: int
     index_entries_dropped: int
+    results_repaired: int = 0
+    repair_fallbacks: int = 0
 
     def as_dict(self) -> Dict[str, int]:
         """Plain-dict rendering (for JSON reports and replay events)."""
         return {"shard": self.shard,
                 "results_invalidated": self.results_invalidated,
                 "results_spared": self.results_spared,
-                "index_entries_dropped": self.index_entries_dropped}
+                "index_entries_dropped": self.index_entries_dropped,
+                "results_repaired": self.results_repaired,
+                "repair_fallbacks": self.repair_fallbacks}
 
 
 @dataclass(frozen=True)
@@ -168,6 +172,16 @@ class ClusterMutationReport:
         return sum(report.results_spared for report in self.shard_reports)
 
     @property
+    def results_repaired(self) -> int:
+        """Total cached answers repaired in place across all shards."""
+        return sum(report.results_repaired for report in self.shard_reports)
+
+    @property
+    def repair_fallbacks(self) -> int:
+        """Total affected answers that fell back to invalidation."""
+        return sum(report.repair_fallbacks for report in self.shard_reports)
+
+    @property
     def index_entries_dropped(self) -> int:
         """Total count/pair-index entries dropped across all shards."""
         return sum(report.index_entries_dropped for report in self.shard_reports)
@@ -178,6 +192,8 @@ class ClusterMutationReport:
                 "joined_rows": self.joined_rows,
                 "results_invalidated": self.results_invalidated,
                 "results_spared": self.results_spared,
+                "results_repaired": self.results_repaired,
+                "repair_fallbacks": self.repair_fallbacks,
                 "index_entries_dropped": self.index_entries_dropped,
                 "sql_statements": self.sql_statements,
                 "seconds": self.seconds,
@@ -247,7 +263,8 @@ class ShardedTopKServer:
                  cache_results: bool = True,
                  partitioner: Optional[Partitioner] = None,
                  parallel_fanout: bool = False,
-                 max_workers: Optional[int] = None) -> None:
+                 max_workers: Optional[int] = None,
+                 repair_delta: Optional[int] = None) -> None:
         if shards < 1:
             raise ServingError("a sharded server needs at least one shard")
         self._lock = threading.RLock()
@@ -255,11 +272,15 @@ class ShardedTopKServer:
         self.shards = shards
         self.capacity = capacity
         self.cache_results = cache_results
+        #: Over-fetch depth handed to every shard (see
+        #: :class:`~repro.serving.server.TopKServer`): broadcast mutations
+        #: then repair each shard's own cached answers in place.
+        self.repair_delta = repair_delta
         self.partitioner: Partitioner = (partitioner if partitioner is not None
                                          else HashPartitioner())
         self.shard_servers: Tuple[TopKServer, ...] = tuple(
             TopKServer(db, capacity=capacity, cache_results=cache_results,
-                       subscribe=False)
+                       subscribe=False, repair_delta=repair_delta)
             for _ in range(shards))
         self._executor: Optional[ThreadPoolExecutor] = None
         if parallel_fanout and shards > 1:
@@ -435,7 +456,9 @@ class ShardedTopKServer:
                 shard=index,
                 results_invalidated=impact["results_invalidated"],
                 results_spared=impact["results_spared"],
-                index_entries_dropped=impact["index_entries_dropped"])
+                index_entries_dropped=impact["index_entries_dropped"],
+                results_repaired=impact.get("results_repaired", 0),
+                repair_fallbacks=impact.get("repair_fallbacks", 0))
             for index, impact in enumerate(impacts))
 
     # -- introspection ------------------------------------------------------------

@@ -332,6 +332,10 @@ class ReplayDriver:
                     "cached_before": cached_before,
                     "results_invalidated": outcome.results_invalidated,
                     "results_spared": outcome.results_spared,
+                    "results_repaired": getattr(outcome, "results_repaired", 0),
+                    "repair_fallbacks": getattr(outcome, "repair_fallbacks", 0),
+                    "repair_sql_statements": getattr(
+                        outcome, "repair_sql_statements", 0),
                     "index_entries_dropped": outcome.index_entries_dropped,
                 }
                 # A sharded arm's ClusterMutationReport carries the per-shard
@@ -429,7 +433,10 @@ class ReplayDriver:
                                    capacity: int = 8,
                                    partitioner: Optional[Partitioner] = None,
                                    parallel_fanout: bool = False,
-                                   server_backend: Optional[str] = None) -> int:
+                                   server_backend: Optional[str] = None,
+                                   repair_delta: Optional[int] = None,
+                                   stats_out: Optional[Dict[str, Any]] = None,
+                                   ) -> int:
         """Lockstep three-way equivalence: cluster == single server == fresh.
 
         Builds three identical worlds, replays the identical schedule
@@ -447,6 +454,14 @@ class ReplayDriver:
         cluster vs memory single-server vs fresh recomputation, so one run
         certifies sharding *and* the backend abstraction at once); ``None``
         keeps all three worlds on the process default engine.
+
+        Both serving arms run with the repair path active (``repair_delta``
+        is forwarded to each constructor), so every comparison after a
+        mutation checks *repaired* shard answers against the single server
+        and a from-scratch recomputation.  ``stats_out``, when given, is
+        filled with the cluster's and the single server's final ``stats()``
+        snapshots — tests use it to assert the equivalence run actually
+        exercised repairs rather than invalidating everything.
         """
         cluster_db = self.build_world(dblp_config)
         server_db = self.build_world(dblp_config, backend=server_backend)
@@ -457,8 +472,10 @@ class ReplayDriver:
             with ShardedTopKServer(cluster_db, shards=shards,
                                    capacity=capacity,
                                    partitioner=partitioner,
-                                   parallel_fanout=parallel_fanout) as cluster, \
-                    TopKServer(server_db, capacity=capacity) as server:
+                                   parallel_fanout=parallel_fanout,
+                                   repair_delta=repair_delta) as cluster, \
+                    TopKServer(server_db, capacity=capacity,
+                               repair_delta=repair_delta) as server:
                 seen: List[int] = []
                 for op in ops:
                     if op.kind == READ:
@@ -492,6 +509,9 @@ class ReplayDriver:
                             update_papers(baseline_db, list(op.papers))
                         checked += self._compare_arms(
                             cluster, server, baseline_db, seen, self.config.k)
+                if stats_out is not None:
+                    stats_out["cluster"] = cluster.stats()
+                    stats_out["server"] = server.stats()
         finally:
             cluster_db.close()
             server_db.close()

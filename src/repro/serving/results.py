@@ -24,6 +24,27 @@ events are the deltas):
 Every entry therefore remembers the predicate list it was computed from —
 the same positive-intensity predicates PEPS scored with.
 
+**Repair, don't recompute.**  Dropping an answer makes the *next* read pay a
+full PEPS recomputation, so a data mutation that merely moves one tuple in
+or out of a ranking is far more expensive than it needs to be.  Entries
+materialised through the serving path therefore carry a *maintainable view*:
+the exact ``k + delta`` over-fetched prefix of the user's total order
+(``buffer``), each predicate's intensity, and a ``complete`` flag set when
+the buffer holds the entire covered universe.  :meth:`CachedResult.apply_delta`
+then folds a :class:`~repro.sqldb.events.DataMutation` into the view in
+memory — insert post-image tuples that score above the buffer floor, remove
+deleted pre-image pids, re-score in-place updates — with **zero SQL**.  The
+exactness argument rests on two invariants: per-tuple scores are independent
+(a tuple's score depends only on which predicates *its own* joined rows
+match), and the buffer is an exact prefix of the total order under the sort
+key ``(-score, pid)``, so a tuple absent from a truncated buffer provably
+ranks below its floor.  Repair **must** fall back to invalidation when a
+predicate cannot be evaluated exactly against an event row
+(:func:`~repro.index.selectivity.exact_match_row` returns ``None``) or when
+removals underflow a truncated buffer below ``k`` — the conditions
+``docs/INVALIDATION.md`` spells out.  A repair is itself an epoch-bumping
+sweep step, so a stale put racing the sweep still loses.
+
 **Thread safety and the re-cache race.**  The cache carries its own
 re-entrant lock, so warm lookups no longer need the server's big lock (the
 multi-threaded load harness showed every warm read serialising on it).
@@ -48,25 +69,61 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from ..core.hypre.events import RESULT_AFFECTING_KINDS, GraphMutation
+from ..core.intensity import combine_and
 from ..core.predicate import PredicateExpr
-from ..index.selectivity import may_match_row
+from ..index.selectivity import exact_match_row, may_match_row
 from ..sqldb.events import DataMutation
 from ..telemetry import annotate
 
 ResultKey = Tuple[int, int]
 
+#: ``apply_delta`` outcome labels (the second element of its return pair).
+REPAIRED = "repaired"
+#: The entry carries no intensities/buffer (legacy put) — cannot repair.
+FALLBACK_DISABLED = "disabled"
+#: A predicate could not be evaluated exactly against an event row.
+FALLBACK_UNSCORABLE = "unscorable"
+#: Removals sank a truncated buffer below ``k`` ranked tuples.
+FALLBACK_UNDERFLOW = "underflow"
+
+#: Memo of ``may_match_row`` verdicts shared across one invalidation sweep,
+#: keyed by ``(predicate SQL, row index)`` — many users share predicates.
+SweepMemo = Dict[Tuple[str, int], bool]
+
 
 @dataclass(frozen=True)
 class CachedResult:
-    """One materialised Top-K answer plus the predicates it depends on."""
+    """One materialised Top-K answer plus the state needed to maintain it.
+
+    ``ranking`` is what gets served (``buffer[:k]`` for maintainable
+    entries).  ``buffer`` is the exact over-fetched prefix of the user's
+    total order under ``(-score, pid)``; ``complete`` marks a buffer that
+    holds the *whole* covered universe; ``depth`` is the capacity the buffer
+    was fetched with (repairs trim truncated buffers back to it);
+    ``intensities`` parallels ``predicates`` — both in PEPS preference
+    order, so repair scoring folds intensities exactly as
+    :meth:`~repro.algorithms.peps.PEPSAlgorithm.top_k` does.
+    """
 
     uid: int
     k: int
     ranking: Tuple[Tuple[int, float], ...]
     predicates: Tuple[PredicateExpr, ...]
+    intensities: Tuple[float, ...] = ()
+    buffer: Tuple[Tuple[int, float], ...] = ()
+    complete: bool = False
+    depth: int = 0
 
-    def may_be_affected_by(self, rows: Sequence[Mapping[str, Any]]) -> bool:
-        """Can a data mutation touching ``rows`` change this answer?
+    @property
+    def maintainable(self) -> bool:
+        """Whether this entry carries what :meth:`apply_delta` needs."""
+        return bool(self.intensities) and \
+            len(self.intensities) == len(self.predicates)
+
+    def affected_rows(self, rows: Sequence[Mapping[str, Any]],
+                      memo: Optional[SweepMemo] = None,
+                      ) -> List[Mapping[str, Any]]:
+        """The subset of ``rows`` that may match one of this entry's predicates.
 
         ``rows`` are the mutation's invalidation rows: inserted post-image,
         deleted pre-image, or both images of an in-place update.  A tuple
@@ -74,16 +131,133 @@ class CachedResult:
         of its images matches at least one of the user's scored predicates —
         a tuple matching none scores zero and is never discovered, so its
         insertion, deletion or rewrite cannot move any ranked tuple either.
-        "No predicate may match any row" therefore proves the answer fresh.
+        An empty result therefore proves the answer fresh; a non-empty one
+        is exactly the row set the repair path must fold in, so the sweep
+        derives relevance and the repair work-list in one pass (each row
+        tested against each predicate at most once, short-circuiting on the
+        first match).  ``memo`` shares per-``(predicate, row)`` verdicts
+        across the entries of one sweep — Zipf populations share hot venue
+        predicates, so a wide mutation is evaluated once, not once per user.
         """
-        return any(may_match_row(predicate, row)
-                   for predicate in self.predicates for row in rows)
+        if not self.predicates:
+            return []
+        matching: List[Mapping[str, Any]] = []
+        if memo is None:
+            for row in rows:
+                if any(may_match_row(predicate, row)
+                       for predicate in self.predicates):
+                    matching.append(row)
+            return matching
+        keys = [predicate.to_sql() for predicate in self.predicates]
+        for index, row in enumerate(rows):
+            for key, predicate in zip(keys, self.predicates):
+                verdict = memo.get((key, index))
+                if verdict is None:
+                    verdict = may_match_row(predicate, row)
+                    memo[(key, index)] = verdict
+                if verdict:
+                    matching.append(row)
+                    break
+        return matching
+
+    def may_be_affected_by(self, rows: Sequence[Mapping[str, Any]]) -> bool:
+        """Can a data mutation touching ``rows`` change this answer?"""
+        return bool(self.affected_rows(rows))
+
+    # -- repair ------------------------------------------------------------------
+
+    def _score_pid(self, rows: Sequence[Mapping[str, Any]]) -> Optional[float]:
+        """Exact score of one tuple from its complete joined-row image.
+
+        A tuple matches a predicate when **any** of its joined rows does, so
+        the matched set is the union over ``rows``; intensities fold in
+        preference order, mirroring PEPS's scoring pass bit for bit.
+        Returns ``None`` when a verdict would require an attribute the rows
+        do not carry — the caller must fall back to invalidation.
+        """
+        matched = [False] * len(self.predicates)
+        for row in rows:
+            for index, predicate in enumerate(self.predicates):
+                if matched[index] or self.intensities[index] <= 0.0:
+                    continue
+                verdict = exact_match_row(predicate, row)
+                if verdict is None:
+                    return None
+                if verdict:
+                    matched[index] = True
+        values = [intensity for intensity, hit
+                  in zip(self.intensities, matched) if hit]
+        return combine_and(values) if values else 0.0
+
+    def apply_delta(self, mutation: DataMutation,
+                    ) -> Tuple[Optional["CachedResult"], str]:
+        """Fold one data mutation into the maintained view, in memory.
+
+        Returns ``(repaired entry, REPAIRED)`` on success — possibly
+        ``self`` when the delta provably leaves the buffer untouched — or
+        ``(None, reason)`` when invalidation is mandatory:
+        ``FALLBACK_DISABLED`` (no buffer/intensities), ``FALLBACK_UNSCORABLE``
+        (a predicate cannot be evaluated exactly against an event row) or
+        ``FALLBACK_UNDERFLOW`` (removals sank a truncated buffer below
+        ``k``).  **Producer obligation**: the mutation's post-image rows for
+        each pid must be that pid's *complete* joined-row image (the loader
+        guarantees this for every mutation kind) — scoring a partial image
+        would silently under-score.
+        """
+        if not self.maintainable:
+            return None, FALLBACK_DISABLED
+        post: Dict[int, List[Mapping[str, Any]]] = {}
+        for row in mutation.rows:
+            post.setdefault(int(row["pid"]), []).append(row)
+        affected = set(post)
+        affected.update(int(row["pid"]) for row in mutation.old_rows)
+        buffer = list(self.buffer)
+        changed = False
+        for pid in sorted(affected):
+            score = self._score_pid(post.get(pid, ()))
+            if score is None:
+                return None, FALLBACK_UNSCORABLE
+            index = next((position for position, (member, _) in enumerate(buffer)
+                          if member == pid), None)
+            if index is not None:
+                del buffer[index]
+                changed = True
+            if score <= 0.0:
+                continue
+            key = (-score, pid)
+            if not self.complete:
+                # A truncated buffer is an exact prefix: a tuple ranking at
+                # or below the current floor lives among the unseen tail, so
+                # leaving it out keeps the prefix exact.  An empty truncated
+                # buffer has no floor to compare against — skip; the
+                # underflow check below forces the fallback.
+                if not buffer or key >= (-buffer[-1][1], buffer[-1][0]):
+                    continue
+            position = 0
+            while position < len(buffer) and \
+                    (-buffer[position][1], buffer[position][0]) < key:
+                position += 1
+            buffer.insert(position, (pid, score))
+            changed = True
+        if not self.complete:
+            if len(buffer) < self.k:
+                return None, FALLBACK_UNDERFLOW
+            cap = max(self.depth or len(self.buffer), self.k)
+            if len(buffer) > cap:
+                del buffer[cap:]
+        if not changed:
+            return self, REPAIRED
+        return CachedResult(
+            uid=self.uid, k=self.k, ranking=tuple(buffer[:self.k]),
+            predicates=self.predicates, intensities=self.intensities,
+            buffer=tuple(buffer), complete=self.complete,
+            depth=self.depth), REPAIRED
 
 
 class ResultCache:
     """Update-aware cache of materialised Top-K answers keyed by (uid, k)."""
 
-    def __init__(self) -> None:
+    def __init__(self, repair: bool = True) -> None:
         # The cache is a shared leaf structure: warm lookups, puts and
         # invalidation sweeps may arrive from different threads without the
         # server lock, so every access holds this lock.
@@ -91,6 +265,10 @@ class ResultCache:
         self._entries: Dict[ResultKey, CachedResult] = {}
         #: Monotonic invalidation epoch (see module docs).
         self._epoch = 0
+        #: Route affected entries through :meth:`CachedResult.apply_delta`
+        #: before dropping them; ``False`` restores the pure
+        #: invalidate-and-recompute behaviour (the benchmark baseline).
+        self.repair_enabled = repair
         #: Warm requests answered from memory / requests that had to compute.
         self.hits = 0
         self.misses = 0
@@ -99,6 +277,13 @@ class ResultCache:
         self.data_invalidations = 0
         #: Entries a data insert examined but proved unaffected (kept).
         self.data_spared = 0
+        #: Affected entries maintained in place by a zero-SQL delta repair /
+        #: affected entries that had to be dropped after a repair attempt
+        #: (every fallback is also counted in ``data_invalidations``) /
+        #: the fallbacks caused specifically by buffer underflow.
+        self.repairs = 0
+        self.repair_fallbacks = 0
+        self.repair_underflows = 0
         #: Materialisations refused because an invalidation ran since the
         #: caller snapshotted the epoch (the check-then-act guard firing).
         self.stale_puts_rejected = 0
@@ -136,7 +321,10 @@ class ResultCache:
     def put(self, uid: int, k: int,
             ranking: Sequence[Tuple[int, float]],
             predicates: Sequence[PredicateExpr],
-            epoch: Optional[int] = None) -> Optional[CachedResult]:
+            epoch: Optional[int] = None,
+            intensities: Optional[Sequence[float]] = None,
+            buffer: Optional[Sequence[Tuple[int, float]]] = None,
+            complete: bool = False) -> Optional[CachedResult]:
         """Materialise a freshly computed answer.
 
         ``epoch`` is the :attr:`epoch` snapshot taken before the answer was
@@ -146,14 +334,26 @@ class ResultCache:
         and ``stale_puts_rejected`` incremented.  ``epoch=None`` preserves
         the unguarded behaviour for callers that serialise puts and sweeps
         externally.
+
+        ``intensities`` (parallel to ``predicates``, PEPS preference order),
+        ``buffer`` (the exact over-fetched prefix, of which ``ranking`` is
+        the first ``k`` entries) and ``complete`` make the entry a
+        maintainable view that data-mutation sweeps repair in place instead
+        of dropping; omitting them stores a plain invalidate-only answer.
         """
         with self._lock:
             if epoch is not None and epoch != self._epoch:
                 self.stale_puts_rejected += 1
                 annotate("result_cache_put", "stale_rejected")
                 return None
-            entry = CachedResult(uid=uid, k=k, ranking=tuple(ranking),
-                                 predicates=tuple(predicates))
+            entry = CachedResult(
+                uid=uid, k=k, ranking=tuple(ranking),
+                predicates=tuple(predicates),
+                intensities=(tuple(intensities)
+                             if intensities is not None else ()),
+                buffer=tuple(buffer) if buffer is not None else (),
+                complete=complete,
+                depth=len(buffer) if buffer is not None else 0)
             self._entries[(uid, k)] = entry
         annotate("result_cache_put", "materialised")
         return entry
@@ -176,24 +376,54 @@ class ResultCache:
             self.invalidate_user(mutation.uid)
 
     def on_data_mutation(self, mutation: DataMutation) -> int:
-        """Data-event handler: drop exactly the answers the mutation may affect.
+        """Data-event handler: repair the affected answers, drop the rest.
 
         Handles every :data:`~repro.sqldb.events.DATA_MUTATION_KINDS` kind by
         checking predicates against the event's pre- *and* post-image rows.
-        Returns the number of entries dropped; unaffected entries are counted
-        in :attr:`data_spared` — the benchmark asserts this stays positive,
-        i.e. no mutation kind ever blindly flushes the cache.
+        Each affected entry is routed repair-first: a maintainable view is
+        folded forward by :meth:`CachedResult.apply_delta` (zero SQL, counted
+        in :attr:`repairs`) and only an entry whose repair is impossible is
+        dropped (counted in :attr:`repair_fallbacks` *and*
+        :attr:`data_invalidations`; underflow fallbacks additionally in
+        :attr:`repair_underflows`).  The sweep bumps the epoch exactly like a
+        pure invalidation sweep — a repaired entry reflects post-mutation
+        data, so an answer computed from pre-mutation data must still lose
+        the put race.  Returns the number of entries dropped; unaffected
+        entries are counted in :attr:`data_spared` — the benchmark asserts
+        this stays positive, i.e. no mutation kind ever blindly flushes the
+        cache.
         """
         rows = mutation.invalidation_rows()
         with self._lock:
             self._epoch += 1
-            stale = [key for key, entry in self._entries.items()
-                     if entry.may_be_affected_by(rows)]
+            memo: SweepMemo = {}
+            stale: List[ResultKey] = []
+            repaired = 0
+            underflows = 0
+            for key, entry in self._entries.items():
+                if not entry.affected_rows(rows, memo):
+                    continue
+                replacement, reason = (
+                    entry.apply_delta(mutation) if self.repair_enabled
+                    else (None, FALLBACK_DISABLED))
+                if replacement is not None:
+                    if replacement is not entry:
+                        self._entries[key] = replacement
+                    repaired += 1
+                else:
+                    stale.append(key)
+                    if reason == FALLBACK_UNDERFLOW:
+                        underflows += 1
             for key in stale:
                 del self._entries[key]
+            self.repairs += repaired
+            self.repair_fallbacks += len(stale)
+            self.repair_underflows += underflows
             self.data_invalidations += len(stale)
-            self.data_spared += len(self._entries)
-            return len(stale)
+            self.data_spared += len(self._entries) - repaired
+        annotate("result_cache_sweep",
+                 f"repaired={repaired} invalidated={len(stale)}")
+        return len(stale)
 
     def clear(self) -> None:
         """Drop every entry and reset the statistics."""
@@ -205,6 +435,9 @@ class ResultCache:
             self.profile_invalidations = 0
             self.data_invalidations = 0
             self.data_spared = 0
+            self.repairs = 0
+            self.repair_fallbacks = 0
+            self.repair_underflows = 0
             self.stale_puts_rejected = 0
 
     # -- introspection ------------------------------------------------------------
@@ -224,6 +457,9 @@ class ResultCache:
                 "profile_invalidations": self.profile_invalidations,
                 "data_invalidations": self.data_invalidations,
                 "data_spared": self.data_spared,
+                "repairs": self.repairs,
+                "repair_fallbacks": self.repair_fallbacks,
+                "repair_underflows": self.repair_underflows,
                 "stale_puts_rejected": self.stale_puts_rejected,
             }
 

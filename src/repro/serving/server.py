@@ -87,12 +87,20 @@ STATS_ALIASES: Dict[str, Tuple[str, str]] = {
     "serving.results.profile_invalidations": ("results", "profile_invalidations"),
     "serving.results.data_invalidations": ("results", "data_invalidations"),
     "serving.results.data_spared": ("results", "data_spared"),
+    "serving.result_cache.repairs": ("results", "repairs"),
+    "serving.result_cache.repair_fallbacks": ("results", "repair_fallbacks"),
+    "serving.result_cache.repair_underflows": ("results", "repair_underflows"),
     "serving.results.stale_puts_rejected": ("results", "stale_puts_rejected"),
     "index.count_cache.entries": ("count_cache", "entries"),
     "index.count_cache.hits": ("count_cache", "hits"),
     "index.count_cache.misses": ("count_cache", "misses"),
     "index.count_cache.statements": ("count_cache", "statements"),
 }
+
+#: Result-cache counters reported under ``serving.result_cache.*`` (the
+#: repair path's own metric component) instead of ``serving.results.*``.
+_REPAIR_METRIC_KEYS = frozenset(
+    {"repairs", "repair_fallbacks", "repair_underflows"})
 
 
 @dataclass(frozen=True)
@@ -144,6 +152,13 @@ class DataMutationReport:
     index_entries_dropped: int
     sql_statements: int
     seconds: float
+    #: Cached answers maintained in place by a delta repair, the affected
+    #: entries that had to fall back to invalidation, and the SQL the result
+    #: cache sweep itself issued (always 0 — repairs are pure in-memory;
+    #: ``benchmarks/bench_repair.py`` asserts it).
+    results_repaired: int = 0
+    repair_fallbacks: int = 0
+    repair_sql_statements: int = 0
 
 
 class InsertReport(DataMutationReport):
@@ -199,14 +214,23 @@ class TopKServer:
                  capacity: int = 64,
                  cache_results: bool = True,
                  count_cache: Optional[CountCache] = None,
-                 subscribe: bool = True) -> None:
+                 subscribe: bool = True,
+                 repair_delta: Optional[int] = None) -> None:
         self._lock = threading.RLock()
         self.db = db
         self.cache_results = cache_results
+        #: Over-fetch depth of the maintainable result buffers: a cold
+        #: ``top_k(uid, k)`` scores ``k + repair_delta`` tuples so data
+        #: mutations can be folded into the cached answer in place instead
+        #: of dropping it.  ``None`` means the default ``2 * k`` per
+        #: request; a negative value disables the repair path entirely
+        #: (the invalidate-and-recompute baseline).
+        self.repair_delta = repair_delta
         self.sessions = SessionRegistry(db, capacity=capacity,
                                         count_cache=count_cache,
                                         profile_loader=self._load_profile)
-        self.results = ResultCache()
+        self.results = ResultCache(
+            repair=repair_delta is None or repair_delta >= 0)
         if cache_results:
             # Profile mutations reach the result cache through every session
             # graph; data mutations arrive via the database subscription.
@@ -388,13 +412,25 @@ class TopKServer:
                 # profile events, which legitimately bump the epoch) but
                 # *before* the data-reading computation the snapshot guards.
                 epoch = self.results.epoch
+            repair = self.cache_results and self.results.repair_enabled
             with span("peps.top_k", self.db):
-                ranking = tuple(session.top_k(k))
+                if repair:
+                    delta = (self.repair_delta if self.repair_delta is not None
+                             else 2 * k)
+                    buffer, complete = session.top_k_buffer(k, delta)
+                    ranking = tuple(buffer[:k])
+                else:
+                    buffer, complete = None, False
+                    ranking = tuple(session.top_k(k))
             if self.cache_results:
                 peps = session.algorithm()
-                self.results.put(uid, k, ranking,
-                                 [pref.predicate for pref in peps.preferences],
-                                 epoch=epoch)
+                self.results.put(
+                    uid, k, ranking,
+                    [pref.predicate for pref in peps.preferences],
+                    epoch=epoch,
+                    intensities=([pref.intensity for pref in peps.preferences]
+                                 if repair else None),
+                    buffer=buffer, complete=complete)
             with self._stats_lock:
                 self.reads += 1
             return ServeResult(
@@ -493,7 +529,10 @@ class TopKServer:
             results_spared=impact.get("results_spared", len(self.results)),
             index_entries_dropped=impact.get("index_entries_dropped", 0),
             sql_statements=self.db.statements_executed - statements_before,
-            seconds=time.perf_counter() - start)
+            seconds=time.perf_counter() - start,
+            results_repaired=impact.get("results_repaired", 0),
+            repair_fallbacks=impact.get("repair_fallbacks", 0),
+            repair_sql_statements=impact.get("repair_sql_statements", 0))
 
     def _on_data_mutation(self, mutation: DataMutation) -> Dict[str, int]:
         """Database listener: fan any data mutation out to every cache layer.
@@ -506,17 +545,27 @@ class TopKServer:
         """
         with self._lock, span("server.on_data_mutation") as trace:
             rows = mutation.invalidation_rows()
+            repairs_before = self.results.repairs
+            fallbacks_before = self.results.repair_fallbacks
+            sweep_statements_before = self.db.statements_executed
             results_invalidated = (self.results.on_data_mutation(mutation)
                                    if self.cache_results else 0)
+            results_repaired = self.results.repairs - repairs_before
+            repair_fallbacks = self.results.repair_fallbacks - fallbacks_before
+            repair_sql = self.db.statements_executed - sweep_statements_before
             dropped = self.sessions.invalidate_matching(rows)
             trace.annotate("kind", mutation.kind)
             trace.annotate("results_invalidated", results_invalidated)
+            trace.annotate("results_repaired", results_repaired)
             self._last_data_impact = {
                 "kind": mutation.kind,
                 "joined_rows": len(rows),
                 "results_invalidated": results_invalidated,
-                "results_spared": len(self.results),
+                "results_spared": len(self.results) - results_repaired,
                 "index_entries_dropped": dropped,
+                "results_repaired": results_repaired,
+                "repair_fallbacks": repair_fallbacks,
+                "repair_sql_statements": repair_sql,
             }
             return self._last_data_impact
 
@@ -544,7 +593,9 @@ class TopKServer:
         for key, value in self.sessions.stats().items():
             flat[f"serving.sessions.{key}"] = value
         for key, value in self.results.stats().items():
-            flat[f"serving.results.{key}"] = value
+            component = ("result_cache" if key in _REPAIR_METRIC_KEYS
+                         else "results")
+            flat[f"serving.{component}.{key}"] = value
         count_cache = self.sessions.count_cache
         flat["index.count_cache.entries"] = len(count_cache)
         flat["index.count_cache.hits"] = count_cache.hits

@@ -98,6 +98,14 @@ class UserSession:
         self.queries_served += 1
         return self.algorithm().top_k(k)
 
+    def top_k_buffer(self, k: int, delta: int = 0):
+        """Compute the over-fetched ``(buffer, complete)`` answer (see
+        :meth:`~repro.algorithms.peps.PEPSAlgorithm.top_k_buffer`) — the
+        serving engine caches the buffer so data mutations can repair the
+        answer in place."""
+        self.queries_served += 1
+        return self.algorithm().top_k_buffer(k, delta)
+
     def preference_count(self) -> int:
         """Number of algorithm-usable (positive quantitative) preferences."""
         return len(preferences_from_graph(self.hypre, self.uid))

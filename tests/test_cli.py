@@ -68,6 +68,15 @@ class TestParser:
         args = build_parser().parse_args(["serve-replay", "--shards", "4"])
         assert args.shards == 4
 
+    def test_repair_delta_flag(self):
+        assert build_parser().parse_args(
+            ["serve-replay"]).repair_delta is None
+        assert build_parser().parse_args(
+            ["serve-replay", "--repair-delta", "-1"]).repair_delta == -1
+        assert build_parser().parse_args(["load"]).repair_delta is None
+        assert build_parser().parse_args(
+            ["load", "--repair-delta", "8"]).repair_delta == 8
+
     def test_load_defaults(self):
         args = build_parser().parse_args(["load"])
         assert args.command == "load"
@@ -198,6 +207,20 @@ class TestJsonOutput:
     def test_serve_replay_rejects_negative_shards(self):
         with pytest.raises(ValueError, match="--shards"):
             run_serve_replay(scale="tiny", users=4, requests=10, shards=-1)
+
+    def test_serve_replay_repairs_by_default_and_disables_on_negative(self):
+        """The default serving arm repairs answers in place; a negative
+        --repair-delta restores the invalidate-and-recompute behaviour."""
+        repaired = json.loads(run_serve_replay(
+            scale="tiny", users=8, requests=40, k=3, capacity=4, seed=2,
+            baseline=False, as_json=True))
+        assert repaired["server"]["results"]["repairs"] > 0
+        disabled = json.loads(run_serve_replay(
+            scale="tiny", users=8, requests=40, k=3, capacity=4, seed=2,
+            baseline=False, as_json=True, repair_delta=-1))
+        assert disabled["server"]["results"]["repairs"] == 0
+        assert (disabled["server"]["results"]["data_invalidations"]
+                >= repaired["server"]["results"]["data_invalidations"])
 
 
 class TestServeReplayText:

@@ -284,6 +284,27 @@ class TestEquivalence:
             DBLP, shards=shards, capacity=4, parallel_fanout=shards > 1)
         assert checked > 0
 
+    @pytest.mark.parametrize("parallel_fanout", [False, True])
+    @pytest.mark.parametrize("shards", [1, 2, 4])
+    def test_repaired_answers_stay_equivalent(self, shards, parallel_fanout):
+        """Repairs happen on every shard topology — serial and parallel
+        fan-out alike — and every repaired answer passes the three-way
+        lockstep check (cluster == single server == fresh)."""
+        driver = ReplayDriver(ReplayConfig(users=8, requests=48, k=4, seed=11,
+                                           insert_weight=1.2, delete_weight=1.0,
+                                           data_update_weight=1.0))
+        stats = {}
+        checked = driver.verify_cluster_equivalence(
+            DBLP, shards=shards, capacity=4, parallel_fanout=parallel_fanout,
+            stats_out=stats)
+        assert checked > 0
+        assert stats["cluster"]["results"]["repairs"] > 0
+        assert stats["server"]["results"]["repairs"] > 0
+        # Repair must dominate: the mutation-heavy mix keeps most affected
+        # answers maintained in place rather than dropped.
+        cluster_results = stats["cluster"]["results"]
+        assert cluster_results["repairs"] >= cluster_results["repair_fallbacks"]
+
     def test_replay_verify_covers_all_mutation_kinds(self):
         driver, db = make_world()
         try:

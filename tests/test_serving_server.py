@@ -113,11 +113,16 @@ class TestDataInserts:
         cached_before = len(server.results)
         # A 1996 SIGMOD paper: outside every user's year band, and SIGMOD is
         # liked only by user 1 under the venue rotation — so exactly one of
-        # the four cached answers may change.
+        # the four cached answers may change, and that one is *repaired* in
+        # place (zero SQL) rather than dropped.
         report = server.insert_tuples(
             [Paper(pid=9001, title="New", venue="SIGMOD", year=1996)],
             paper_authors=[(9001, 1)])
-        assert report.results_invalidated + report.results_spared == cached_before
+        assert (report.results_invalidated + report.results_repaired
+                + report.results_spared) == cached_before
+        assert report.results_repaired == 1
+        assert report.results_invalidated == 0
+        assert report.repair_sql_statements == 0
         assert report.results_spared > 0
         # Every user's served answer equals a fresh recomputation, whether
         # their cache entry was invalidated or spared.
@@ -156,7 +161,7 @@ class TestDataInserts:
         report = server.insert_tuples(
             [Paper(pid=9003, title="Hot", venue=venue, year=2013)],
             paper_authors=[(9003, 1)])
-        assert report.results_invalidated >= 1
+        assert report.results_repaired + report.results_invalidated >= 1
         served = server.top_k(1, 200)
         assert 9003 in {pid for pid, _ in served.ranking}
 
@@ -172,9 +177,16 @@ class TestDataDeletes:
         cached_before = len(server.results)
         report = server.delete_tuples([9100])
         assert report.papers == 1
-        assert report.results_invalidated + report.results_spared == cached_before
+        assert (report.results_invalidated + report.results_repaired
+                + report.results_spared) == cached_before
+        assert report.results_repaired == 1
+        assert report.repair_sql_statements == 0
         assert report.results_spared > 0
-        assert server.results.peek(1, 5) is None
+        # The affected answer is repaired in place, not dropped — and the
+        # repaired view already equals a fresh recomputation.
+        repaired = server.results.peek(1, 5)
+        assert repaired is not None
+        assert list(repaired.ranking) == fresh_top_k(server.db, 1, 5)
         for uid in range(1, 5):
             assert list(server.top_k(uid, 5).ranking) == fresh_top_k(server.db, uid, 5)
 
@@ -186,7 +198,7 @@ class TestDataDeletes:
         served = server.top_k(1, 200)
         assert 9101 in {pid for pid, _ in served.ranking}
         report = server.delete_tuples([9101])
-        assert report.results_invalidated >= 1
+        assert report.results_repaired + report.results_invalidated >= 1
         served = server.top_k(1, 200)
         assert 9101 not in {pid for pid, _ in served.ranking}
         assert list(served.ranking) == fresh_top_k(server.db, 1, 200)
@@ -224,8 +236,16 @@ class TestDataUpdates:
         report = server.update_tuples(
             [Paper(pid=9200, title="Mobile", venue="PVLDB", year=1996)])
         assert report.papers == 1
-        assert server.results.peek(1, 5) is None   # pre-image match
-        assert server.results.peek(2, 5) is None   # post-image match
+        # Pre-image matches user 1, post-image user 2 — both answers are
+        # repaired in place with zero SQL; users 3 and 4 are spared without
+        # even touching their entries.
+        assert report.results_repaired == 2
+        assert report.results_spared == 2
+        assert report.repair_sql_statements == 0
+        for uid in (1, 2):
+            repaired = server.results.peek(uid, 5)
+            assert repaired is not None
+            assert list(repaired.ranking) == fresh_top_k(server.db, uid, 5)
         assert server.results.peek(3, 5) is not None
         assert server.results.peek(4, 5) is not None
         for uid in range(1, 5):
