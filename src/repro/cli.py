@@ -12,7 +12,9 @@ Usage::
     python -m repro.cli serve-replay --scale tiny --shards 4
     python -m repro.cli topk --scale tiny --backend memory
     python -m repro.cli serve-replay --scale tiny --backend memory
+    python -m repro.cli serve-replay --scale tiny --family synthetic --mix hot-keys
     python -m repro.cli load --scale tiny --threads 2 --duration 2
+    python -m repro.cli load --scale tiny --family synthetic --mix delete-churn
     python -m repro.cli load --scale tiny --threads 4 --qps 500 --shards 4
     python -m repro.cli load --scale tiny --backend memory --output BENCH_loadgen.json
     python -m repro.cli serve-replay --scale tiny --telemetry --json
@@ -62,12 +64,37 @@ from .algorithms import PEPSAlgorithm
 from .backend import BACKEND_NAMES, default_backend_name
 from .experiments import figures, reporting
 from .experiments.context import SCALES, ExperimentContext
-from .serving import ReplayConfig, ReplayDriver, ShardedTopKServer, TopKServer
+from .serving import (MIXES, ReplayConfig, ReplayDriver, ShardedTopKServer,
+                      TopKServer)
 from .telemetry import Telemetry
+from .workload.synthetic import SYNTHETIC_SCALES, synthetic_profile_factory
 
 #: Single source of truth for the replay op-mix defaults (the CLI flags and
 #: run_serve_replay must not drift from the dataclass).
 _REPLAY_DEFAULTS = ReplayConfig()
+
+#: Workload families the serving/load commands can build their world from.
+WORKLOAD_FAMILIES = ("dblp", "synthetic")
+
+
+def _resolve_workload(family: str, scale: str):
+    """``(workload_config, profile_factory)`` of one family at one scale.
+
+    The DBLP family replays with the driver's built-in venue/year profiles;
+    the synthetic family swaps in
+    :func:`~repro.workload.synthetic.synthetic_profile_factory` so replay
+    profiles also exercise the generated extra attributes.
+    """
+    if family not in WORKLOAD_FAMILIES:
+        raise ValueError(f"unknown workload family {family!r}; "
+                         f"pick one of {sorted(WORKLOAD_FAMILIES)}")
+    scales = SYNTHETIC_SCALES if family == "synthetic" else SCALES
+    if scale not in scales:
+        raise ValueError(f"unknown scale {scale!r}; pick one of {sorted(scales)}")
+    config = scales[scale]
+    if family == "synthetic":
+        return config, synthetic_profile_factory(config)
+    return config, None
 
 #: Experiment name -> (description, needs a uid argument).
 EXPERIMENTS: Dict[str, tuple] = {
@@ -237,7 +264,9 @@ def run_serve_replay(scale: str = "tiny",
                      as_json: bool = False,
                      backend: Optional[str] = None,
                      telemetry: bool = False,
-                     repair_delta: Optional[int] = None) -> str:
+                     repair_delta: Optional[int] = None,
+                     family: str = "dblp",
+                     mix: Optional[str] = None) -> str:
     """Replay a deterministic multi-user workload through the serving engine.
 
     Builds one world per arm (identical datasets and schedules), runs the
@@ -255,17 +284,22 @@ def run_serve_replay(scale: str = "tiny",
     ``telemetry`` attaches a :class:`~repro.telemetry.Telemetry` (request
     tracing, unified metrics, instrumented locks) to the serving arm and
     reports its end-of-run snapshot alongside the arm comparison.
+    ``family`` picks the workload family the world is generated from
+    (``dblp`` / ``synthetic``); ``mix`` replaces the five weight knobs with
+    a named adversarial mix from :data:`~repro.serving.MIXES` (hot-key
+    mutation storms, delete-heavy churn, profile thrash, repair-boundary
+    updates).
     """
-    if scale not in SCALES:
-        raise ValueError(f"unknown scale {scale!r}; pick one of {sorted(SCALES)}")
+    workload_config, profile_factory = _resolve_workload(family, scale)
     if shards < 0:
         raise ValueError("--shards must be >= 0 (0 disables the sharded arm)")
     driver = ReplayDriver(ReplayConfig(
         users=users, requests=requests, k=k, seed=seed,
         read_weight=read_weight, update_weight=update_weight,
         insert_weight=insert_weight, delete_weight=delete_weight,
-        data_update_weight=data_update_weight))
-    serving_db = driver.build_world(SCALES[scale], backend=backend)
+        data_update_weight=data_update_weight, mix=mix),
+        profile_factory=profile_factory)
+    serving_db = driver.build_world(workload_config, backend=backend)
     server = TopKServer(serving_db, capacity=capacity,
                         repair_delta=repair_delta)
     observer = None
@@ -288,7 +322,7 @@ def run_serve_replay(scale: str = "tiny",
 
     baseline_report = None
     if baseline:
-        baseline_db = driver.build_world(SCALES[scale], backend=backend)
+        baseline_db = driver.build_world(workload_config, backend=backend)
         try:
             baseline_report = driver.run_baseline(baseline_db,
                                                   driver.schedule(baseline_db))
@@ -298,7 +332,7 @@ def run_serve_replay(scale: str = "tiny",
     sharded_report = None
     cluster_stats = None
     if shards:
-        sharded_db = driver.build_world(SCALES[scale], backend=backend)
+        sharded_db = driver.build_world(workload_config, backend=backend)
         cluster = ShardedTopKServer(sharded_db, shards=shards,
                                     capacity=capacity,
                                     parallel_fanout=shards > 1,
@@ -322,6 +356,7 @@ def run_serve_replay(scale: str = "tiny",
                        "k": k, "seed": seed, "capacity": capacity,
                        "shards": shards,
                        "backend": backend or default_backend_name(),
+                       "family": family, "mix": mix,
                        "read_weight": read_weight,
                        "update_weight": update_weight,
                        "insert_weight": insert_weight,
@@ -349,8 +384,9 @@ def run_serve_replay(scale: str = "tiny",
          "seconds": f"{arm.seconds:.3f}"}
         for arm in arms])
     lines = [f"Serve-replay ({users} users, {requests} requests, "
-             f"k={k}, scale={scale}, "
-             f"backend={backend or default_backend_name()})", table]
+             f"k={k}, scale={scale}, family={family}"
+             + (f", mix={mix}" if mix else "")
+             + f", backend={backend or default_backend_name()})", table]
     sessions = stats["sessions"]
     results = stats["results"]
     lines.append(
@@ -399,7 +435,9 @@ def run_load(scale: str = "tiny",
              output: Optional[str] = None,
              as_json: bool = False,
              telemetry: bool = False,
-             repair_delta: Optional[int] = None) -> str:
+             repair_delta: Optional[int] = None,
+             family: str = "dblp",
+             mix: Optional[str] = None) -> str:
     """Drive the concurrent load harness against a live serving instance.
 
     Builds one world (``users`` synthetic profiles, persisted up front),
@@ -414,17 +452,21 @@ def run_load(scale: str = "tiny",
     the schema-versioned ``BENCH_loadgen.json`` document for the run.
     ``telemetry`` runs under a :class:`~repro.telemetry.Telemetry`, so the
     report (and the persisted document) carries the unified metrics/trace
-    snapshot for the run.
+    snapshot for the run.  ``family`` picks the workload family
+    (``dblp`` / ``synthetic``); ``mix`` swaps the benign default
+    :class:`~repro.loadgen.LoadMix` for a named adversarial one (via
+    :meth:`~repro.loadgen.LoadMix.named`), including its hot/boundary
+    mutation targeting and base-relation churn behaviour.
     """
     from .loadgen import (LoadConfig, LoadGenerator, LoadMix,
                           loadgen_payload, write_bench_json)
 
-    if scale not in SCALES:
-        raise ValueError(f"unknown scale {scale!r}; pick one of {sorted(SCALES)}")
+    workload_config, profile_factory = _resolve_workload(family, scale)
     if shards < 0:
         raise ValueError("--shards must be >= 0 (0/1 run a single server)")
-    driver = ReplayDriver(ReplayConfig(users=users, k=k, seed=seed))
-    db = driver.build_world(SCALES[scale], backend=backend)
+    driver = ReplayDriver(ReplayConfig(users=users, k=k, seed=seed),
+                          profile_factory=profile_factory)
+    db = driver.build_world(workload_config, backend=backend)
     if shards >= 2:
         server: Any = ShardedTopKServer(db, shards=shards, capacity=capacity,
                                         parallel_fanout=True,
@@ -432,8 +474,8 @@ def run_load(scale: str = "tiny",
     else:
         server = TopKServer(db, capacity=capacity, repair_delta=repair_delta)
     config = LoadConfig(threads=threads, duration_seconds=duration,
-                        target_qps=qps, mix=LoadMix(k=k), seed=seed,
-                        audit_interval=audit_interval or None)
+                        target_qps=qps, mix=LoadMix.named(mix, k=k),
+                        seed=seed, audit_interval=audit_interval or None)
     try:
         report = LoadGenerator(config).run(
             server, telemetry=Telemetry() if telemetry else None)
@@ -446,6 +488,7 @@ def run_load(scale: str = "tiny",
                      "duration_seconds": duration, "target_qps": qps,
                      "shards": report.shards,
                      "backend": backend or default_backend_name(),
+                     "family": family, "mix": mix,
                      "seed": seed, "k": k, "capacity": capacity,
                      "audit_interval": audit_interval}
     if output:
@@ -459,8 +502,9 @@ def run_load(scale: str = "tiny",
     latency = report.latency
     lines = [
         f"Load run ({report.mode} loop, {threads} threads, "
-        f"{report.duration_seconds:.2f}s, scale={scale}, "
-        f"backend={report.backend}, shards={report.shards})",
+        f"{report.duration_seconds:.2f}s, scale={scale}, family={family}"
+        + (f", mix={mix}" if mix else "")
+        + f", backend={report.backend}, shards={report.shards})",
         f"ops: {report.ops} "
         f"({report.throughput_ops_per_sec:.0f} ops/sec"
         + (f", target {qps:.0f} QPS, {report.late_starts} late starts)"
@@ -622,6 +666,15 @@ def build_parser() -> argparse.ArgumentParser:
                         help="over-fetch margin for in-place answer repair "
                              "(default: 2*k per request; negative disables "
                              "repair, restoring invalidate-and-recompute)")
+    replay.add_argument("--family", default="dblp",
+                        choices=sorted(WORKLOAD_FAMILIES),
+                        help="workload family the replay worlds are "
+                             "generated from")
+    replay.add_argument("--mix", default=None, choices=sorted(MIXES),
+                        help="replace the five weight flags with a named "
+                             "adversarial mix (hot-key storms, delete "
+                             "churn, profile thrash, repair-boundary "
+                             "updates)")
     replay.add_argument("--json", action="store_true", dest="as_json",
                         help="emit the replay reports as JSON")
     replay.add_argument("--telemetry", action="store_true",
@@ -661,6 +714,13 @@ def build_parser() -> argparse.ArgumentParser:
                       help="over-fetch margin for in-place answer repair "
                            "(default: 2*k per request; negative disables "
                            "repair, restoring invalidate-and-recompute)")
+    load.add_argument("--family", default="dblp",
+                      choices=sorted(WORKLOAD_FAMILIES),
+                      help="workload family the world is generated from")
+    load.add_argument("--mix", default=None, choices=sorted(MIXES),
+                      help="drive a named adversarial mix instead of the "
+                           "benign default (includes its hot/boundary "
+                           "targeting and base-relation churn)")
     load.add_argument("--output", default=None, metavar="FILE",
                       help="also write the schema-versioned "
                            "BENCH_loadgen.json document to FILE")
@@ -736,7 +796,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                                    as_json=args.as_json,
                                    backend=args.backend,
                                    telemetry=args.telemetry,
-                                   repair_delta=args.repair_delta))
+                                   repair_delta=args.repair_delta,
+                                   family=args.family, mix=args.mix))
         elif args.command == "load":
             print(run_load(scale=args.scale, users=args.users,
                            threads=args.threads, duration=args.duration,
@@ -746,7 +807,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                            audit_interval=args.audit_interval,
                            output=args.output, as_json=args.as_json,
                            telemetry=args.telemetry,
-                           repair_delta=args.repair_delta))
+                           repair_delta=args.repair_delta,
+                           family=args.family, mix=args.mix))
         elif args.command == "stats":
             print(run_stats(scale=args.scale, users=args.users,
                             requests=args.requests, k=args.k,

@@ -27,7 +27,10 @@ Public API
     per-worker ``errors``.
 :class:`LoadMix`
     Relative op-mix weights (reads / profile updates / inserts / deletes /
-    in-place updates), Zipf exponent and ``k``.
+    in-place updates), Zipf exponent and ``k``; :meth:`LoadMix.named`
+    builds one from the adversarial-mix catalogue
+    (:data:`~repro.serving.mixes.MIXES`), wiring in hot/boundary mutation
+    targeting and base-relation churn.
 :class:`WorkerStream` / :class:`LoadOp` / :func:`build_streams`
     One worker's deterministic op stream over an owned pid namespace, the
     operations it emits, and the per-worker partitioned construction.

@@ -39,6 +39,7 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence
 
 from ..exceptions import ServingError
+from ..serving.mixes import TARGET_ANY, target_pool
 from ..telemetry import Telemetry
 from ..telemetry.locks import LockInstrumentation, instrument_locks
 from .audit import EquivalenceAuditor, TrafficGate
@@ -265,10 +266,14 @@ class LoadGenerator:
         db = server.db
         uids = sorted(profile.uid for profile in db.read_profiles())
         venues, lo, hi = db.workload_shape()
+        mix = config.mix
+        base_pids = db.paper_ids() if mix.churn_base else []
+        hot_pids = (target_pool(db, uids, mix.k, mix.target)
+                    if mix.target != TARGET_ANY else [])
         streams = build_streams(
-            config.threads, config.mix, uids, venues, lo, hi,
+            config.threads, mix, uids, venues, lo, hi,
             max_aid=db.max_author_id(), pid_base=db.max_paper_id() + 1,
-            seed=config.seed)
+            seed=config.seed, base_pids=base_pids, hot_pids=hot_pids)
 
         if telemetry is not None:
             telemetry.observe(server)

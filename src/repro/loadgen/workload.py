@@ -21,6 +21,14 @@ same Zipf skew as the replay driver (hot users dominate), so result-cache
 hits, invalidation sweeps and session-LRU churn all happen across workers.
 Every stream is a pure function of ``(seed, worker_id)`` — two runs with
 the same config issue the identical per-worker op sequences.
+
+Adversarial mixes (:meth:`LoadMix.named`, built from
+:data:`~repro.serving.mixes.MIXES`) bend the namespace rule in two
+race-free ways: *churn* mixes pre-seed each worker's deletable pool with a
+disjoint stripe of the loaded dataset (so deletes drain the real relation
+toward empty), and *hot*/*boundary* mixes aim in-place updates at a shared
+pool of cached-hottest or repair-boundary base pids (never deleted by any
+worker, so the shared targets cannot race).
 """
 
 from __future__ import annotations
@@ -31,6 +39,7 @@ from typing import List, Optional, Sequence, Tuple
 
 from ..core.preference import UserProfile
 from ..exceptions import ServingError
+from ..serving.mixes import TARGET_ANY, resolve_mix
 from ..workload.dblp import Paper
 
 #: Op kinds (shared vocabulary with the replay driver).
@@ -59,6 +68,39 @@ class LoadMix:
     #: Zipf exponent of the per-user request skew.
     zipf_exponent: float = 1.1
     k: int = 5
+    #: Mutation-targeting policy (:data:`~repro.serving.mixes.TARGET_ANY`
+    #: / ``hot`` / ``boundary``) — with ``hot``/``boundary``, in-place
+    #: updates are aimed at a shared pool of cached-hottest (or
+    #: repair-boundary) base pids instead of worker-owned inserts.
+    target: str = TARGET_ANY
+    #: Seed every worker's deletable-pid pool from a disjoint slice of the
+    #: *loaded dataset* (instead of only self-inserted pids), so
+    #: delete-heavy mixes drain the real relation toward empty.
+    churn_base: bool = False
+    #: The adversarial-mix name this mix was built from, if any.
+    name: Optional[str] = None
+
+    @classmethod
+    def named(cls, name: Optional[str], k: int = 5,
+              zipf_exponent: float = 1.1) -> "LoadMix":
+        """The :class:`LoadMix` of a named adversarial mix (``None`` = benign).
+
+        Weights and targeting policy come from the
+        :data:`~repro.serving.mixes.MIXES` catalogue; a mix with inserts
+        disabled additionally seeds workers from the loaded dataset
+        (``churn_base``) so its deletes actually drain the relation.
+        """
+        mix = resolve_mix(name)
+        if mix is None:
+            return cls(k=k, zipf_exponent=zipf_exponent)
+        read, update, insert, delete, data_update = mix.weights()
+        return cls(read_weight=read, update_weight=update,
+                   insert_weight=insert, delete_weight=delete,
+                   data_update_weight=data_update,
+                   zipf_exponent=zipf_exponent, k=k,
+                   target=mix.target,
+                   churn_base=(insert == 0.0 and delete > 0.0),
+                   name=mix.name)
 
     def weights(self) -> Tuple[float, ...]:
         """The weights in :data:`OP_KINDS` order (validated)."""
@@ -96,7 +138,9 @@ class WorkerStream:
 
     def __init__(self, worker_id: int, mix: LoadMix, uids: Sequence[int],
                  venues: Sequence[str], lo: int, hi: int, max_aid: int,
-                 pid_base: int, seed: int) -> None:
+                 pid_base: int, seed: int,
+                 owned_pids: Sequence[int] = (),
+                 hot_pids: Sequence[int] = ()) -> None:
         if not uids:
             raise ServingError("a load run needs at least one user")
         if not venues:
@@ -114,7 +158,12 @@ class WorkerStream:
         self._zipf = [1.0 / ((rank + 1) ** mix.zipf_exponent)
                       for rank in range(len(self.uids))]
         self._next_pid = pid_base + worker_id * PID_STRIDE
-        self._alive: List[int] = []
+        # Pre-seeded slice of the loaded dataset this worker may delete
+        # (still race-free: slices are disjoint across workers).
+        self._alive: List[int] = list(owned_pids)
+        # Shared hot/boundary targets for in-place updates only — never
+        # deleted by any worker, so aiming at them cannot race.
+        self._hot: List[int] = list(hot_pids)
         self._update_serial = 0
         self.generated = 0
 
@@ -139,9 +188,12 @@ class WorkerStream:
         """The next operation of this worker's deterministic stream."""
         self.generated += 1
         kind = self._rng.choices(OP_KINDS, weights=self._weights, k=1)[0]
-        if kind in (DELETE, DATA_UPDATE) and not self._alive:
-            # Nothing of ours to mutate yet — seed our namespace instead.
-            kind = INSERT
+        if ((kind == DELETE and not self._alive)
+                or (kind == DATA_UPDATE and not (self._alive or self._hot))):
+            # Nothing of ours to mutate yet — seed our namespace, unless the
+            # mix disables inserts (delete-churn), in which case the stream
+            # must degrade to reads rather than resurrect the relation.
+            kind = INSERT if self._weights[2] > 0 else READ
         if kind == READ:
             return LoadOp(READ, uid=self._pick_uid(), k=self.mix.k)
         if kind == UPDATE:
@@ -159,7 +211,8 @@ class WorkerStream:
         if kind == DELETE:
             target = self._alive.pop(self._rng.randrange(len(self._alive)))
             return LoadOp(DELETE, pids=(target,))
-        target = self._alive[self._rng.randrange(len(self._alive))]
+        pool = self._hot if self._hot else self._alive
+        target = pool[self._rng.randrange(len(pool))]
         paper = Paper(pid=target,
                       title=f"Load Paper {target} (rewritten)",
                       venue=self.venues[(target * 5 + 2) % len(self.venues)],
@@ -170,10 +223,21 @@ class WorkerStream:
 
 def build_streams(workers: int, mix: LoadMix, uids: Sequence[int],
                   venues: Sequence[str], lo: int, hi: int, max_aid: int,
-                  pid_base: int, seed: int) -> List[WorkerStream]:
-    """One :class:`WorkerStream` per worker, namespaces pre-partitioned."""
+                  pid_base: int, seed: int,
+                  base_pids: Sequence[int] = (),
+                  hot_pids: Sequence[int] = ()) -> List[WorkerStream]:
+    """One :class:`WorkerStream` per worker, namespaces pre-partitioned.
+
+    ``base_pids`` (churn mixes) is striped across workers — worker *w* owns
+    ``base_pids[w::workers]`` — so deletes drain the loaded dataset without
+    two workers ever racing for the same pid.  ``hot_pids`` (hot/boundary
+    mixes) is shared by every worker: those pids only ever receive in-place
+    updates, which commute safely.
+    """
     if workers < 1:
         raise ServingError("a load run needs at least one worker")
     return [WorkerStream(worker_id, mix, uids, venues, lo, hi, max_aid,
-                         pid_base, seed)
+                         pid_base, seed,
+                         owned_pids=list(base_pids[worker_id::workers]),
+                         hot_pids=hot_pids)
             for worker_id in range(workers)]

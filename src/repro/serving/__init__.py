@@ -59,6 +59,12 @@ Public API
 ``READ`` / ``UPDATE`` / ``INSERT`` / ``DELETE`` / ``DATA_UPDATE``
     The replay operation kinds (``MUTATION_KINDS`` groups the data-side
     three).
+:class:`AdversarialMix` / ``MIXES`` / :func:`resolve_mix`
+    Named hostile replay mixes (hot-key mutation storms, delete-heavy
+    churn, profile thrash, repair-boundary updates) selectable via
+    ``ReplayConfig(mix=...)``, ``LoadMix.named(...)`` and the CLI
+    ``--mix`` flags; ``TARGET_ANY`` / ``TARGET_HOT`` / ``TARGET_BOUNDARY``
+    name the mutation-targeting policies.
 :func:`fresh_top_k`
     From-scratch recomputation of one user's Top-K — the serving oracle.
 """
@@ -84,6 +90,14 @@ from .driver import (
     ReplayOp,
     ReplayReport,
 )
+from .mixes import (
+    MIXES,
+    TARGET_ANY,
+    TARGET_BOUNDARY,
+    TARGET_HOT,
+    AdversarialMix,
+    resolve_mix,
+)
 from .results import CachedResult, ResultCache
 from .server import (
     DataMutationReport,
@@ -98,6 +112,7 @@ from .server import (
 from .sessions import SessionRegistry, UserSession
 
 __all__ = [
+    "AdversarialMix",
     "CachedResult",
     "ClusterMutationReport",
     "ClusterResultsView",
@@ -108,6 +123,7 @@ __all__ = [
     "HashPartitioner",
     "INSERT",
     "InsertReport",
+    "MIXES",
     "MUTATION_KINDS",
     "ModuloPartitioner",
     "Partitioner",
@@ -121,10 +137,14 @@ __all__ = [
     "SessionRegistry",
     "ShardMutationReport",
     "ShardedTopKServer",
+    "TARGET_ANY",
+    "TARGET_BOUNDARY",
+    "TARGET_HOT",
     "TopKServer",
     "TupleUpdateReport",
     "UPDATE",
     "UpdateReport",
     "UserSession",
     "fresh_top_k",
+    "resolve_mix",
 ]

@@ -25,13 +25,13 @@ from __future__ import annotations
 import random
 import time
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..backend import create_backend
 from ..backend.protocol import StorageBackend
 from ..core.preference import ProfileRegistry, UserProfile
 from ..exceptions import ServingError
-from ..workload.dblp import DblpConfig, Paper, generate_dblp
+from ..workload.dblp import Paper
 from ..workload.loader import (
     append_papers,
     delete_papers,
@@ -39,7 +39,9 @@ from ..workload.loader import (
     load_profiles,
     update_papers,
 )
+from ..workload.synthetic import generate_workload
 from .cluster import Partitioner, ShardedTopKServer
+from .mixes import AdversarialMix, resolve_mix, target_pool
 from .server import TopKServer, fresh_top_k
 
 #: Operation kinds in a replay schedule.
@@ -72,6 +74,10 @@ class ReplayConfig:
     insert_weight: float = 1.0
     delete_weight: float = 0.5
     data_update_weight: float = 0.5
+    #: Named adversarial mix (see :mod:`repro.serving.mixes`).  When set,
+    #: the mix's weights and mutation-targeting policy replace the five
+    #: weight fields above.
+    mix: Optional[str] = None
 
     def uids(self) -> List[int]:
         """The replay population's user ids."""
@@ -133,12 +139,18 @@ class ReplayReport:
 class ReplayDriver:
     """Builds and replays one deterministic multi-user serving workload."""
 
-    def __init__(self, config: ReplayConfig = ReplayConfig()) -> None:
+    def __init__(self, config: ReplayConfig = ReplayConfig(),
+                 profile_factory: Optional[
+                     Callable[[int, Sequence[str], int, int],
+                              UserProfile]] = None) -> None:
         if config.users < 1 or config.requests < 1:
             raise ServingError("replay needs at least one user and one request")
-        weights = (config.read_weight, config.update_weight,
-                   config.insert_weight, config.delete_weight,
-                   config.data_update_weight)
+        #: The resolved adversarial mix (``None`` = the benign default mix).
+        self.mix: Optional[AdversarialMix] = resolve_mix(config.mix)
+        weights = (self.mix.weights() if self.mix is not None
+                   else (config.read_weight, config.update_weight,
+                         config.insert_weight, config.delete_weight,
+                         config.data_update_weight))
         # random.choices silently produces nonsense for negative weights and
         # raises a cryptic ValueError when all are zero — fail loudly here.
         if any(weight < 0 for weight in weights):
@@ -146,24 +158,35 @@ class ReplayDriver:
         if not any(weights):
             raise ServingError("replay op-mix weights must not all be zero")
         self.config = config
+        self._weights = list(weights)
+        # Pluggable initial-profile shape: ``(uid, venues, lo, hi) ->
+        # UserProfile``.  The synthetic family passes
+        # :func:`~repro.workload.synthetic.synthetic_profile_factory` here
+        # so its extra attributes carry preference predicates.
+        self._profile_factory = profile_factory
 
     # -- world construction -------------------------------------------------------
 
-    def build_world(self, dblp_config: DblpConfig,
+    def build_world(self, workload_config: Any,
                     path: str = ":memory:",
                     backend: Optional[str] = None) -> StorageBackend:
         """A fresh workload backend with the replay population's profiles.
 
-        Called once per replay *arm*: the server run and the baseline run
-        each get their own identical world, so their statement counts are
-        comparable.  ``backend`` picks the storage engine by factory name
-        (``None`` defers to the ``REPRO_BACKEND`` environment default) —
-        two worlds on *different* engines still produce identical replay
-        schedules, which is what makes the cross-backend differential
-        comparisons of ``bench_backends.py`` attributable to the engine.
+        ``workload_config`` may belong to any workload family — a
+        :class:`~repro.workload.dblp.DblpConfig` or a
+        :class:`~repro.workload.synthetic.SyntheticConfig`
+        (:func:`~repro.workload.synthetic.generate_workload` dispatches on
+        the type).  Called once per replay *arm*: the server run and the
+        baseline run each get their own identical world, so their statement
+        counts are comparable.  ``backend`` picks the storage engine by
+        factory name (``None`` defers to the ``REPRO_BACKEND`` environment
+        default) — two worlds on *different* engines still produce
+        identical replay schedules, which is what makes the cross-backend
+        differential comparisons of ``bench_backends.py`` attributable to
+        the engine.
         """
         db = create_backend(backend, path=path)
-        load_dataset(db, generate_dblp(dblp_config))
+        load_dataset(db, generate_workload(workload_config))
         self.prepare(db)
         return db
 
@@ -189,8 +212,12 @@ class ReplayDriver:
 
         Venue choices rotate with the uid so a single inserted paper's venue
         touches only a slice of the population — that is what makes the
-        result cache's data-side invalidation measurably selective.
+        result cache's data-side invalidation measurably selective.  A
+        ``profile_factory`` passed to the constructor replaces this shape
+        wholesale (the synthetic family adds extra-attribute predicates).
         """
+        if self._profile_factory is not None:
+            return self._profile_factory(uid, venues, lo, hi)
         profile = UserProfile(uid=uid)
         first = venues[uid % len(venues)]
         second = venues[(uid * 5 + 2) % len(venues)]
@@ -210,6 +237,40 @@ class ReplayDriver:
 
     # -- schedule -----------------------------------------------------------------
 
+    #: How many of the hottest (lowest-rank) users seed the hot/boundary
+    #: mutation-target sets of an adversarial mix.
+    TARGET_USERS = 8
+
+    def target_pids(self, db: StorageBackend) -> List[int]:
+        """The mix's mutation-target pids against the current world state.
+
+        Empty without a targeting mix; otherwise the
+        :func:`~repro.serving.mixes.target_pool` of the mix's policy
+        against the replay population — identical across identical worlds
+        on any storage engine, which keeps targeted schedules deterministic
+        and arm-comparable.
+        """
+        if self.mix is None:
+            return []
+        return target_pool(db, self.config.uids(), self.config.k,
+                           self.mix.target, self.TARGET_USERS)
+
+    @staticmethod
+    def _pick_target(rng: random.Random, alive: List[int],
+                     preferred: Sequence[int]) -> int:
+        """One mutation target: a live preferred pid when any remain.
+
+        With no targeting mix ``preferred`` is empty and this degenerates
+        to the historical uniform choice over ``alive`` — same single rng
+        draw, so benign schedules are bit-identical to before.
+        """
+        if preferred:
+            alive_set = set(alive)
+            candidates = [pid for pid in preferred if pid in alive_set]
+            if candidates:
+                return candidates[rng.randrange(len(candidates))]
+        return alive[rng.randrange(len(alive))]
+
     def schedule(self, db: StorageBackend) -> List[ReplayOp]:
         """The deterministic operation list for one replay arm.
 
@@ -227,9 +288,8 @@ class ReplayDriver:
                 for rank in range(len(uids))]
         rng = random.Random(config.seed)
         kinds = [READ, UPDATE, INSERT, DELETE, DATA_UPDATE]
-        weights = [config.read_weight, config.update_weight,
-                   config.insert_weight, config.delete_weight,
-                   config.data_update_weight]
+        weights = list(self._weights)
+        preferred = self.target_pids(db)
         # Deletes and in-place updates must target pids that still exist at
         # that point of the replay; tracking liveness here keeps the payloads
         # pre-generated and the two arms' schedules identical.
@@ -240,7 +300,12 @@ class ReplayDriver:
             kind = rng.choices(kinds, weights=weights, k=1)[0]
             uid = rng.choices(uids, weights=zipf, k=1)[0]
             if (kind in (DELETE, DATA_UPDATE)) and not alive:
-                kind = INSERT  # degenerate but possible under heavy deletion
+                # Degenerate under heavy deletion.  Re-seed the namespace
+                # with an insert when the mix allows inserts; a mix that
+                # disabled them (delete-churn) must stay drained — a
+                # synthesized insert would resurrect the relation and
+                # contradict the configured mix — so degrade to a read.
+                kind = INSERT if weights[2] > 0 else READ
             if kind == READ:
                 ops.append(ReplayOp(READ, uid=uid, k=config.k))
             elif kind == UPDATE:
@@ -264,10 +329,11 @@ class ReplayDriver:
                 ops.append(ReplayOp(INSERT, papers=(paper,),
                                     paper_authors=authors))
             elif kind == DELETE:
-                target = alive.pop(rng.randrange(len(alive)))
+                target = self._pick_target(rng, alive, preferred)
+                alive.remove(target)
                 ops.append(ReplayOp(DELETE, pids=(target,)))
             else:
-                target = alive[rng.randrange(len(alive))]
+                target = self._pick_target(rng, alive, preferred)
                 paper = Paper(
                     pid=target,
                     title=f"Updated Paper {target} (step {step})",
@@ -428,7 +494,7 @@ class ReplayDriver:
         return self.run(cluster, ops, verify=verify,
                         label=f"sharded-{cluster.shards}")
 
-    def verify_cluster_equivalence(self, dblp_config: DblpConfig,
+    def verify_cluster_equivalence(self, workload_config: Any,
                                    shards: int,
                                    capacity: int = 8,
                                    partitioner: Optional[Partitioner] = None,
@@ -439,7 +505,10 @@ class ReplayDriver:
                                    ) -> int:
         """Lockstep three-way equivalence: cluster == single server == fresh.
 
-        Builds three identical worlds, replays the identical schedule
+        ``workload_config`` may belong to any workload family (DBLP or
+        synthetic) and the replay may carry any adversarial mix — the
+        sweep's contract is family- and mix-independent.  Builds three
+        identical worlds, replays the identical schedule
         through a :class:`~repro.serving.cluster.ShardedTopKServer`, a
         single :class:`~repro.serving.server.TopKServer` and the bare loader
         (the no-cache baseline), and **after every mutation** asserts that
@@ -463,9 +532,9 @@ class ReplayDriver:
         snapshots — tests use it to assert the equivalence run actually
         exercised repairs rather than invalidating everything.
         """
-        cluster_db = self.build_world(dblp_config)
-        server_db = self.build_world(dblp_config, backend=server_backend)
-        baseline_db = self.build_world(dblp_config)
+        cluster_db = self.build_world(workload_config)
+        server_db = self.build_world(workload_config, backend=server_backend)
+        baseline_db = self.build_world(workload_config)
         checked = 0
         try:
             ops = self.schedule(cluster_db)

@@ -1,0 +1,141 @@
+"""Named adversarial replay mixes (the hostile counterpart of the defaults).
+
+The default replay and load mixes are benign: read-heavy, mutations spread
+uniformly over live pids.  The FO+MOD-under-updates line of work (Berkholz
+et al.) argues maintained answers must be verified under *hostile* update
+sequences — the mixes here are those sequences, selectable by name from
+:class:`~repro.serving.driver.ReplayConfig` (``mix="hot-keys"``), from
+:meth:`~repro.loadgen.workload.LoadMix.named`, and from the CLI
+(``serve-replay --mix`` / ``load --mix``):
+
+``hot-keys``
+    Mutation storm on the cached-hottest pids: deletes and in-place updates
+    target the papers currently ranked for the hottest users, so nearly
+    every mutation hits materialised answers (maximum invalidation/repair
+    pressure, minimum sparing).
+``delete-churn``
+    Delete-heavy churn with inserts *disabled*: liveness drains toward an
+    empty relation and stays there — top-k over an empty joined view,
+    repair sweeps with zero surviving rows, and the driver's liveness
+    fallback degrade to reads (never resurrection inserts).
+``profile-thrash``
+    Preference updates outpace reads: cached answers are invalidated by
+    profile churn faster than reads can re-warm them, so the result cache
+    works at its miss-heavy worst.
+``repair-hostile``
+    In-place updates straddling the ``k+Δ`` buffer boundary: targets are
+    drawn from ranking positions around ``[k, k+Δ]`` of the hottest users,
+    the exact rows whose movement forces the repair path to decide between
+    in-place folds and underflow fallbacks.
+
+Every mix runs under the same equivalence machinery as the defaults — the
+after-every-mutation verifier and the cross-backend lockstep differential
+(``benchmarks/bench_adversarial.py`` sweeps all four on both engines).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..exceptions import ServingError
+
+#: Mutation-targeting policies.
+TARGET_ANY = "any"          #: uniform over live pids (the default behaviour)
+TARGET_HOT = "hot"          #: pids currently ranked top-k for the hottest users
+TARGET_BOUNDARY = "boundary"  #: pids around the k+delta repair-buffer boundary
+
+
+@dataclass(frozen=True)
+class AdversarialMix:
+    """One named hostile op mix: weights plus a mutation-targeting policy."""
+
+    name: str
+    description: str
+    read_weight: float
+    update_weight: float
+    insert_weight: float
+    delete_weight: float
+    data_update_weight: float
+    target: str = TARGET_ANY
+    #: Documented expectation: the mix drives the warm-read rate below a
+    #: benign DBLP replay's (asserted by ``benchmarks/bench_adversarial.py``).
+    cache_hostile: bool = False
+
+    def weights(self) -> Tuple[float, float, float, float, float]:
+        """The op weights in (read, update, insert, delete, data_update) order."""
+        return (self.read_weight, self.update_weight, self.insert_weight,
+                self.delete_weight, self.data_update_weight)
+
+
+#: The mix catalogue, by CLI name.
+MIXES: Dict[str, AdversarialMix] = {
+    "hot-keys": AdversarialMix(
+        name="hot-keys",
+        description="mutation storm targeting the cached-hottest pids",
+        read_weight=6.0, update_weight=0.4, insert_weight=0.6,
+        delete_weight=1.5, data_update_weight=3.5,
+        target=TARGET_HOT, cache_hostile=True),
+    "delete-churn": AdversarialMix(
+        name="delete-churn",
+        description="delete-heavy churn draining the relation toward empty "
+                    "(inserts disabled)",
+        read_weight=3.0, update_weight=0.3, insert_weight=0.0,
+        delete_weight=8.0, data_update_weight=0.7,
+        target=TARGET_ANY, cache_hostile=True),
+    "profile-thrash": AdversarialMix(
+        name="profile-thrash",
+        description="preference updates outpacing reads",
+        read_weight=1.0, update_weight=8.0, insert_weight=0.3,
+        delete_weight=0.2, data_update_weight=0.5,
+        target=TARGET_ANY, cache_hostile=True),
+    "repair-hostile": AdversarialMix(
+        name="repair-hostile",
+        description="in-place updates on rows straddling the k+delta "
+                    "repair-buffer boundary",
+        read_weight=6.0, update_weight=0.3, insert_weight=0.7,
+        delete_weight=1.0, data_update_weight=4.0,
+        target=TARGET_BOUNDARY, cache_hostile=False),
+}
+
+
+def target_pool(db: Any, uids: Sequence[int], k: int, target: str,
+                users: int = 8) -> List[int]:
+    """The mutation-target pids of a ``hot``/``boundary`` policy, in rank order.
+
+    ``hot`` collects the pids currently ranked top-``k`` for the first
+    ``users`` uids (the Zipf-hottest — exactly the answers the result cache
+    keeps warm); ``boundary`` collects the pids around ranking positions
+    ``[k, k+Δ]`` of those users, the rows whose movement stresses the
+    repair buffer's over-fetch margin (Δ defaults to ``2*k``, the server's
+    default ``repair_delta``).  Computed by fresh recomputation, so two
+    identical worlds — on any storage engine — produce the identical pool;
+    ``any`` (or an empty world) yields an empty pool.
+    """
+    if target not in (TARGET_HOT, TARGET_BOUNDARY):
+        return []
+    from .server import fresh_top_k
+    depth = k if target == TARGET_HOT else 3 * k + 2
+    seen = set()
+    pool: List[int] = []
+    for uid in list(uids)[:users]:
+        ranking = fresh_top_k(db, uid, depth)
+        if target == TARGET_BOUNDARY:
+            ranking = ranking[max(0, k - 1):]
+        for pid, _ in ranking:
+            if pid not in seen:
+                seen.add(pid)
+                pool.append(pid)
+    return pool
+
+
+def resolve_mix(name: Optional[str]) -> Optional[AdversarialMix]:
+    """Look a mix up by name; ``None`` stays ``None`` (the benign default)."""
+    if name is None:
+        return None
+    try:
+        return MIXES[name]
+    except KeyError:
+        raise ServingError(
+            f"unknown adversarial mix {name!r}; "
+            f"expected one of {sorted(MIXES)}") from None

@@ -327,18 +327,22 @@ def sqlite_read_profiles(db: Database,
     return registry
 
 
-def build_workload_database(config: DblpConfig = DblpConfig(),
+def build_workload_database(config: Any = DblpConfig(),
                             path: str = ":memory:",
                             backend: Optional[str] = None) -> Tuple[Any, DblpDataset]:
     """Generate a dataset for ``config`` and load it into a fresh backend.
 
-    ``backend`` picks the storage engine by factory name (``"sqlite"`` /
-    ``"memory"``); ``None`` defers to the ``REPRO_BACKEND`` environment
-    variable and falls back to SQLite — see
-    :func:`repro.backend.create_backend`.
+    ``config`` may belong to any workload family
+    (:class:`~repro.workload.dblp.DblpConfig` or
+    :class:`~repro.workload.synthetic.SyntheticConfig` — dispatch happens
+    in :func:`~repro.workload.synthetic.generate_workload`).  ``backend``
+    picks the storage engine by factory name (``"sqlite"`` / ``"memory"``);
+    ``None`` defers to the ``REPRO_BACKEND`` environment variable and falls
+    back to SQLite — see :func:`repro.backend.create_backend`.
     """
     from ..backend import create_backend
-    dataset = generate_dblp(config)
+    from .synthetic import generate_workload
+    dataset = generate_workload(config)
     db = create_backend(backend, path=path)
     load_dataset(db, dataset)
     return db, dataset

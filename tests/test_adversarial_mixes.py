@@ -1,0 +1,246 @@
+"""The named adversarial mixes: catalogue, targeting, replay and loadgen.
+
+Every mix must (a) resolve and validate, (b) produce the identical verified
+replay on both storage engines, (c) aim its mutations where its targeting
+policy says, and (d) drive the load harness with the same semantics —
+including the delete-churn regression: a mix with inserts disabled must
+never synthesize a liveness-fallback insert that resurrects the drained
+relation.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.backend import BACKEND_NAMES
+from repro.cli import run_load, run_serve_replay
+from repro.exceptions import ServingError
+from repro.loadgen import LoadMix, WorkerStream, build_streams
+from repro.serving import (
+    DATA_UPDATE,
+    DELETE,
+    INSERT,
+    MIXES,
+    READ,
+    TARGET_ANY,
+    TARGET_BOUNDARY,
+    TARGET_HOT,
+    ReplayConfig,
+    ReplayDriver,
+    TopKServer,
+    resolve_mix,
+)
+from repro.serving.mixes import target_pool
+from repro.workload.synthetic import SyntheticConfig, synthetic_profile_factory
+
+SYN = SyntheticConfig(n_papers=160, n_authors=50, width=2,
+                      venue_cardinality=8, extra_cardinality=6,
+                      correlation=0.3, seed=13)
+
+
+def make_driver(mix_name, users=16, requests=90, seed=21):
+    return ReplayDriver(
+        ReplayConfig(users=users, requests=requests, k=4, seed=seed,
+                     mix=mix_name),
+        profile_factory=synthetic_profile_factory(SYN))
+
+
+# -- catalogue ----------------------------------------------------------------
+
+
+def test_catalogue_resolves_and_validates():
+    assert resolve_mix(None) is None
+    for name, mix in MIXES.items():
+        assert resolve_mix(name) is mix
+        assert mix.name == name
+        weights = mix.weights()
+        assert len(weights) == 5 and all(w >= 0 for w in weights)
+        assert mix.target in (TARGET_ANY, TARGET_HOT, TARGET_BOUNDARY)
+    with pytest.raises(ServingError, match="unknown adversarial mix"):
+        resolve_mix("does-not-exist")
+    with pytest.raises(ServingError):
+        ReplayDriver(ReplayConfig(mix="does-not-exist"))
+
+
+def test_mix_overrides_config_weights():
+    driver = make_driver("delete-churn")
+    assert driver.mix is MIXES["delete-churn"]
+    assert driver._weights == list(MIXES["delete-churn"].weights())
+
+
+# -- replay: cross-backend agreement per mix ----------------------------------
+
+
+@pytest.mark.parametrize("mix_name", sorted(MIXES))
+def test_mix_replays_verified_and_identical_on_both_backends(mix_name):
+    outcomes = {}
+    for backend in sorted(BACKEND_NAMES):
+        driver = make_driver(mix_name)
+        db = driver.build_world(SYN, backend=backend)
+        server = TopKServer(db, capacity=8)
+        try:
+            report = driver.run(server, driver.schedule(db), verify=True)
+        finally:
+            server.close()
+            db.close()
+        assert report.verified_results > 0
+        outcomes[backend] = (report.ops, report.reads, report.updates,
+                             report.inserts, report.deletes,
+                             report.data_updates, report.verified_results)
+    values = list(outcomes.values())
+    assert all(value == values[0] for value in values[1:]), outcomes
+
+
+def test_delete_churn_schedules_no_inserts_and_drains():
+    """Regression: the liveness fallback must not resurrect the relation."""
+    driver = make_driver("delete-churn", requests=200)
+    db = driver.build_world(SYN, backend="memory")
+    try:
+        ops = driver.schedule(db)
+        kinds = [op.kind for op in ops]
+        assert INSERT not in kinds
+        assert kinds.count(DELETE) > 0
+        server = TopKServer(db, capacity=8)
+        try:
+            report = driver.run(server, ops, verify=True)
+        finally:
+            server.close()
+        assert report.inserts == 0
+        assert report.deletes > 0
+        assert report.verified_results > 0
+    finally:
+        db.close()
+
+
+def test_hot_keys_mutations_land_in_the_hot_pool():
+    driver = make_driver("hot-keys", requests=120)
+    db = driver.build_world(SYN, backend="sqlite")
+    try:
+        pool = set(driver.target_pids(db))
+        assert pool
+        targeted = 0
+        for op in driver.schedule(db):
+            if op.kind == DELETE:
+                assert op.pids[0] in pool
+                targeted += 1
+            elif op.kind == DATA_UPDATE:
+                assert op.papers[0].pid in pool
+                targeted += 1
+        assert targeted > 0
+    finally:
+        db.close()
+
+
+def test_boundary_pool_sits_past_the_top_k():
+    driver = make_driver("repair-hostile")
+    db = driver.build_world(SYN, backend="memory")
+    try:
+        uids = driver.config.uids()
+        hot = target_pool(db, uids, driver.config.k, TARGET_HOT)
+        boundary = target_pool(db, uids, driver.config.k, TARGET_BOUNDARY)
+        assert boundary
+        # The boundary pool reaches deeper than the pure top-k pool and is
+        # what the repair-hostile driver actually targets.
+        assert set(boundary) - set(hot)
+        assert driver.target_pids(db) == boundary
+        assert target_pool(db, uids, driver.config.k, TARGET_ANY) == []
+    finally:
+        db.close()
+
+
+def test_benign_schedule_unchanged_by_mix_support():
+    """No mix configured: schedules stay deterministic and insert-fallback."""
+    driver_a = ReplayDriver(ReplayConfig(users=10, requests=60, seed=9))
+    driver_b = ReplayDriver(ReplayConfig(users=10, requests=60, seed=9))
+    db_a = driver_a.build_world(SYN, backend="memory")
+    db_b = driver_b.build_world(SYN, backend="memory")
+    try:
+        assert driver_a.schedule(db_a) == driver_b.schedule(db_b)
+    finally:
+        db_a.close()
+        db_b.close()
+
+
+# -- loadgen ------------------------------------------------------------------
+
+
+def test_loadmix_named_maps_the_catalogue():
+    for name, mix in MIXES.items():
+        load_mix = LoadMix.named(name, k=7)
+        assert load_mix.name == name
+        assert load_mix.k == 7
+        assert load_mix.weights() == mix.weights()
+        assert load_mix.target == mix.target
+        assert load_mix.churn_base == (mix.insert_weight == 0.0
+                                       and mix.delete_weight > 0.0)
+    assert LoadMix.named(None) == LoadMix()
+    with pytest.raises(ServingError):
+        LoadMix.named("does-not-exist")
+
+
+def test_worker_stream_without_inserts_degrades_to_reads():
+    mix = LoadMix.named("delete-churn", k=3)
+    stream = WorkerStream(0, mix, uids=[1, 2, 3], venues=["V"], lo=2000,
+                          hi=2005, max_aid=4, pid_base=1000, seed=5,
+                          owned_pids=[10, 11, 12])
+    kinds = [stream.next_op().kind for _ in range(300)]
+    assert kinds.count(INSERT) == 0
+    assert kinds.count(DELETE) == 3  # exactly the owned pids, then drained
+    assert kinds.count(READ) > 0
+
+
+def test_worker_stream_hot_targeting_hits_the_shared_pool():
+    mix = LoadMix.named("hot-keys", k=3)
+    stream = WorkerStream(0, mix, uids=[1, 2], venues=["V"], lo=2000,
+                          hi=2005, max_aid=4, pid_base=1000, seed=5,
+                          hot_pids=[41, 42, 43])
+    updates = [op for op in (stream.next_op() for _ in range(300))
+               if op.kind == DATA_UPDATE]
+    assert updates
+    assert all(op.papers[0].pid in {41, 42, 43} for op in updates)
+
+
+def test_build_streams_stripes_base_pids_disjointly():
+    mix = LoadMix.named("delete-churn")
+    base = list(range(100, 110))
+    streams = build_streams(3, mix, uids=[1], venues=["V"], lo=2000, hi=2005,
+                            max_aid=2, pid_base=1000, seed=7, base_pids=base)
+    slices = [set(stream._alive) for stream in streams]
+    assert set().union(*slices) == set(base)
+    for index, first in enumerate(slices):
+        for second in slices[index + 1:]:
+            assert not first & second
+
+
+# -- CLI ----------------------------------------------------------------------
+
+
+def test_cli_serve_replay_family_and_mix_json():
+    output = run_serve_replay(scale="tiny", users=12, requests=50,
+                              baseline=False, as_json=True,
+                              family="synthetic", mix="delete-churn")
+    payload = json.loads(output)
+    assert payload["config"]["family"] == "synthetic"
+    assert payload["config"]["mix"] == "delete-churn"
+    assert payload["mutations"]["inserts"] == 0
+    assert payload["mutations"]["deletes"] > 0
+
+
+def test_cli_load_family_and_mix_json():
+    output = run_load(scale="tiny", users=10, threads=1, duration=0.4,
+                      audit_interval=0.2, as_json=True,
+                      family="synthetic", mix="profile-thrash")
+    payload = json.loads(output)
+    assert payload["config"]["family"] == "synthetic"
+    assert payload["config"]["mix"] == "profile-thrash"
+    assert payload["run"]["audit"]["mismatches"] == 0
+    assert not payload["run"]["errors"]
+
+
+def test_cli_rejects_unknown_family_and_mix():
+    with pytest.raises(ValueError, match="unknown workload family"):
+        run_serve_replay(family="csv")
+    with pytest.raises(ServingError, match="unknown adversarial mix"):
+        run_serve_replay(family="synthetic", mix="bogus")
