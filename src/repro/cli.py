@@ -437,7 +437,8 @@ def run_load(scale: str = "tiny",
              telemetry: bool = False,
              repair_delta: Optional[int] = None,
              family: str = "dblp",
-             mix: Optional[str] = None) -> str:
+             mix: Optional[str] = None,
+             processes: int = 1) -> str:
     """Drive the concurrent load harness against a live serving instance.
 
     Builds one world (``users`` synthetic profiles, persisted up front),
@@ -456,32 +457,51 @@ def run_load(scale: str = "tiny",
     (``dblp`` / ``synthetic``); ``mix`` swaps the benign default
     :class:`~repro.loadgen.LoadMix` for a named adversarial one (via
     :meth:`~repro.loadgen.LoadMix.named`), including its hot/boundary
-    mutation targeting and base-relation churn behaviour.
+    mutation targeting and base-relation churn behaviour.  ``processes``
+    >= 2 forks that many independent load-generator processes — each with
+    its own world replica and seed lane — and reports the exact
+    histogram-level merge (see :mod:`repro.loadgen.multiproc`).
     """
-    from .loadgen import (LoadConfig, LoadGenerator, LoadMix,
-                          loadgen_payload, write_bench_json)
+    from .loadgen import (LoadConfig, LoadGenerator, LoadMix, WorldSpec,
+                          loadgen_payload, run_multiprocess,
+                          write_bench_json)
 
     workload_config, profile_factory = _resolve_workload(family, scale)
     if shards < 0:
         raise ValueError("--shards must be >= 0 (0/1 run a single server)")
-    driver = ReplayDriver(ReplayConfig(users=users, k=k, seed=seed),
-                          profile_factory=profile_factory)
-    db = driver.build_world(workload_config, backend=backend)
-    if shards >= 2:
-        server: Any = ShardedTopKServer(db, shards=shards, capacity=capacity,
-                                        parallel_fanout=True,
-                                        repair_delta=repair_delta)
-    else:
-        server = TopKServer(db, capacity=capacity, repair_delta=repair_delta)
+    if processes < 1:
+        raise ValueError("--processes must be >= 1")
     config = LoadConfig(threads=threads, duration_seconds=duration,
                         target_qps=qps, mix=LoadMix.named(mix, k=k),
                         seed=seed, audit_interval=audit_interval or None)
-    try:
-        report = LoadGenerator(config).run(
-            server, telemetry=Telemetry() if telemetry else None)
-    finally:
-        server.close()
-        db.close()
+    if processes >= 2:
+        if telemetry:
+            raise ValueError(
+                "--processes does not combine with --telemetry: Telemetry "
+                "snapshots are per-process and have no exact merge")
+        spec = WorldSpec(workload=workload_config, family=family,
+                         users=users, k=k, seed=seed, capacity=capacity,
+                         shards=shards, backend=backend,
+                         repair_delta=repair_delta)
+        report = run_multiprocess(spec, config, processes=processes).merged
+    else:
+        driver = ReplayDriver(ReplayConfig(users=users, k=k, seed=seed),
+                              profile_factory=profile_factory)
+        db = driver.build_world(workload_config, backend=backend)
+        if shards >= 2:
+            server: Any = ShardedTopKServer(db, shards=shards,
+                                            capacity=capacity,
+                                            parallel_fanout=True,
+                                            repair_delta=repair_delta)
+        else:
+            server = TopKServer(db, capacity=capacity,
+                                repair_delta=repair_delta)
+        try:
+            report = LoadGenerator(config).run(
+                server, telemetry=Telemetry() if telemetry else None)
+        finally:
+            server.close()
+            db.close()
 
     run_record = report.as_dict()
     config_record = {"scale": scale, "users": users, "threads": threads,
@@ -490,7 +510,8 @@ def run_load(scale: str = "tiny",
                      "backend": backend or default_backend_name(),
                      "family": family, "mix": mix,
                      "seed": seed, "k": k, "capacity": capacity,
-                     "audit_interval": audit_interval}
+                     "audit_interval": audit_interval,
+                     "processes": processes}
     if output:
         write_bench_json(output, "loadgen",
                          loadgen_payload([run_record], config_record))
@@ -501,8 +522,9 @@ def run_load(scale: str = "tiny",
 
     latency = report.latency
     lines = [
-        f"Load run ({report.mode} loop, {threads} threads, "
-        f"{report.duration_seconds:.2f}s, scale={scale}, family={family}"
+        f"Load run ({report.mode} loop, {report.threads} threads"
+        + (f" across {report.processes} processes" if processes > 1 else "")
+        + f", {report.duration_seconds:.2f}s, scale={scale}, family={family}"
         + (f", mix={mix}" if mix else "")
         + f", backend={report.backend}, shards={report.shards})",
         f"ops: {report.ops} "
@@ -694,7 +716,12 @@ def build_parser() -> argparse.ArgumentParser:
     load.add_argument("--users", type=int, default=50,
                       help="size of the synthetic user population")
     load.add_argument("--threads", type=int, default=2,
-                      help="number of load-generator worker threads")
+                      help="number of load-generator worker threads "
+                           "(per process)")
+    load.add_argument("--processes", type=int, default=1,
+                      help="fork N independent load-generator processes, "
+                           "each with its own world replica and seed lane, "
+                           "and merge their reports exactly (1 = in-process)")
     load.add_argument("--duration", type=float, default=2.0,
                       help="run length in seconds")
     load.add_argument("--qps", type=float, default=None,
@@ -808,7 +835,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                            output=args.output, as_json=args.as_json,
                            telemetry=args.telemetry,
                            repair_delta=args.repair_delta,
-                           family=args.family, mix=args.mix))
+                           family=args.family, mix=args.mix,
+                           processes=args.processes))
         elif args.command == "stats":
             print(run_stats(scale=args.scale, users=args.users,
                             requests=args.requests, k=args.k,

@@ -25,9 +25,10 @@ Both classes expose a ``stats()`` dict with a common vocabulary
 (``acquisitions`` / ``contended`` / ``wait_seconds`` / ``hold_seconds``) so
 :class:`repro.loadgen.runner.LoadGenerator` can aggregate them uniformly.
 
-Lock ordering across the system (outermost first) stays what it was before
-the split: *server lock → session registry → count cache / result cache →
-backend*.  Notifications are always delivered with no backend-side lock
+Lock ordering across the system (outermost first): *per-user stripe lock →
+server writer gate → session registry → count cache / result cache →
+backend* (see the :mod:`repro.serving.server` docstring for the striped
+scheme).  Notifications are always delivered with no backend-side lock
 held (see :mod:`repro.backend.memory`), which is what keeps the
 server→backend order acyclic.
 """

@@ -49,6 +49,14 @@ Public API
 :func:`instrument_server` / :func:`lock_report`
     Swap :class:`~repro.concurrency.TimedRLock` wrappers into an idle
     server and read the per-lock contention records back.
+:class:`WorldSpec` / :func:`build_server` / :func:`run_multiprocess` /
+:func:`merge_reports` / :class:`MultiProcessLoadReport`
+    The multi-process front: N child processes each call
+    :func:`build_server` on a picklable :class:`WorldSpec` to build their
+    own world replica and run the same :class:`LoadConfig` (seeds offset
+    by :data:`~repro.loadgen.multiproc.PROCESS_SEED_STRIDE`); reports
+    come home as JSON-safe primitives and merge exactly — histograms add
+    bucket-by-bucket, counters sum, rates are re-derived after summing.
 :func:`write_bench_json` / :func:`validate_loadgen_payload` /
 :func:`load_and_validate` / :func:`loadgen_payload` / :func:`bench_envelope`
     Schema-versioned ``BENCH_*.json`` persistence (``SCHEMA_VERSION``,
@@ -58,6 +66,14 @@ Public API
 
 from .audit import EquivalenceAuditor, TrafficGate
 from .instrument import instrument_server, lock_report
+from .multiproc import (
+    PROCESS_SEED_STRIDE,
+    MultiProcessLoadReport,
+    WorldSpec,
+    build_server,
+    merge_reports,
+    run_multiprocess,
+)
 from .report import (
     SCHEMA_VERSION,
     bench_envelope,
@@ -78,16 +94,22 @@ __all__ = [
     "LoadMix",
     "LoadOp",
     "LoadReport",
+    "MultiProcessLoadReport",
+    "PROCESS_SEED_STRIDE",
     "SCHEMA_VERSION",
     "TrafficGate",
     "WorkerResult",
     "WorkerStream",
+    "WorldSpec",
     "bench_envelope",
+    "build_server",
     "build_streams",
     "instrument_server",
     "load_and_validate",
     "loadgen_payload",
     "lock_report",
+    "merge_reports",
+    "run_multiprocess",
     "validate_loadgen_payload",
     "write_bench_json",
 ]

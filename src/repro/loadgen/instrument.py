@@ -28,8 +28,10 @@ def instrument_server(server: Any) -> List[Any]:
     """Swap timed locks into ``server`` (single or sharded); must be idle.
 
     Returns the list of trackable locks — pass it to :func:`lock_report`
-    after the run.  The backend's own :class:`~repro.concurrency.RWLock`
-    (memory engine) is appended un-swapped: it already accounts itself.
+    after the run.  Every per-user stripe lock is wrapped individually;
+    the server's writer gate (reported as ``server``) and the memory
+    backend's own :class:`~repro.concurrency.RWLock` are appended
+    un-swapped: they already account themselves.
     """
     return instrument_locks(server).locks
 

@@ -28,7 +28,10 @@ from typing import Any, Dict, List, Mapping, Optional, Sequence
 #: Bump when a consumer-visible key of the envelope or payload changes.
 #: v2 added the per-run ``telemetry`` section (the unified metrics/trace
 #: snapshot from :mod:`repro.telemetry`; ``{}`` for runs made without it).
-SCHEMA_VERSION = 2
+#: v3 added the required per-run ``processes`` count (1 for in-process
+#: runs; >1 for reports merged across load-generator processes by
+#: :mod:`repro.loadgen.multiproc`).
+SCHEMA_VERSION = 3
 
 #: Keys every per-run record must carry, with their required types.
 RUN_REQUIRED_KEYS: Dict[str, type] = {
@@ -36,6 +39,7 @@ RUN_REQUIRED_KEYS: Dict[str, type] = {
     "backend": str,
     "shards": int,
     "threads": int,
+    "processes": int,
     "duration_seconds": float,
     "ops": int,
     "throughput_ops_per_sec": float,

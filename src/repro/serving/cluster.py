@@ -264,7 +264,8 @@ class ShardedTopKServer:
                  partitioner: Optional[Partitioner] = None,
                  parallel_fanout: bool = False,
                  max_workers: Optional[int] = None,
-                 repair_delta: Optional[int] = None) -> None:
+                 repair_delta: Optional[int] = None,
+                 stripes: Optional[int] = None) -> None:
         if shards < 1:
             raise ServingError("a sharded server needs at least one shard")
         self._lock = threading.RLock()
@@ -278,9 +279,15 @@ class ShardedTopKServer:
         self.repair_delta = repair_delta
         self.partitioner: Partitioner = (partitioner if partitioner is not None
                                          else HashPartitioner())
+        shard_kwargs: Dict[str, Any] = {}
+        if stripes is not None:
+            # Per-shard stripe width (each shard owns ~1/N of the users, so
+            # the default width is usually already generous).
+            shard_kwargs["stripes"] = stripes
         self.shard_servers: Tuple[TopKServer, ...] = tuple(
             TopKServer(db, capacity=capacity, cache_results=cache_results,
-                       subscribe=False, repair_delta=repair_delta)
+                       subscribe=False, repair_delta=repair_delta,
+                       **shard_kwargs)
             for _ in range(shards))
         self._executor: Optional[ThreadPoolExecutor] = None
         if parallel_fanout and shards > 1:
@@ -345,6 +352,21 @@ class ShardedTopKServer:
             trace.annotate("shard", shard)
             # The shard's own front-door span nests under this root.
             return self.shard_servers[shard].top_k(uid, k)
+
+    def submit_top_k(self, uid: int, k: int):
+        """Answer one Top-K request asynchronously on the owning shard's pool."""
+        return self.shard_for(uid).submit_top_k(uid, k)
+
+    def top_k_many(self, requests: Sequence[Tuple[int, int]]
+                   ) -> List[ServeResult]:
+        """Answer a batch of ``(uid, k)`` requests, results in input order.
+
+        Requests are submitted to every owning shard's read pool before the
+        first result is awaited, so distinct-shard (and distinct-stripe)
+        work overlaps instead of queueing.
+        """
+        futures = [self.submit_top_k(uid, k) for uid, k in requests]
+        return [future.result() for future in futures]
 
     def update_profile(self, uid: int, profile: UserProfile) -> UpdateReport:
         """Persist and apply a profile update on the owning shard."""

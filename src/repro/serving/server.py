@@ -23,27 +23,43 @@
 Every request returns a metrics record (cache hit, SQL statements issued,
 wall-clock seconds) so benchmarks and operators can attribute cost.
 
-**Locking.**  Cold reads and every mutation serialise on one re-entrant
-server lock: SQLite, the session registry and the LRU eviction path are
-then safe to drive from many threads.  *Warm* reads do **not** take the
-server lock — the :class:`~repro.serving.results.ResultCache` carries its
-own lock, so a cache hit costs one leaf-lock acquisition and zero SQL
-statements however many writers are queued on the big lock (the
-multi-threaded load harness' hot path).  The check-then-act window this
-opens (an answer computed from pre-mutation data materialised *after* the
-mutation's invalidation sweep) is closed by the cache's invalidation
-epoch: ``top_k`` snapshots it before computing and the cache refuses the
-put when a sweep ran in between.  Lock order, outermost first: server
-lock → session registry → count cache / result cache → backend.
+**Locking.**  The server-level locking is *striped*: instead of one big
+re-entrant lock, the server keeps
+
+* an array of N **stripe locks** keyed by ``uid % N`` — a cold read or a
+  profile update serialises only against other requests for users on the
+  same stripe, so cold computes for different users proceed concurrently;
+* one writer-preferring **gate** (:class:`~repro.concurrency.RWLock`,
+  reported as the ``server`` lock): cold computes and profile updates hold
+  its *read* side — any number at once — while data mutations (which sweep
+  every user's cached state) hold the exclusive *write* side, so a sweep
+  always sees a consistent world and no compute ever reads a half-applied
+  mutation.
+
+*Warm* reads acquire **zero server-level locks** — neither a stripe nor
+the gate — the :class:`~repro.serving.results.ResultCache` carries its own
+leaf lock, so a cache hit costs one leaf-lock acquisition and zero SQL
+statements however many writers are queued (the multi-threaded load
+harness' hot path).  The check-then-act window this opens (an answer
+computed from pre-mutation data materialised *after* the mutation's
+invalidation sweep) is closed by the cache's invalidation epoch: ``top_k``
+snapshots it before computing, releases the gate *before* materialising,
+and the cache refuses the put when a sweep ran in between.  Lock order,
+outermost first: stripe lock → writer gate → session registry → count
+cache / result cache → backend.  Nothing acquires a stripe while holding
+the gate, and nothing re-acquires the gate's read side while already
+holding it (writer preference would self-deadlock a re-entrant reader).
 """
 
 from __future__ import annotations
 
 import threading
 import time
+from concurrent.futures import Future, ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
 
+from ..concurrency import RWLock
 from ..core.hypre.builder import HypreGraphBuilder
 from ..core.preference import ProfileRegistry, UserProfile
 from ..exceptions import ServingError, UnknownUserError
@@ -75,6 +91,8 @@ STATS_ALIASES: Dict[str, Tuple[str, str]] = {
     "serving.server.inserts": ("requests", "inserts"),
     "serving.server.deletes": ("requests", "deletes"),
     "serving.server.tuple_updates": ("requests", "tuple_updates"),
+    "serving.server.stripe_count": ("stripes", "count"),
+    "serving.server.stripe_acquisitions": ("stripes", "acquisitions"),
     "serving.sessions.resident": ("sessions", "resident"),
     "serving.sessions.capacity": ("sessions", "capacity"),
     "serving.sessions.hits": ("sessions", "hits"),
@@ -101,6 +119,12 @@ STATS_ALIASES: Dict[str, Tuple[str, str]] = {
 #: repair path's own metric component) instead of ``serving.results.*``.
 _REPAIR_METRIC_KEYS = frozenset(
     {"repairs", "repair_fallbacks", "repair_underflows"})
+
+#: Default width of the per-user stripe-lock array.  Stripes only bound
+#: *concurrency* (uids sharing ``uid % stripes`` serialise against each
+#: other), never correctness, so a small power of two is plenty for the
+#: thread counts the load harness drives.
+DEFAULT_STRIPES = 8
 
 
 @dataclass(frozen=True)
@@ -215,8 +239,20 @@ class TopKServer:
                  cache_results: bool = True,
                  count_cache: Optional[CountCache] = None,
                  subscribe: bool = True,
-                 repair_delta: Optional[int] = None) -> None:
-        self._lock = threading.RLock()
+                 repair_delta: Optional[int] = None,
+                 stripes: int = DEFAULT_STRIPES,
+                 read_pool_size: Optional[int] = None) -> None:
+        if stripes < 1:
+            raise ServingError("a server needs at least one lock stripe")
+        if read_pool_size is not None and read_pool_size < 1:
+            raise ServingError("the read pool needs at least one thread")
+        # Striped per-user locking (see the module docstring): cold reads
+        # and profile updates serialise per stripe; data mutations take the
+        # exclusive side of the writer gate.  The gate keeps the historical
+        # ``server`` lock name so contention reports stay comparable.
+        self._gate = RWLock("server")
+        self._stripes: Tuple[Any, ...] = tuple(
+            threading.RLock() for _ in range(stripes))
         self.db = db
         self.cache_results = cache_results
         #: Over-fetch depth of the maintainable result buffers: a cold
@@ -245,7 +281,9 @@ class TopKServer:
         self._read_latency = None
         self._mutation_latency = None
         # Request counters are bumped by the lock-free warm path too, so
-        # they get their own little lock instead of riding the big one.
+        # they get their own little lock; every request path folds all of
+        # its counter deltas into one `_bump` call — a single acquisition
+        # per request, not one per counter.
         self._stats_lock = threading.Lock()
         self.reads = 0
         self.read_hits = 0
@@ -253,6 +291,14 @@ class TopKServer:
         self.inserts = 0
         self.deletes = 0
         self.tuple_updates = 0
+        #: Requests that took a stripe lock (cold reads + profile updates).
+        self.stripe_acquisitions = 0
+        # Optional thread-pool front door (`submit_top_k` / `top_k_many`),
+        # created on first use so a serially-driven server never pays for it.
+        self._read_pool: Optional[ThreadPoolExecutor] = None
+        self._read_pool_size = (read_pool_size if read_pool_size is not None
+                                else min(stripes, 8))
+        self._read_pool_lock = threading.Lock()
 
     # -- telemetry ----------------------------------------------------------------
 
@@ -293,6 +339,37 @@ class TopKServer:
         if self._data_listener is not None:
             self.db.unsubscribe(self._data_listener)
             self._data_listener = None
+        with self._read_pool_lock:
+            pool, self._read_pool = self._read_pool, None
+        if pool is not None:
+            pool.shutdown(wait=True)
+
+    # -- striping -----------------------------------------------------------------
+
+    @property
+    def stripes(self) -> int:
+        """Width of the per-user stripe-lock array."""
+        return len(self._stripes)
+
+    def stripe_of(self, uid: int) -> int:
+        """The stripe index serialising requests for ``uid``."""
+        return int(uid) % len(self._stripes)
+
+    def _stripe_lock(self, uid: int) -> Any:
+        return self._stripes[self.stripe_of(uid)]
+
+    def _bump(self, reads: int = 0, read_hits: int = 0, updates: int = 0,
+              inserts: int = 0, deletes: int = 0, tuple_updates: int = 0,
+              stripe_acquisitions: int = 0) -> None:
+        """Fold one request's counter deltas in under a single acquisition."""
+        with self._stats_lock:
+            self.reads += reads
+            self.read_hits += read_hits
+            self.updates += updates
+            self.inserts += inserts
+            self.deletes += deletes
+            self.tuple_updates += tuple_updates
+            self.stripe_acquisitions += stripe_acquisitions
 
     def __enter__(self) -> "TopKServer":
         return self
@@ -325,7 +402,10 @@ class TopKServer:
                 f"profile for uid={profile.uid} passed to update_profile(uid={uid})")
         with self._trace("server.update_profile") as trace:
             trace.annotate("uid", uid)
-            with self._lock:
+            # Per-user serialisation via the stripe; the gate's read side
+            # keeps the write out of any data-mutation sweep's consistent
+            # view without serialising profile updates against each other.
+            with self._stripe_lock(uid), self._gate.read():
                 start = time.perf_counter()
                 statements_before = self.db.statements_executed
                 invalidated_before = self.results.profile_invalidations
@@ -337,8 +417,7 @@ class TopKServer:
                     session.apply_profile(profile)
                 elif self.cache_results:
                     self.results.invalidate_user(uid)
-                with self._stats_lock:
-                    self.updates += 1
+                self._bump(updates=1, stripe_acquisitions=1)
                 report = UpdateReport(
                     uid=uid,
                     resident=session is not None,
@@ -358,13 +437,13 @@ class TopKServer:
         """Answer one personalised Top-K request.
 
         Warm requests are served straight from the result cache — zero SQL
-        statements and **no server lock** (see the module docstring), the
-        acceptance criterion of the serving benchmark and the load harness'
-        hot path.  Cold requests take the lock, build/refresh the user's
-        session, run PEPS and materialise the answer for the next caller —
-        unless an invalidation swept past while they computed, in which case
-        the answer is served but not cached (it can no longer be proven
-        fresh).
+        statements and **no server-level lock** (see the module docstring),
+        the acceptance criterion of the serving benchmark and the load
+        harness' hot path.  Cold requests take the user's stripe lock and
+        the writer gate's read side, build/refresh the user's session, run
+        PEPS and materialise the answer for the next caller — unless an
+        invalidation swept past while they computed, in which case the
+        answer is served but not cached (it can no longer be proven fresh).
         """
         with self._trace("server.top_k") as trace:
             trace.annotate("uid", uid)
@@ -373,6 +452,36 @@ class TopKServer:
         if self._read_latency is not None:
             self._read_latency.record(result.seconds)
         return result
+
+    def _ensure_read_pool(self) -> ThreadPoolExecutor:
+        with self._read_pool_lock:
+            if self._read_pool is None:
+                self._read_pool = ThreadPoolExecutor(
+                    max_workers=self._read_pool_size,
+                    thread_name_prefix="topk-read")
+            return self._read_pool
+
+    def submit_top_k(self, uid: int, k: int) -> "Future[ServeResult]":
+        """Answer one Top-K request asynchronously on the read pool.
+
+        The optional front door for callers that want to overlap backend
+        I/O: requests for users on different stripes genuinely proceed
+        concurrently (SQLite releases the GIL inside its C calls, and the
+        in-memory backend's reader/writer lock admits parallel readers).
+        The pool is created lazily and shut down by :meth:`close`.
+        """
+        return self._ensure_read_pool().submit(self.top_k, uid, k)
+
+    def top_k_many(self, requests: Sequence[Tuple[int, int]]
+                   ) -> List[ServeResult]:
+        """Answer a batch of ``(uid, k)`` requests, results in input order.
+
+        All requests are submitted to the read pool before the first result
+        is awaited, so distinct-stripe cold misses overlap instead of
+        queueing; errors surface on the request that raised them.
+        """
+        futures = [self.submit_top_k(uid, k) for uid, k in requests]
+        return [future.result() for future in futures]
 
     def _serve_top_k(self, uid: int, k: int) -> ServeResult:
         """The uninstrumented ``top_k`` body (see :meth:`top_k`)."""
@@ -387,52 +496,58 @@ class TopKServer:
                     uid=uid, k=k, ranking=entry.ranking, cache_hit=True,
                     sql_statements=0,
                     seconds=time.perf_counter() - start)
-        with self._lock:
+        with self._stripe_lock(uid):
             statements_before = self.db.statements_executed
             epoch = None
             if self.cache_results:
                 # Another thread may have materialised the answer while we
-                # queued on the lock — serve it rather than recompute.
+                # queued on the stripe — serve it rather than recompute.
                 entry = self.results.peek(uid, k)
                 if entry is not None:
-                    with self._stats_lock:
-                        self.reads += 1
-                        self.read_hits += 1
+                    self._bump(reads=1, read_hits=1, stripe_acquisitions=1)
                     return ServeResult(
                         uid=uid, k=k, ranking=entry.ranking, cache_hit=True,
                         sql_statements=self.db.statements_executed - statements_before,
                         seconds=time.perf_counter() - start)
-            try:
-                with span("sessions.get_or_create", self.db):
-                    session = self.sessions.get_or_create(uid)
-            except ServingError:
-                raise UnknownUserError(uid) from None
+            with self._gate.read():
+                try:
+                    with span("sessions.get_or_create", self.db):
+                        session = self.sessions.get_or_create(uid)
+                except ServingError:
+                    raise UnknownUserError(uid) from None
+                if self.cache_results:
+                    # Snapshot *after* the session exists (building one
+                    # replays profile events, which legitimately bump the
+                    # epoch) but *before* the data-reading computation the
+                    # snapshot guards.
+                    epoch = self.results.epoch
+                repair = self.cache_results and self.results.repair_enabled
+                with span("peps.top_k", self.db):
+                    if repair:
+                        delta = (self.repair_delta
+                                 if self.repair_delta is not None else 2 * k)
+                        buffer, complete = session.top_k_buffer(k, delta)
+                        ranking = tuple(buffer[:k])
+                    else:
+                        buffer, complete = None, False
+                        ranking = tuple(session.top_k(k))
+                if self.cache_results:
+                    peps = session.algorithm()
+                    predicates = [pref.predicate
+                                  for pref in peps.preferences]
+                    intensities = ([pref.intensity
+                                    for pref in peps.preferences]
+                                   if repair else None)
+            # The gate is released *before* the put: a data mutation may
+            # sweep between the compute and the materialisation, and the
+            # epoch snapshot is exactly what makes that race safe — the
+            # cache refuses the stale put.
             if self.cache_results:
-                # Snapshot *after* the session exists (building one replays
-                # profile events, which legitimately bump the epoch) but
-                # *before* the data-reading computation the snapshot guards.
-                epoch = self.results.epoch
-            repair = self.cache_results and self.results.repair_enabled
-            with span("peps.top_k", self.db):
-                if repair:
-                    delta = (self.repair_delta if self.repair_delta is not None
-                             else 2 * k)
-                    buffer, complete = session.top_k_buffer(k, delta)
-                    ranking = tuple(buffer[:k])
-                else:
-                    buffer, complete = None, False
-                    ranking = tuple(session.top_k(k))
-            if self.cache_results:
-                peps = session.algorithm()
                 self.results.put(
-                    uid, k, ranking,
-                    [pref.predicate for pref in peps.preferences],
-                    epoch=epoch,
-                    intensities=([pref.intensity for pref in peps.preferences]
-                                 if repair else None),
-                    buffer=buffer, complete=complete)
-            with self._stats_lock:
-                self.reads += 1
+                    uid, k, ranking, predicates, epoch=epoch,
+                    intensities=intensities, buffer=buffer,
+                    complete=complete)
+            self._bump(reads=1, stripe_acquisitions=1)
             return ServeResult(
                 uid=uid, k=k, ranking=ranking, cache_hit=False,
                 sql_statements=self.db.statements_executed - statements_before,
@@ -452,13 +567,12 @@ class TopKServer:
         entry is gone and every provably fresh one survived.
         """
         with self._trace("server.insert_tuples") as trace:
-            with self._lock:
+            with self._gate.write():
                 records, links = normalise_papers(papers, paper_authors)
                 report = self._run_data_mutation(
                     InsertReport, len(records),
                     lambda: append_papers(self.db, records, links, citations))
-                with self._stats_lock:
-                    self.inserts += 1
+                self._bump(inserts=1)
             trace.annotate("papers", report.papers)
             if self._mutation_latency is not None:
                 self._mutation_latency.record(report.seconds)
@@ -474,13 +588,12 @@ class TopKServer:
         would not reveal — and everything provably unaffected survived.
         """
         with self._trace("server.delete_tuples") as trace:
-            with self._lock:
+            with self._gate.write():
                 pids = list(pids)
                 report = self._run_data_mutation(
                     DeleteReport, len(pids),
                     lambda: delete_papers(self.db, pids))
-                with self._stats_lock:
-                    self.deletes += 1
+                self._bump(deletes=1)
             trace.annotate("papers", report.papers)
             if self._mutation_latency is not None:
                 self._mutation_latency.record(report.seconds)
@@ -496,13 +609,12 @@ class TopKServer:
         tuple.
         """
         with self._trace("server.update_tuples") as trace:
-            with self._lock:
+            with self._gate.write():
                 records = [_as_paper(row) for row in papers]
                 report = self._run_data_mutation(
                     TupleUpdateReport, len(records),
                     lambda: update_papers(self.db, records))
-                with self._stats_lock:
-                    self.tuple_updates += 1
+                self._bump(tuple_updates=1)
             trace.annotate("papers", report.papers)
             if self._mutation_latency is not None:
                 self._mutation_latency.record(report.seconds)
@@ -512,8 +624,8 @@ class TopKServer:
         """Run one loader mutation and collect the cache-impact metrics.
 
         ``mutate`` commits and notifies; the notification re-enters
-        :meth:`_on_data_mutation` (the lock is re-entrant), which records
-        its impact in ``_last_data_impact`` for the report.
+        :meth:`_on_data_mutation` (the gate's write side is re-entrant),
+        which records its impact in ``_last_data_impact`` for the report.
         """
         start = time.perf_counter()
         statements_before = self.db.statements_executed
@@ -543,7 +655,7 @@ class TopKServer:
         impact record (also kept in ``_last_data_impact``) so the sharded
         cluster can collect per-shard reports when it delivers the event.
         """
-        with self._lock, span("server.on_data_mutation") as trace:
+        with self._gate.write(), span("server.on_data_mutation") as trace:
             rows = mutation.invalidation_rows()
             repairs_before = self.results.repairs
             fallbacks_before = self.results.repair_fallbacks
@@ -589,6 +701,8 @@ class TopKServer:
                 "serving.server.inserts": self.inserts,
                 "serving.server.deletes": self.deletes,
                 "serving.server.tuple_updates": self.tuple_updates,
+                "serving.server.stripe_count": len(self._stripes),
+                "serving.server.stripe_acquisitions": self.stripe_acquisitions,
             }
         for key, value in self.sessions.stats().items():
             flat[f"serving.sessions.{key}"] = value

@@ -31,6 +31,7 @@ subclasses this wrapper without changing behaviour.
 from __future__ import annotations
 
 import sqlite3
+import threading
 from pathlib import Path
 from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
 
@@ -63,6 +64,16 @@ class Database:
         #: collapses many logical counts into few round-trips.  A batched
         #: ``executemany`` counts as **one** statement per non-empty batch.
         self.statements_executed = 0
+        # One shared connection serves every thread (check_same_thread is
+        # off), which makes a *write transaction* connection-global state:
+        # two threads interleaving DML race the sqlite3 module's implicit
+        # BEGIN ("cannot start a transaction within a transaction") and, far
+        # worse, commit each other's half-written batches.  Data mutations
+        # are already serialised by the serving layer's writer gate, but
+        # profile-staging writes deliberately ride the gate's *read* side
+        # (so they don't serialise against Top-K computes) — this lock makes
+        # each such write transaction atomic on the shared connection.
+        self._write_lock = threading.RLock()
         #: Number of rows written by DML through this wrapper (inserts,
         #: deletes, updates; every row of an ``executemany`` batch counts).
         #: Statement counts are an artefact of each backend's batching shape,
@@ -360,9 +371,16 @@ class Database:
         return sqlite_update_papers(self, papers)
 
     def load_profiles(self, registry: Any) -> Dict[str, int]:
-        """Persist extracted preference profiles into the staging tables."""
+        """Persist extracted preference profiles into the staging tables.
+
+        Atomic on the shared connection (see ``_write_lock``): profile
+        writes may arrive from concurrent threads holding only the serving
+        gate's read side, and interleaving their transactions would let one
+        thread commit another's half-written profile.
+        """
         from ..workload.loader import sqlite_load_profiles
-        return sqlite_load_profiles(self, registry)
+        with self._write_lock:
+            return sqlite_load_profiles(self, registry)
 
     def read_profiles(self, uids: Optional[Iterable[int]] = None) -> Any:
         """Rebuild a profile registry from the staging tables."""

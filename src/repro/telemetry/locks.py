@@ -7,12 +7,16 @@ swap irreversibly — fine for a load run that owns the server, wrong for a
 long-lived process that wants contention numbers for a while and then its
 plain locks back.  This module makes the swap a *handle*:
 
-* :func:`instrument_locks` swaps the same lock set as before (server big
-  lock, session registry, shared count cache + rebuilt condition variable,
-  result cache; per shard plus the broadcast lock for a cluster; the memory
-  backend's self-accounting :class:`~repro.concurrency.RWLock` is tracked
-  un-swapped) and returns a :class:`LockInstrumentation` recording every
-  ``(owner, attribute, original)`` it touched;
+* :func:`instrument_locks` covers the whole server-level lock set (every
+  per-user stripe lock, the session registry, the shared count cache +
+  rebuilt condition variable, the result cache; per shard plus the
+  broadcast lock for a cluster).  The server's writer gate and the memory
+  backend's lock are self-accounting :class:`~repro.concurrency.RWLock`
+  instances, so they are tracked un-swapped — the gate reports under the
+  historical ``server`` name (``shard<i>-server`` in a cluster), each
+  stripe under ``stripe<j>``.  Everything swapped or renamed is recorded
+  as ``(owner, attribute, original)`` in the returned
+  :class:`LockInstrumentation`;
 * :meth:`LockInstrumentation.uninstrument` restores every original object
   in reverse order — including the count cache's original condition
   variable, so in-flight coalescing waiters are never left parked on a
@@ -131,8 +135,22 @@ def _instrument_count_cache(handle: LockInstrumentation, cache: Any,
 def _instrument_single(handle: LockInstrumentation, server: Any,
                        prefix: str = "") -> None:
     """Swap one TopKServer's lock set into the handle."""
-    handle.locks.append(
-        handle._swap(server, "_lock", TimedRLock(f"{prefix}server")))
+    gate = getattr(server, "_gate", None)
+    if isinstance(gate, RWLock):
+        # The writer gate accounts itself; rename it under the shard prefix
+        # (recorded like any swap, so uninstrument restores the name) and
+        # track it un-swapped.
+        handle._swap(gate, "name", f"{prefix}server")
+        handle.locks.append(gate)
+    stripes = getattr(server, "_stripes", None)
+    if stripes is not None:
+        # Wrap every stripe around its *original* inner lock, so a thread
+        # idling between requests never races a fresh lock object.
+        replacement = tuple(
+            TimedRLock(f"{prefix}stripe{index}", lock=stripe)
+            for index, stripe in enumerate(stripes))
+        handle._swap(server, "_stripes", replacement)
+        handle.locks.extend(replacement)
     handle.locks.append(
         handle._swap(server.sessions, "_lock",
                      TimedRLock(f"{prefix}sessions")))

@@ -176,23 +176,28 @@ def sqlite_append_papers(db: Database,
     # replaced paper must ride along in the notification: a cached entry may
     # only be spared when neither the old nor the new tuple values can match
     # its predicates.  Captured before the insert overwrites them.
-    replaced_rows = (db.joined_rows([paper.pid for paper in papers])
-                     if papers and db.has_subscribers else [])
-    if papers:
-        db.executemany(
-            "INSERT OR REPLACE INTO dblp (pid, title, venue, year, abstract)"
-            " VALUES (?, ?, ?, ?, ?)",
-            [(paper.pid, paper.title, paper.venue, paper.year, paper.abstract)
-             for paper in papers])
-    if paper_authors:
-        db.executemany(
-            "INSERT OR REPLACE INTO dblp_author (pid, aid) VALUES (?, ?)",
-            paper_authors)
-    if citations:
-        db.executemany(
-            "INSERT OR REPLACE INTO citation (pid, cid) VALUES (?, ?)",
-            citations)
-    db.commit()
+    # The write lock keeps this transaction atomic against concurrent
+    # profile-staging writes on the shared connection; the notification
+    # below stays OUTSIDE it (listeners take serving-layer locks, and
+    # write-lock -> gate edges would close a deadlock cycle).
+    with db._write_lock:
+        replaced_rows = (db.joined_rows([paper.pid for paper in papers])
+                         if papers and db.has_subscribers else [])
+        if papers:
+            db.executemany(
+                "INSERT OR REPLACE INTO dblp (pid, title, venue, year, abstract)"
+                " VALUES (?, ?, ?, ?, ?)",
+                [(paper.pid, paper.title, paper.venue, paper.year, paper.abstract)
+                 for paper in papers])
+        if paper_authors:
+            db.executemany(
+                "INSERT OR REPLACE INTO dblp_author (pid, aid) VALUES (?, ?)",
+                paper_authors)
+        if citations:
+            db.executemany(
+                "INSERT OR REPLACE INTO citation (pid, cid) VALUES (?, ?)",
+                citations)
+        db.commit()
     if db.has_subscribers and (papers or paper_authors):
         # Post-image rows for brand-new papers are derivable in memory from
         # this call's arguments (a paper that gets no link here is invisible
@@ -224,19 +229,21 @@ def sqlite_delete_papers(db: Database, pids: Iterable[int]) -> Dict[str, int]:
     pids = sorted({int(pid) for pid in pids})
     if not pids:
         return {"dblp": 0, "dblp_author": 0, "citation": 0}
-    pre_image = db.joined_rows(pids) if db.has_subscribers else []
     placeholders = ", ".join("?" for _ in pids)
-    removed = {
-        "dblp": db.execute(
-            f"DELETE FROM dblp WHERE pid IN ({placeholders})", pids).rowcount,
-        "dblp_author": db.execute(
-            f"DELETE FROM dblp_author WHERE pid IN ({placeholders})",
-            pids).rowcount,
-        "citation": db.execute(
-            f"DELETE FROM citation WHERE pid IN ({placeholders})"
-            f" OR cid IN ({placeholders})", pids + pids).rowcount,
-    }
-    db.commit()
+    # Atomic against concurrent profile-staging writes (see append body).
+    with db._write_lock:
+        pre_image = db.joined_rows(pids) if db.has_subscribers else []
+        removed = {
+            "dblp": db.execute(
+                f"DELETE FROM dblp WHERE pid IN ({placeholders})", pids).rowcount,
+            "dblp_author": db.execute(
+                f"DELETE FROM dblp_author WHERE pid IN ({placeholders})",
+                pids).rowcount,
+            "citation": db.execute(
+                f"DELETE FROM citation WHERE pid IN ({placeholders})"
+                f" OR cid IN ({placeholders})", pids + pids).rowcount,
+        }
+        db.commit()
     if db.has_subscribers and any(removed.values()):
         db.notify(DataMutation(TUPLES_DELETED, "dblp",
                                old_rows=pre_image, pids=pids))
@@ -255,13 +262,15 @@ def sqlite_update_papers(db: Database, papers: Sequence[Paper]) -> Dict[str, int
     missing = sorted(set(pids) - existing)
     if missing:
         raise WorkloadError(f"cannot update unknown papers: {missing}")
-    pre_image = db.joined_rows(pids) if db.has_subscribers else []
-    db.executemany(
-        "UPDATE dblp SET title = ?, venue = ?, year = ?, abstract = ?"
-        " WHERE pid = ?",
-        [(paper.title, paper.venue, paper.year, paper.abstract, paper.pid)
-         for paper in papers])
-    db.commit()
+    # Atomic against concurrent profile-staging writes (see append body).
+    with db._write_lock:
+        pre_image = db.joined_rows(pids) if db.has_subscribers else []
+        db.executemany(
+            "UPDATE dblp SET title = ?, venue = ?, year = ?, abstract = ?"
+            " WHERE pid = ?",
+            [(paper.title, paper.venue, paper.year, paper.abstract, paper.pid)
+             for paper in papers])
+        db.commit()
     if db.has_subscribers:
         db.notify(DataMutation(
             TUPLES_UPDATED, "dblp",

@@ -25,6 +25,7 @@ from being (re-)cached after the sweep.
 
 from __future__ import annotations
 
+import random
 import threading
 import time
 
@@ -343,3 +344,168 @@ class TestInvalidationRaceRegression:
         assert cache.count(predicate) == 17
         assert CountingBackend.calls == 1
         assert cache.peek(predicate) == 17
+
+
+# -- striping regressions ------------------------------------------------------
+
+
+class TestStripedServing:
+    """The striped lock discipline, provoked with barriers: distinct-stripe
+    cold misses genuinely overlap, a data mutation landing mid-compute
+    still hits the per-stripe epoch guard, and in-place repair sweeps
+    never resurrect entries a mutation dropped."""
+
+    def test_cold_misses_on_distinct_stripes_overlap(self, world):
+        """Two users on different stripes rendezvous *inside* their cold
+        computes — impossible under the old server-wide lock, where the
+        second request queued until the first finished."""
+        server = TopKServer(world, capacity=12)
+        try:
+            uids = sorted(profile.uid for profile in world.read_profiles())
+            uid_a = uids[0]
+            uid_b = next(uid for uid in uids
+                         if server.stripe_of(uid) != server.stripe_of(uid_a))
+            rendezvous = threading.Barrier(2, timeout=DEADLINE_SECONDS)
+            original = server.sessions.get_or_create
+            overlapped = []
+
+            def meeting_point(uid):
+                # Runs while the caller holds its stripe lock and the
+                # gate's read side: both cold misses can only meet here if
+                # neither server-level lock serialises them.
+                if uid in (uid_a, uid_b):
+                    rendezvous.wait()
+                    overlapped.append(uid)
+                return original(uid)
+
+            server.sessions.get_or_create = meeting_point
+            outcome, errors = {}, []
+
+            def read(uid):
+                try:
+                    outcome[uid] = server.top_k(uid, REPLAY.k)
+                except Exception as exc:  # noqa: BLE001 - surfaced below
+                    errors.append(f"{uid}: {type(exc).__name__}: {exc}")
+
+            start_and_join([
+                threading.Thread(target=read, args=(uid,), daemon=True,
+                                 name=f"cold-{uid}")
+                for uid in (uid_a, uid_b)])
+            server.sessions.get_or_create = original
+            # A BrokenBarrierError here means the computes serialised.
+            assert not errors, errors
+            assert sorted(overlapped) == sorted((uid_a, uid_b))
+            for uid in (uid_a, uid_b):
+                assert not outcome[uid].cache_hit
+                assert list(outcome[uid].ranking) \
+                    == fresh_top_k(world, uid, REPLAY.k)
+        finally:
+            server.close()
+
+    def test_mutation_mid_compute_triggers_stale_put_refusal(self, world):
+        """A data mutation sweeping between a cold compute and its put (the
+        gate is released before the put) must see the put refused by the
+        epoch guard — per stripe, with no server-wide lock to hide behind."""
+        server = TopKServer(world, capacity=12)
+        try:
+            uid = sorted(profile.uid
+                         for profile in world.read_profiles())[0]
+            ready, proceed = threading.Event(), threading.Event()
+            original_put = server.results.put
+
+            def stalled_put(put_uid, k, *args, **kwargs):
+                if put_uid == uid:
+                    ready.set()
+                    assert proceed.wait(DEADLINE_SECONDS)
+                return original_put(put_uid, k, *args, **kwargs)
+
+            server.results.put = stalled_put
+            outcome = {}
+
+            def read():
+                outcome["result"] = server.top_k(uid, REPLAY.k)
+
+            reader = threading.Thread(target=read, name="cold-reader",
+                                      daemon=True)
+            reader.start()
+            assert ready.wait(DEADLINE_SECONDS)
+            before = server.results.stats()["stale_puts_rejected"]
+            # The reader holds its *stripe* but released the gate: the
+            # mutation (gate.write) proceeds and bumps the epoch.
+            pid = world.max_paper_id() + 1
+            server.insert_tuples(
+                [{"pid": pid, "title": "mid-compute insert",
+                  "venue": "VLDB", "year": 2015, "aids": [1]}])
+            proceed.set()
+            assert join_with_deadline([reader]) == []
+            server.results.put = original_put
+
+            assert server.results.stats()["stale_puts_rejected"] == before + 1
+            # The stale answer was served but never materialised...
+            assert outcome["result"].cache_hit is False
+            assert server.results.peek(uid, REPLAY.k) is None
+            # ...and the next request computes (and caches) a fresh one.
+            fresh = server.top_k(uid, REPLAY.k)
+            assert not fresh.cache_hit
+            assert list(fresh.ranking) == fresh_top_k(world, uid, REPLAY.k)
+        finally:
+            server.close()
+
+    def test_repair_sweeps_never_resurrect_dropped_entries(self, world):
+        """Deletes land while readers hammer every stripe; after the dust
+        settles no cached ranking may contain a dropped paper, and every
+        survivor must equal the from-scratch oracle."""
+        server = TopKServer(world, capacity=32)
+        try:
+            uids = sorted(profile.uid for profile in world.read_profiles())
+            for uid in uids:
+                server.top_k(uid, REPLAY.k)
+            dropped = set()
+            stop = threading.Event()
+            errors = []
+
+            def hammer(worker):
+                generator = random.Random(worker)
+                try:
+                    while not stop.is_set():
+                        server.top_k(generator.choice(uids), REPLAY.k)
+                except Exception as exc:  # noqa: BLE001 - surfaced below
+                    errors.append(f"{worker}: {type(exc).__name__}: {exc}")
+
+            readers = [threading.Thread(target=hammer, args=(worker,),
+                                        daemon=True, name=f"reader-{worker}")
+                       for worker in range(3)]
+            for thread in readers:
+                thread.start()
+            try:
+                for _ in range(4):
+                    victims = set()
+                    for uid in uids:
+                        entry = server.results.peek(uid, REPLAY.k)
+                        if entry is not None and entry.ranking:
+                            victims.add(entry.ranking[0][0])
+                        if len(victims) >= 2:
+                            break
+                    victims -= dropped
+                    if not victims:
+                        break
+                    server.delete_tuples(sorted(victims))
+                    dropped |= victims
+            finally:
+                stop.set()
+                assert join_with_deadline(readers) == []
+            assert not errors, errors
+            assert dropped, "no cached paper was ever deleted"
+
+            for uid in uids:
+                entry = server.results.peek(uid, REPLAY.k)
+                if entry is None:
+                    continue
+                cached_pids = {pid for pid, _score in entry.ranking}
+                assert not (cached_pids & dropped), (
+                    f"uid {uid}: dropped papers resurrected: "
+                    f"{sorted(cached_pids & dropped)}")
+                assert list(entry.ranking) \
+                    == fresh_top_k(world, uid, REPLAY.k)
+        finally:
+            server.close()

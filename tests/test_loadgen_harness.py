@@ -297,6 +297,7 @@ def _minimal_run(**overrides):
                "min_ms": 0.5, "mean_ms": 1.2, "max_ms": 4.0}
     run = {
         "mode": "closed", "backend": "sqlite", "shards": 1, "threads": 2,
+        "processes": 1,
         "duration_seconds": 1.0, "ops": 10, "throughput_ops_per_sec": 10.0,
         "latency": dict(latency),
         "latency_by_kind": {"read": dict(latency)},

@@ -308,10 +308,14 @@ class TestThreadSafety:
         assert not errors
 
     def test_stats_snapshot_shape(self, server):
+        stripe_before = server.stats()["stripes"]["acquisitions"]
         server.top_k(1, 5)
         server.top_k(1, 5)
         stats = server.stats()
         assert stats["requests"]["reads"] == 2
         assert stats["requests"]["read_hits"] == 1
-        assert set(stats) == {"requests", "sessions", "results",
+        assert set(stats) == {"requests", "stripes", "sessions", "results",
                               "count_cache", "sql_statements_total"}
+        assert stats["stripes"]["count"] == server.stripes
+        # One stripe acquisition for the cold read, none for the warm hit.
+        assert stats["stripes"]["acquisitions"] - stripe_before == 1
